@@ -1,0 +1,55 @@
+//! Criterion bench for the **Fig. 1** reproduction: full-protocol
+//! thermal-transient experiments (cold soak, stabilization, 30-minute
+//! loaded run, cooldown) at the fan-speed extremes, plus the raw
+//! thermal-network stepping kernel.
+//!
+//! Run with `cargo bench -p leakctl-bench --bench fig1_transients`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakctl::prelude::*;
+use leakctl::RunOptions;
+use leakctl_control::FixedSpeedController;
+
+/// One full Fig. 1(a)-style protocol run at a fixed fan speed.
+fn transient_run(rpm: f64, seed: u64) -> f64 {
+    let profile = Profile::constant(Utilization::FULL, SimDuration::from_mins(30))
+        .expect("static profile");
+    let mut controller = FixedSpeedController::new(Rpm::new(rpm));
+    let options = RunOptions {
+        record: false,
+        ..RunOptions::default()
+    };
+    let outcome =
+        leakctl::run_experiment(&options, profile, &mut controller, seed).expect("run succeeds");
+    outcome.metrics.max_temp.degrees()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    // One-shot shape report so bench logs double as a regeneration.
+    let hot = transient_run(1800.0, 42);
+    let cold = transient_run(4200.0, 42);
+    eprintln!("[fig1] steady max temp: 1800 RPM -> {hot:.1} C, 4200 RPM -> {cold:.1} C");
+    assert!(hot > cold + 15.0, "fan-speed spread must be tens of °C");
+
+    let mut group = c.benchmark_group("fig1_transients");
+    group.sample_size(10);
+    group.bench_function("protocol_run_1800rpm_100pct", |b| {
+        b.iter(|| transient_run(1800.0, 42))
+    });
+    group.bench_function("protocol_run_4200rpm_100pct", |b| {
+        b.iter(|| transient_run(4200.0, 42))
+    });
+    group.bench_function("server_step_1s", |b| {
+        let mut server = Server::new(ServerConfig::default(), 1).expect("server builds");
+        b.iter(|| {
+            server
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .expect("step succeeds");
+            server.max_die_temperature()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

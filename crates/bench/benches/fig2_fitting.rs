@@ -1,0 +1,71 @@
+//! Criterion bench for the **Fig. 2** reproduction: characterization
+//! measurement, the Eqn. 2 model fit, and LUT generation.
+//!
+//! Run with `cargo bench -p leakctl-bench --bench fig2_fitting`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakctl::{
+    build_lut_from_characterization, characterize, fit_models, CharacterizeOptions,
+};
+use leakctl_bench::quick_pipeline;
+use leakctl_power::fit;
+use leakctl_units::{Rpm, SimDuration, Utilization};
+
+fn bench_fig2(c: &mut Criterion) {
+    // Regenerate once and report the headline numbers.
+    let pipeline = quick_pipeline(42);
+    eprintln!(
+        "[fig2] fitted k1 {:.4}, k2 {:.4}, k3 {:.5}, rmse {:.2} W, acc {:.1}%",
+        pipeline.fitted.k1,
+        pipeline.fitted.k2,
+        pipeline.fitted.k3,
+        pipeline.fitted.goodness.rmse,
+        pipeline.fitted.goodness.accuracy_percent
+    );
+    let full_lut = pipeline.lut.lookup(Utilization::FULL);
+    eprintln!("[fig2] LUT at 100% -> {:.0} RPM (paper: 2400)", full_lut.value());
+
+    let mut group = c.benchmark_group("fig2_fitting");
+    group.sample_size(10);
+
+    // One characterization grid point at full protocol cost.
+    group.bench_function("characterize_single_point", |b| {
+        let options = CharacterizeOptions {
+            utilizations: vec![Utilization::FULL],
+            fan_speeds: vec![Rpm::new(2400.0)],
+            warmup: SimDuration::from_mins(10),
+            stabilize: SimDuration::from_mins(5),
+            run: SimDuration::from_mins(30),
+            measure_window: SimDuration::from_mins(10),
+            ..CharacterizeOptions::paper()
+        };
+        b.iter(|| characterize(&options, 42).expect("characterization succeeds"))
+    });
+
+    // The exponential fit on paper-shaped data.
+    group.bench_function("exponential_fit", |b| {
+        let xs: Vec<f64> = (45..=88).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 9.0 + 0.3231 * (0.04749 * x).exp())
+            .collect();
+        b.iter(|| fit::exponential(&xs, &ys).expect("fit succeeds"))
+    });
+
+    // The full joint fit over a measured dataset.
+    group.bench_function("joint_fit_quick_grid", |b| {
+        b.iter(|| fit_models(&pipeline.data).expect("fit succeeds"))
+    });
+
+    // LUT generation from the dataset.
+    group.bench_function("lut_build", |b| {
+        b.iter(|| {
+            build_lut_from_characterization(&pipeline.data, &pipeline.fitted)
+                .expect("LUT build succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the **Fig. 3** reproduction: recorded Test-3
+//! runs under the three controllers (temperature/fan traces sampled
+//! every 10 s).
+//!
+//! Run with `cargo bench -p leakctl-bench --bench fig3_runtime`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakctl::{fig3, RunOptions};
+use leakctl_bench::quick_pipeline;
+
+fn bench_fig3(c: &mut Criterion) {
+    let pipeline = quick_pipeline(42);
+
+    // One-shot regeneration with the qualitative checks the paper makes.
+    let fig = fig3(&RunOptions::default(), pipeline.lut.clone(), 42).expect("fig3 runs");
+    let spread = |label: &str| {
+        let s = fig
+            .temperature
+            .iter()
+            .find(|s| s.label == label)
+            .expect("series exists");
+        let temps: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|(m, _)| *m >= 5.0 && *m <= 85.0)
+            .map(|(_, t)| *t)
+            .collect();
+        let hi = temps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = temps.iter().copied().fold(f64::INFINITY, f64::min);
+        (lo, hi)
+    };
+    let (d_lo, d_hi) = spread("Default");
+    let (b_lo, b_hi) = spread("Bang");
+    let (l_lo, l_hi) = spread("LUT");
+    eprintln!(
+        "[fig3] Default [{d_lo:.1},{d_hi:.1}] C, Bang [{b_lo:.1},{b_hi:.1}] C, LUT [{l_lo:.1},{l_hi:.1}] C"
+    );
+    assert!(d_hi < b_hi, "default runs colder than bang-bang");
+    assert!(l_hi - l_lo < b_hi - b_lo, "LUT steadier than bang-bang");
+
+    let mut group = c.benchmark_group("fig3_runtime");
+    group.sample_size(10);
+    group.bench_function("three_controllers_recorded", |b| {
+        b.iter(|| fig3(&RunOptions::default(), pipeline.lut.clone(), 42).expect("fig3 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for the **Table I** reproduction: one 80-minute
+//! controller evaluation per scheme on Test-3, plus the whole-table
+//! generation.
+//!
+//! Run with `cargo bench -p leakctl-bench --bench table1_controllers`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakctl::prelude::*;
+use leakctl::{generate_table1, RunOptions, Table1Options};
+use leakctl_bench::quick_pipeline;
+use leakctl_workload::suite;
+
+fn run_once(controller: &mut dyn FanController, seed: u64) -> f64 {
+    let options = RunOptions {
+        record: false,
+        ..RunOptions::default()
+    };
+    let outcome = leakctl::run_experiment(&options, suite::test3(), controller, seed)
+        .expect("run succeeds");
+    outcome.metrics.total_energy.as_kwh().value()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let pipeline = quick_pipeline(42);
+
+    // One-shot regeneration + ordering check.
+    let mut default = FixedSpeedController::paper_default();
+    let mut bang = BangBangController::paper_default();
+    let mut lut = LutController::paper_default(pipeline.lut.clone());
+    let (e_def, e_bang, e_lut) = (
+        run_once(&mut default, 42),
+        run_once(&mut bang, 42),
+        run_once(&mut lut, 42),
+    );
+    eprintln!("[table1] Test-3 energy: Default {e_def:.4}, Bang {e_bang:.4}, LUT {e_lut:.4} kWh");
+    assert!(e_lut <= e_def, "LUT must not exceed Default energy");
+
+    let mut group = c.benchmark_group("table1_controllers");
+    group.sample_size(10);
+    group.bench_function("run80min_default", |b| {
+        let mut ctl = FixedSpeedController::paper_default();
+        b.iter(|| run_once(&mut ctl, 42))
+    });
+    group.bench_function("run80min_bangbang", |b| {
+        let mut ctl = BangBangController::paper_default();
+        b.iter(|| run_once(&mut ctl, 42))
+    });
+    group.bench_function("run80min_lut", |b| {
+        let mut ctl = LutController::paper_default(pipeline.lut.clone());
+        b.iter(|| run_once(&mut ctl, 42))
+    });
+    // The full 4-test × 3-controller table (12 × 80-minute runs plus
+    // the idle reference measurement).
+    group.bench_function("full_table", |b| {
+        let run = RunOptions {
+            record: false,
+            ..RunOptions::default()
+        };
+        let options = Table1Options {
+            run,
+            seed: 42,
+            lut: pipeline.lut.clone(),
+        };
+        b.iter(|| generate_table1(&options).expect("table generation succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

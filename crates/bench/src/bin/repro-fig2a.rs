@@ -1,0 +1,104 @@
+//! Reproduces **Fig. 2(a)**: leakage power and fan power versus average
+//! CPU temperature at 100 % utilization, with the Eqn. 2 model fit —
+//! the convex `P_leak + P_fan` curve whose minimum defines the optimal
+//! fan speed.
+//!
+//! ```text
+//! cargo run --release -p leakctl-bench --bin repro-fig2a
+//! ```
+
+use leakctl::report::{ascii_chart, ascii_table, ChartSeries};
+use leakctl::{fig2a, paper};
+use leakctl_bench::{paper_pipeline, REPRO_SEED};
+
+fn main() {
+    println!("== Fig. 2(a) reproduction ==");
+    println!("running the characterization sweep + model fitting...");
+    let pipeline = paper_pipeline(REPRO_SEED);
+    let fitted = &pipeline.fitted;
+    println!(
+        "fit: P_sys = {:.1} + {:.4}*U + {:.4}*exp({:.5}*T)",
+        fitted.base, fitted.k1, fitted.k2, fitted.k3
+    );
+    println!(
+        "     rmse {:.3} W (paper {:.3} W), accuracy {:.1}% (paper {:.0}%), R^2 {:.4}",
+        fitted.goodness.rmse,
+        paper::FIT_RMSE_W,
+        fitted.goodness.accuracy_percent,
+        paper::FIT_ACCURACY_PCT,
+        fitted.goodness.r_squared
+    );
+    println!(
+        "constants vs paper: k1 {:.4}/{:.4}  k2 {:.4}/{:.4}  k3 {:.5}/{:.5}",
+        fitted.k1,
+        paper::K1,
+        fitted.k2,
+        paper::K2,
+        fitted.k3,
+        paper::K3
+    );
+
+    let fig = fig2a(&pipeline.data, fitted).expect("fig2a builds");
+    let points = &fig.groups[0].1;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.rpm),
+                format!("{:.1}", p.temp_c),
+                format!("{:.1}", p.fan_w),
+                format!("{:.1}", p.leak_measured_w),
+                format!("{:.1}", p.leak_fitted_w),
+                format!("{:.1}", p.leak_true_w),
+                format!("{:.1}", p.fan_plus_leak()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "RPM",
+                "T avg (C)",
+                "Fan (W)",
+                "Leak meas (W)",
+                "Leak fit (W)",
+                "Leak true (W)",
+                "Fan+Leak (W)",
+            ],
+            &rows,
+        )
+    );
+
+    let fan = ChartSeries {
+        label: "F fan".into(),
+        points: points.iter().map(|p| (p.temp_c, p.fan_w)).collect(),
+    };
+    let leak = ChartSeries {
+        label: "L leak (fitted)".into(),
+        points: points.iter().map(|p| (p.temp_c, p.leak_fitted_w)).collect(),
+    };
+    let sum = ChartSeries {
+        label: "S sum".into(),
+        points: points
+            .iter()
+            .map(|p| (p.temp_c, p.fan_plus_leak()))
+            .collect(),
+    };
+    println!("{}", ascii_chart(&[fan, leak, sum], 80, 18));
+
+    let opt = fig.optimum_of("100%").expect("optimum exists");
+    println!(
+        "optimum: {:.0} RPM at {:.1} C, fan+leak = {:.1} W",
+        opt.rpm,
+        opt.temp_c,
+        opt.fan_plus_leak()
+    );
+    println!(
+        "paper:   {:.0} RPM at ~{:.0} C\n",
+        paper::OPTIMUM_RPM,
+        paper::OPTIMUM_TEMP_C
+    );
+    println!("CSV:\n{}", fig.to_csv());
+}

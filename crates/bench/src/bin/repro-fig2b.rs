@@ -1,0 +1,49 @@
+//! Reproduces **Fig. 2(b)**: fan + leakage power versus average CPU
+//! temperature for utilization levels 25–100 % — every level exhibits
+//! an optimum fan speed, all below the 75 °C operational cap.
+//!
+//! ```text
+//! cargo run --release -p leakctl-bench --bin repro-fig2b
+//! ```
+
+use leakctl::report::{ascii_chart, ChartSeries};
+use leakctl::{fig2b, paper};
+use leakctl_bench::{paper_pipeline, REPRO_SEED};
+
+fn main() {
+    println!("== Fig. 2(b) reproduction ==");
+    println!("running the characterization sweep + model fitting...");
+    let pipeline = paper_pipeline(REPRO_SEED);
+    let fig = fig2b(&pipeline.data, &pipeline.fitted).expect("fig2b builds");
+
+    let series: Vec<ChartSeries> = fig
+        .groups
+        .iter()
+        .map(|(label, points)| ChartSeries {
+            label: label.clone(),
+            points: points
+                .iter()
+                .map(|p| (p.temp_c, p.fan_plus_leak()))
+                .collect(),
+        })
+        .collect();
+    println!("{}", ascii_chart(&series, 80, 18));
+
+    println!("per-utilization optima (paper: all optima at T <= ~70 C):");
+    for (label, _) in &fig.groups {
+        if let Some(opt) = fig.optimum_of(label) {
+            println!(
+                "  {label:>4}: optimum {:.0} RPM at {:.1} C, fan+leak {:.1} W {}",
+                opt.rpm,
+                opt.temp_c,
+                opt.fan_plus_leak(),
+                if opt.temp_c <= paper::OPTIMUM_TEMP_C + 2.0 {
+                    "(<= ~70 C \u{2713})"
+                } else {
+                    "(above 70 C!)"
+                }
+            );
+        }
+    }
+    println!("\nCSV:\n{}", fig.to_csv());
+}

@@ -1,0 +1,91 @@
+//! Reproduces **Table I**: energy, net savings, peak power, max
+//! temperature, fan changes and average RPM for the three controllers
+//! over the four 80-minute test workloads.
+//!
+//! ```text
+//! cargo run --release -p leakctl-bench --bin repro-table1
+//! ```
+
+use leakctl::report::ascii_table;
+use leakctl::{generate_table1, paper, Table1Options};
+use leakctl_bench::{paper_pipeline, REPRO_SEED};
+
+fn main() {
+    println!("== Table I reproduction ==");
+    println!("running characterization + fitting + LUT generation...");
+    let pipeline = paper_pipeline(REPRO_SEED);
+    println!(
+        "fitted: k1 = {:.4} W/% (paper {:.4}), k2 = {:.4} (paper {:.4}), k3 = {:.5} (paper {:.5})",
+        pipeline.fitted.k1,
+        paper::K1,
+        pipeline.fitted.k2,
+        paper::K2,
+        pipeline.fitted.k3,
+        paper::K3,
+    );
+    println!("LUT:");
+    for (u, rpm) in pipeline.lut.entries() {
+        println!("  <= {:>5.1}% -> {:>4.0} RPM", u.as_percent(), rpm.value());
+    }
+
+    println!("\nrunning 4 tests x 3 controllers (80 min each)...");
+    let options = Table1Options {
+        run: leakctl::RunOptions::default(),
+        seed: REPRO_SEED,
+        lut: pipeline.lut,
+    };
+    let table = generate_table1(&options).expect("table generation succeeds");
+    println!("\n-- measured (this reproduction) --");
+    println!("{}", table.render());
+
+    println!("-- paper (reference) --");
+    let rows: Vec<Vec<String>> = paper::TABLE1
+        .iter()
+        .map(|r| {
+            vec![
+                format!("Test-{}", r.test),
+                r.scheme.to_owned(),
+                format!("{:.4}", r.energy_kwh),
+                r.net_savings_pct
+                    .map_or_else(|| "--".to_owned(), |s| format!("{s:.1}%")),
+                format!("{:.0}", r.peak_power_w),
+                format!("{:.0}", r.max_temp_c),
+                format!("{}", r.fan_changes),
+                format!("{:.0}", r.avg_rpm),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "Test",
+                "Scheme",
+                "Energy (kWh)",
+                "Net Savings",
+                "Peak Pwr (W)",
+                "Max Temp (C)",
+                "#fan change",
+                "Avg RPM",
+            ],
+            &rows,
+        )
+    );
+
+    // Shape summary.
+    println!("-- shape check --");
+    for test in ["Test-1", "Test-2", "Test-3", "Test-4"] {
+        let d = table.row(test, "Default").expect("row exists");
+        let b = table.row(test, "Bang").expect("row exists");
+        let l = table.row(test, "LUT").expect("row exists");
+        println!(
+            "{test}: LUT {} Bang, Bang {} Default | LUT savings {:.1}% | peak cut {:.0} W | LUT max {:.0} C",
+            if l.energy <= b.energy { "<=" } else { "> " },
+            if b.energy <= d.energy { "<=" } else { "> " },
+            l.net_savings_pct.unwrap_or(0.0),
+            d.peak_power.value() - l.peak_power.value(),
+            l.max_temp_c,
+        );
+    }
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,72 @@
+//! Shared plumbing for the reproduction binaries (`repro-*`) and the
+//! Criterion benches: one place that runs the paper's full pipeline —
+//! characterize → fit → build LUT — at paper fidelity or in a reduced
+//! "quick" configuration.
+
+#![warn(missing_docs)]
+
+use leakctl::prelude::*;
+use leakctl::{
+    build_lut_from_characterization, characterize, fit_models, CharacterizationData,
+    CharacterizeOptions, FittedModels,
+};
+
+/// Everything the evaluation stages need from the identification
+/// stages.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// The measured characterization grid.
+    pub data: CharacterizationData,
+    /// The identified Eqn. 2 constants.
+    pub fitted: FittedModels,
+    /// The generated optimal-fan-speed table.
+    pub lut: LookupTable,
+}
+
+/// Runs the identification pipeline at full paper fidelity
+/// (8 utilizations × 5 fan speeds, 45-minute protocol per point).
+///
+/// # Panics
+///
+/// Panics when any stage fails — the calibrated configuration is known
+/// to succeed, so a failure indicates a regression worth crashing on in
+/// a reproduction binary.
+#[must_use]
+pub fn paper_pipeline(seed: u64) -> Pipeline {
+    pipeline(&CharacterizeOptions::paper(), seed)
+}
+
+/// Runs the identification pipeline on the reduced grid (for smoke
+/// tests and ablations).
+///
+/// # Panics
+///
+/// Panics when any stage fails.
+#[must_use]
+pub fn quick_pipeline(seed: u64) -> Pipeline {
+    pipeline(&CharacterizeOptions::quick(), seed)
+}
+
+fn pipeline(options: &CharacterizeOptions, seed: u64) -> Pipeline {
+    let data = characterize(options, seed).expect("characterization succeeds");
+    let fitted = fit_models(&data).expect("fitting succeeds");
+    let lut = build_lut_from_characterization(&data, &fitted).expect("LUT build succeeds");
+    Pipeline { data, fitted, lut }
+}
+
+/// The seed used by every reproduction binary, so their outputs agree
+/// with each other and with EXPERIMENTS.md.
+pub const REPRO_SEED: u64 = 42;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_runs_end_to_end() {
+        let p = quick_pipeline(7);
+        assert!(p.data.points.len() >= 12);
+        assert!(p.fitted.k1 > 0.0);
+        assert!(p.lut.len() >= 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! The 5-action bang-bang temperature controller.
+
+use leakctl_units::{Celsius, Rpm, SimDuration};
+
+use crate::traits::{ControlInputs, FanController};
+
+/// The paper's bang-bang baseline: tracks only the CSTH temperature and
+/// steers it into the 65–75 °C band with five actions:
+///
+/// 1. `Tmax < 60 °C` → set the minimum speed (1800 RPM),
+/// 2. `60 ≤ Tmax < 65 °C` → lower speed by 600 RPM,
+/// 3. `65 ≤ Tmax ≤ 75 °C` → no action,
+/// 4. `Tmax > 75 °C` → raise speed by 600 RPM,
+/// 5. `Tmax > 80 °C` → set the maximum speed (4200 RPM).
+///
+/// It reacts *after* a thermal event occurs, which is why the paper
+/// finds it weak on spiky workloads (Test-2): temperature has already
+/// climbed — and leakage with it — before the controller responds.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::{BangBangController, ControlInputs, FanController};
+/// use leakctl_units::{Celsius, Rpm, SimInstant, Utilization};
+///
+/// let mut ctl = BangBangController::paper_default();
+/// let hot = ControlInputs {
+///     now: SimInstant::ZERO,
+///     utilization: Utilization::FULL,
+///     max_cpu_temp: Some(Celsius::new(82.0)),
+/// };
+/// assert_eq!(ctl.decide(&hot), Some(Rpm::new(4200.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BangBangController {
+    min_rpm: Rpm,
+    max_rpm: Rpm,
+    step: Rpm,
+    low_release: Celsius,  // below: jump to min (action 1)
+    low_band: Celsius,     // below: step down   (action 2)
+    high_band: Celsius,    // above: step up     (action 4)
+    panic_temp: Celsius,   // above: jump to max (action 5)
+    current: Rpm,
+}
+
+impl BangBangController {
+    /// Creates a controller with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless
+    /// `low_release < low_band < high_band < panic_temp` and
+    /// `min_rpm < max_rpm` and the step is positive.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        min_rpm: Rpm,
+        max_rpm: Rpm,
+        step: Rpm,
+        low_release: Celsius,
+        low_band: Celsius,
+        high_band: Celsius,
+        panic_temp: Celsius,
+        initial: Rpm,
+    ) -> Self {
+        assert!(min_rpm < max_rpm, "min_rpm must be below max_rpm");
+        assert!(step.value() > 0.0, "step must be positive");
+        assert!(
+            low_release < low_band && low_band < high_band && high_band < panic_temp,
+            "thresholds must be strictly increasing"
+        );
+        Self {
+            min_rpm,
+            max_rpm,
+            step,
+            low_release,
+            low_band,
+            high_band,
+            panic_temp,
+            current: initial,
+        }
+    }
+
+    /// The paper's configuration: 1800–4200 RPM in 600 RPM steps,
+    /// thresholds 60/65/75/80 °C, starting from the 3300 RPM default.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            Rpm::new(1800.0),
+            Rpm::new(4200.0),
+            Rpm::new(600.0),
+            Celsius::new(60.0),
+            Celsius::new(65.0),
+            Celsius::new(75.0),
+            Celsius::new(80.0),
+            Rpm::new(3300.0),
+        )
+    }
+
+    /// Builds a variant with a different comfort band (for the band
+    /// ablation bench); other thresholds shift with it.
+    #[must_use]
+    pub fn with_band(low_band: Celsius, high_band: Celsius) -> Self {
+        Self::new(
+            Rpm::new(1800.0),
+            Rpm::new(4200.0),
+            Rpm::new(600.0),
+            low_band - leakctl_units::TempDelta::new(5.0),
+            low_band,
+            high_band,
+            high_band + leakctl_units::TempDelta::new(5.0),
+            Rpm::new(3300.0),
+        )
+    }
+
+    /// The speed the controller believes the fans are at.
+    #[must_use]
+    pub fn current(&self) -> Rpm {
+        self.current
+    }
+}
+
+impl FanController for BangBangController {
+    fn name(&self) -> &str {
+        "Bang"
+    }
+
+    /// Temperature arrives at CSTH cadence, so deciding faster is
+    /// pointless.
+    fn poll_period(&self) -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+
+    fn decide(&mut self, inputs: &ControlInputs) -> Option<Rpm> {
+        let t = inputs.max_cpu_temp?;
+        let next = if t > self.panic_temp {
+            self.max_rpm
+        } else if t > self.high_band {
+            (self.current + self.step).min(self.max_rpm)
+        } else if t < self.low_release {
+            self.min_rpm
+        } else if t < self.low_band {
+            (self.current - self.step).max(self.min_rpm)
+        } else {
+            self.current
+        };
+        if next == self.current {
+            None
+        } else {
+            self.current = next;
+            Some(next)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current = Rpm::new(3300.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::{SimInstant, Utilization};
+
+    fn inputs(temp: Option<f64>) -> ControlInputs {
+        ControlInputs {
+            now: SimInstant::ZERO,
+            utilization: Utilization::FULL,
+            max_cpu_temp: temp.map(Celsius::new),
+        }
+    }
+
+    #[test]
+    fn five_actions() {
+        // Action 5: panic to max.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(81.0))), Some(Rpm::new(4200.0)));
+
+        // Action 4: step up.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(76.0))), Some(Rpm::new(3900.0)));
+
+        // Action 3: dead band.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(70.0))), None);
+
+        // Action 2: step down.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(62.0))), Some(Rpm::new(2700.0)));
+
+        // Action 1: jump to min.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(55.0))), Some(Rpm::new(1800.0)));
+    }
+
+    #[test]
+    fn saturates_at_limits() {
+        let mut ctl = BangBangController::paper_default();
+        // Repeated hot readings walk up to max and stay there.
+        for _ in 0..5 {
+            ctl.decide(&inputs(Some(78.0)));
+        }
+        assert_eq!(ctl.current(), Rpm::new(4200.0));
+        assert_eq!(ctl.decide(&inputs(Some(78.0))), None);
+
+        // Repeated cool-band readings walk down to min.
+        for _ in 0..10 {
+            ctl.decide(&inputs(Some(61.0)));
+        }
+        assert_eq!(ctl.current(), Rpm::new(1800.0));
+        assert_eq!(ctl.decide(&inputs(Some(61.0))), None);
+    }
+
+    #[test]
+    fn no_temperature_means_no_action() {
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(None)), None);
+    }
+
+    #[test]
+    fn boundary_temperatures_take_no_action() {
+        // 65 and 75 are inside the closed comfort band.
+        let mut ctl = BangBangController::paper_default();
+        assert_eq!(ctl.decide(&inputs(Some(65.0))), None);
+        assert_eq!(ctl.decide(&inputs(Some(75.0))), None);
+    }
+
+    #[test]
+    fn reset_restores_default_speed() {
+        let mut ctl = BangBangController::paper_default();
+        ctl.decide(&inputs(Some(85.0)));
+        assert_eq!(ctl.current(), Rpm::new(4200.0));
+        ctl.reset();
+        assert_eq!(ctl.current(), Rpm::new(3300.0));
+        assert_eq!(ctl.name(), "Bang");
+    }
+
+    #[test]
+    fn with_band_shifts_thresholds() {
+        let mut ctl = BangBangController::with_band(Celsius::new(70.0), Celsius::new(75.0));
+        // 68 °C sits below the 70 °C band start → step down.
+        assert_eq!(ctl.decide(&inputs(Some(68.0))), Some(Rpm::new(2700.0)));
+        // 72 °C is inside the band.
+        assert_eq!(ctl.decide(&inputs(Some(72.0))), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_bad_thresholds() {
+        let _ = BangBangController::new(
+            Rpm::new(1800.0),
+            Rpm::new(4200.0),
+            Rpm::new(600.0),
+            Celsius::new(70.0),
+            Celsius::new(65.0),
+            Celsius::new(75.0),
+            Celsius::new(80.0),
+            Rpm::new(3300.0),
+        );
+    }
+}

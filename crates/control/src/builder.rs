@@ -1,0 +1,420 @@
+//! LUT generation: "based on the model fitting results we generate a
+//! lookup table that holds the optimum fan speed values for each
+//! utilization level".
+
+use core::fmt;
+
+use leakctl_power::ServerPowerModel;
+use leakctl_units::{Celsius, Rpm, Utilization};
+
+use crate::lut::{LookupTable, LutError};
+
+/// Errors produced by [`build_lut`] and [`SteadyTempGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LutBuildError {
+    /// No candidate fan speeds were supplied.
+    NoCandidates,
+    /// No utilization bins were supplied.
+    NoBins,
+    /// Grid construction data was inconsistent.
+    BadGrid {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// The resulting table failed validation.
+    Table(LutError),
+}
+
+impl fmt::Display for LutBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoCandidates => write!(f, "need at least one candidate fan speed"),
+            Self::NoBins => write!(f, "need at least one utilization bin"),
+            Self::BadGrid { what } => write!(f, "inconsistent steady-temperature grid: {what}"),
+            Self::Table(e) => write!(f, "generated table invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LutBuildError {}
+
+impl From<LutError> for LutBuildError {
+    fn from(e: LutError) -> Self {
+        Self::Table(e)
+    }
+}
+
+/// Builds the optimal-fan-speed table.
+///
+/// For each utilization bin, every candidate speed is scored with the
+/// *fitted* power model: `P_leak(T_ss) + P_fan(rpm)`, where `T_ss` is
+/// the predicted steady hottest-die temperature at that operating point
+/// (from characterization measurements — see [`SteadyTempGrid`] — or a
+/// model preview). Candidates whose temperature exceeds `t_cap` (the
+/// paper's 75 °C operational limit) are excluded; if every candidate
+/// violates the cap, the fastest speed is chosen as the safest option.
+///
+/// # Errors
+///
+/// Returns [`LutBuildError::NoCandidates`] / [`LutBuildError::NoBins`]
+/// for empty inputs and [`LutBuildError::Table`] when the bins do not
+/// form a valid table (e.g. missing 100 % coverage).
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::build_lut;
+/// use leakctl_power::ServerPowerModel;
+/// use leakctl_units::{Celsius, Rpm, Utilization};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = ServerPowerModel::paper_fit();
+/// let rpms = [1800.0, 2400.0, 3000.0, 3600.0, 4200.0].map(Rpm::new);
+/// let bins: Vec<Utilization> = [25.0, 50.0, 75.0, 100.0]
+///     .iter()
+///     .map(|&p| Utilization::from_percent(p))
+///     .collect::<Result<_, _>>()?;
+/// // Toy predictor: hotter with load, cooler with speed.
+/// let lut = build_lut(
+///     &model,
+///     |u, rpm| Celsius::new(30.0 + 0.45 * u.as_percent() + (4200.0 - rpm.value()) / 75.0),
+///     &rpms,
+///     &bins,
+///     Celsius::new(75.0),
+/// )?;
+/// assert_eq!(lut.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_lut(
+    model: &ServerPowerModel,
+    predict_steady_temp: impl Fn(Utilization, Rpm) -> Celsius,
+    candidate_rpms: &[Rpm],
+    bins: &[Utilization],
+    t_cap: Celsius,
+) -> Result<LookupTable, LutBuildError> {
+    build_lut_with_predictors(
+        model,
+        &predict_steady_temp,
+        &predict_steady_temp,
+        candidate_rpms,
+        bins,
+        t_cap,
+    )
+}
+
+/// [`build_lut`] with *separate* predictors for the cost and the cap.
+///
+/// Energy scales with the time-average die temperature, so the leakage
+/// cost should use the predicted *average* steady temperature; the
+/// reliability cap, however, binds on the *hottest* sensor. When both
+/// grids are available from characterization, passing them separately
+/// reproduces the paper's optima more faithfully than using either grid
+/// for both roles.
+///
+/// # Errors
+///
+/// Same as [`build_lut`].
+pub fn build_lut_with_predictors(
+    model: &ServerPowerModel,
+    cost_temp: &impl Fn(Utilization, Rpm) -> Celsius,
+    cap_temp: &impl Fn(Utilization, Rpm) -> Celsius,
+    candidate_rpms: &[Rpm],
+    bins: &[Utilization],
+    t_cap: Celsius,
+) -> Result<LookupTable, LutBuildError> {
+    if candidate_rpms.is_empty() {
+        return Err(LutBuildError::NoCandidates);
+    }
+    if bins.is_empty() {
+        return Err(LutBuildError::NoBins);
+    }
+    let max_rpm = candidate_rpms
+        .iter()
+        .copied()
+        .fold(Rpm::ZERO, Rpm::max);
+
+    let mut entries = Vec::with_capacity(bins.len());
+    for &u in bins {
+        let mut best: Option<(Rpm, f64)> = None;
+        for &rpm in candidate_rpms {
+            if cap_temp(u, rpm) > t_cap {
+                continue;
+            }
+            let cost = model.controllable(cost_temp(u, rpm), rpm).value();
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((rpm, cost));
+            }
+        }
+        let chosen = best.map_or(max_rpm, |(rpm, _)| rpm);
+        entries.push((u, chosen));
+    }
+    Ok(LookupTable::new(entries)?)
+}
+
+/// Steady-state hottest-die temperatures measured over a
+/// `(utilization × fan speed)` characterization grid, with bilinear
+/// interpolation between grid points — the data-driven predictor fed to
+/// [`build_lut`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SteadyTempGrid {
+    utils: Vec<f64>, // percent, ascending
+    rpms: Vec<f64>,  // ascending
+    temps: Vec<Vec<f64>>, // [util][rpm], °C
+}
+
+impl SteadyTempGrid {
+    /// Creates a grid from measurement axes and a `[util][rpm]`
+    /// temperature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutBuildError::BadGrid`] for empty axes, non-ascending
+    /// axes, or a matrix whose shape does not match the axes.
+    pub fn new(
+        utils: Vec<Utilization>,
+        rpms: Vec<Rpm>,
+        temps: Vec<Vec<Celsius>>,
+    ) -> Result<Self, LutBuildError> {
+        let bad = |what: &str| {
+            Err(LutBuildError::BadGrid {
+                what: what.to_owned(),
+            })
+        };
+        if utils.is_empty() || rpms.is_empty() {
+            return bad("axes must be non-empty");
+        }
+        if temps.len() != utils.len() || temps.iter().any(|row| row.len() != rpms.len()) {
+            return bad("matrix shape must match axes");
+        }
+        let u: Vec<f64> = utils.iter().map(|x| x.as_percent()).collect();
+        let r: Vec<f64> = rpms.iter().map(|x| x.value()).collect();
+        if u.windows(2).any(|w| w[1] <= w[0]) || r.windows(2).any(|w| w[1] <= w[0]) {
+            return bad("axes must be strictly ascending");
+        }
+        Ok(Self {
+            utils: u,
+            rpms: r,
+            temps: temps
+                .into_iter()
+                .map(|row| row.into_iter().map(|t| t.degrees()).collect())
+                .collect(),
+        })
+    }
+
+    /// Interpolated steady temperature at `(u, rpm)`; queries outside
+    /// the grid clamp to its edges.
+    #[must_use]
+    pub fn temp(&self, u: Utilization, rpm: Rpm) -> Celsius {
+        let (ui, uf) = Self::locate(&self.utils, u.as_percent());
+        let (ri, rf) = Self::locate(&self.rpms, rpm.value());
+        let t00 = self.temps[ui][ri];
+        let t01 = self.temps[ui][(ri + 1).min(self.rpms.len() - 1)];
+        let t10 = self.temps[(ui + 1).min(self.utils.len() - 1)][ri];
+        let t11 = self.temps[(ui + 1).min(self.utils.len() - 1)][(ri + 1).min(self.rpms.len() - 1)];
+        let low = t00 * (1.0 - rf) + t01 * rf;
+        let high = t10 * (1.0 - rf) + t11 * rf;
+        Celsius::new(low * (1.0 - uf) + high * uf)
+    }
+
+    /// Locates `x` on `axis`: returns `(lower index, fraction)` with the
+    /// fraction clamped to `[0, 1]`.
+    fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+        if x <= axis[0] || axis.len() == 1 {
+            return (0, 0.0);
+        }
+        if x >= *axis.last().expect("non-empty") {
+            return (axis.len() - 1, 0.0);
+        }
+        let hi = axis.partition_point(|&a| a <= x);
+        let lo = hi - 1;
+        let frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+        (lo, frac)
+    }
+
+    /// The utilization axis, percent.
+    #[must_use]
+    pub fn utilization_axis(&self) -> &[f64] {
+        &self.utils
+    }
+
+    /// The fan-speed axis, RPM.
+    #[must_use]
+    pub fn rpm_axis(&self) -> &[f64] {
+        &self.rpms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(p: f64) -> Utilization {
+        Utilization::from_percent(p).unwrap()
+    }
+
+    fn grid() -> SteadyTempGrid {
+        // Synthetic but shaped like the calibrated machine.
+        let utils = vec![pct(25.0), pct(50.0), pct(75.0), pct(100.0)];
+        let rpms = vec![
+            Rpm::new(1800.0),
+            Rpm::new(2400.0),
+            Rpm::new(3000.0),
+            Rpm::new(3600.0),
+            Rpm::new(4200.0),
+        ];
+        let temps = vec![
+            vec![55.0, 48.0, 44.0, 42.0, 40.0],
+            vec![65.0, 56.0, 51.0, 48.0, 45.0],
+            vec![76.0, 64.0, 58.0, 54.0, 51.0],
+            vec![86.0, 71.0, 64.0, 59.0, 56.0],
+        ]
+        .into_iter()
+        .map(|row| row.into_iter().map(Celsius::new).collect())
+        .collect();
+        SteadyTempGrid::new(utils, rpms, temps).unwrap()
+    }
+
+    #[test]
+    fn grid_reproduces_its_points() {
+        let g = grid();
+        assert_eq!(g.temp(pct(100.0), Rpm::new(1800.0)), Celsius::new(86.0));
+        assert_eq!(g.temp(pct(25.0), Rpm::new(4200.0)), Celsius::new(40.0));
+        assert_eq!(g.utilization_axis().len(), 4);
+        assert_eq!(g.rpm_axis().len(), 5);
+    }
+
+    #[test]
+    fn grid_interpolates_between_points() {
+        let g = grid();
+        // Midway between (50 %, 2400) = 56 and (50 %, 3000) = 51 → 53.5.
+        let t = g.temp(pct(50.0), Rpm::new(2700.0));
+        assert!((t.degrees() - 53.5).abs() < 1e-9);
+        // Midway in utilization too.
+        let t = g.temp(pct(62.5), Rpm::new(2400.0));
+        assert!((t.degrees() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_clamps_outside_range() {
+        let g = grid();
+        assert_eq!(g.temp(pct(0.0), Rpm::new(1000.0)), Celsius::new(55.0));
+        assert_eq!(g.temp(pct(100.0), Rpm::new(9000.0)), Celsius::new(56.0));
+    }
+
+    #[test]
+    fn grid_validation() {
+        assert!(SteadyTempGrid::new(vec![], vec![Rpm::new(1.0)], vec![]).is_err());
+        assert!(SteadyTempGrid::new(
+            vec![pct(10.0)],
+            vec![Rpm::new(1.0)],
+            vec![vec![Celsius::new(1.0), Celsius::new(2.0)]],
+        )
+        .is_err());
+        assert!(SteadyTempGrid::new(
+            vec![pct(50.0), pct(50.0)],
+            vec![Rpm::new(1.0)],
+            vec![vec![Celsius::new(1.0)], vec![Celsius::new(2.0)]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn built_lut_picks_interior_optimum() {
+        // With the calibrated shapes, high load should pick a mid speed
+        // (≈2400), not an extreme — the paper's headline observation.
+        let model = ServerPowerModel::paper_fit();
+        let g = grid();
+        let rpms: Vec<Rpm> = g.rpm_axis().iter().map(|&r| Rpm::new(r)).collect();
+        let bins = vec![pct(25.0), pct(50.0), pct(75.0), pct(100.0)];
+        let lut = build_lut(
+            &model,
+            |u, rpm| g.temp(u, rpm),
+            &rpms,
+            &bins,
+            Celsius::new(75.0),
+        )
+        .unwrap();
+        let at_full = lut.lookup(Utilization::FULL);
+        assert!(
+            at_full > Rpm::new(1800.0) && at_full < Rpm::new(3600.0),
+            "full-load optimum {at_full} should be interior"
+        );
+        // Low load can afford the slowest fans.
+        assert_eq!(lut.lookup(pct(25.0)), Rpm::new(1800.0));
+    }
+
+    #[test]
+    fn temperature_cap_excludes_hot_candidates() {
+        let model = ServerPowerModel::paper_fit();
+        let g = grid();
+        let rpms: Vec<Rpm> = g.rpm_axis().iter().map(|&r| Rpm::new(r)).collect();
+        let bins = vec![pct(100.0)];
+        let lut = build_lut(
+            &model,
+            |u, rpm| g.temp(u, rpm),
+            &rpms,
+            &bins,
+            Celsius::new(75.0),
+        )
+        .unwrap();
+        // 1800 RPM at 100 % → 86 °C > 75 °C, must not be chosen even
+        // though its fan power is lowest.
+        assert!(lut.lookup(Utilization::FULL) > Rpm::new(1800.0));
+    }
+
+    #[test]
+    fn impossible_cap_falls_back_to_max_cooling() {
+        let model = ServerPowerModel::paper_fit();
+        let rpms = [Rpm::new(1800.0), Rpm::new(4200.0)];
+        let bins = vec![pct(100.0)];
+        let lut = build_lut(
+            &model,
+            |_, _| Celsius::new(99.0),
+            &rpms,
+            &bins,
+            Celsius::new(75.0),
+        )
+        .unwrap();
+        assert_eq!(lut.lookup(Utilization::FULL), Rpm::new(4200.0));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let model = ServerPowerModel::paper_fit();
+        assert!(matches!(
+            build_lut(&model, |_, _| Celsius::new(50.0), &[], &[pct(100.0)], Celsius::new(75.0)),
+            Err(LutBuildError::NoCandidates)
+        ));
+        assert!(matches!(
+            build_lut(
+                &model,
+                |_, _| Celsius::new(50.0),
+                &[Rpm::new(1800.0)],
+                &[],
+                Celsius::new(75.0)
+            ),
+            Err(LutBuildError::NoBins)
+        ));
+        // Bins not reaching 100 % → table error.
+        assert!(matches!(
+            build_lut(
+                &model,
+                |_, _| Celsius::new(50.0),
+                &[Rpm::new(1800.0)],
+                &[pct(50.0)],
+                Celsius::new(75.0)
+            ),
+            Err(LutBuildError::Table(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LutBuildError::NoCandidates.to_string().contains("candidate"));
+        assert!(LutBuildError::NoBins.to_string().contains("bin"));
+        assert!(LutBuildError::BadGrid { what: "x".into() }
+            .to_string()
+            .contains('x'));
+    }
+}

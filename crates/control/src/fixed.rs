@@ -1,0 +1,111 @@
+//! The vendor-default fixed-speed policy.
+
+use leakctl_units::{Rpm, SimDuration};
+
+use crate::traits::{ControlInputs, FanController};
+
+/// The server's default cooling behaviour: fans pinned near a fixed
+/// speed.
+///
+/// The paper observes that "the baseline setting keeps the fans rotating
+/// close to a fixed speed of 3300 RPM, which leads to very low
+/// temperatures and to over-cooling of the system" — vendors configure
+/// a high floor to stay safe across ambient and altitude ranges.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::{ControlInputs, FanController, FixedSpeedController};
+/// use leakctl_units::{Rpm, SimInstant, Utilization};
+///
+/// let mut ctl = FixedSpeedController::new(Rpm::new(3300.0));
+/// let inputs = ControlInputs {
+///     now: SimInstant::ZERO,
+///     utilization: Utilization::IDLE,
+///     max_cpu_temp: None,
+/// };
+/// assert_eq!(ctl.decide(&inputs), Some(Rpm::new(3300.0)));
+/// // Subsequent polls request nothing — the speed never changes.
+/// assert_eq!(ctl.decide(&inputs), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedSpeedController {
+    rpm: Rpm,
+    issued: bool,
+}
+
+impl FixedSpeedController {
+    /// Creates a controller pinned at `rpm`.
+    #[must_use]
+    pub fn new(rpm: Rpm) -> Self {
+        Self { rpm, issued: false }
+    }
+
+    /// The paper baseline: 3300 RPM.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(Rpm::new(3300.0))
+    }
+
+    /// The pinned speed.
+    #[must_use]
+    pub fn rpm(&self) -> Rpm {
+        self.rpm
+    }
+}
+
+impl FanController for FixedSpeedController {
+    fn name(&self) -> &str {
+        "Default"
+    }
+
+    fn poll_period(&self) -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+
+    fn decide(&mut self, _inputs: &ControlInputs) -> Option<Rpm> {
+        if self.issued {
+            None
+        } else {
+            self.issued = true;
+            Some(self.rpm)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.issued = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::{SimInstant, Utilization};
+
+    fn inputs() -> ControlInputs {
+        ControlInputs {
+            now: SimInstant::ZERO,
+            utilization: Utilization::FULL,
+            max_cpu_temp: None,
+        }
+    }
+
+    #[test]
+    fn issues_once_then_holds() {
+        let mut ctl = FixedSpeedController::paper_default();
+        assert_eq!(ctl.decide(&inputs()), Some(Rpm::new(3300.0)));
+        for _ in 0..10 {
+            assert_eq!(ctl.decide(&inputs()), None);
+        }
+        assert_eq!(ctl.name(), "Default");
+        assert_eq!(ctl.rpm(), Rpm::new(3300.0));
+    }
+
+    #[test]
+    fn reset_reissues() {
+        let mut ctl = FixedSpeedController::new(Rpm::new(2400.0));
+        assert!(ctl.decide(&inputs()).is_some());
+        ctl.reset();
+        assert_eq!(ctl.decide(&inputs()), Some(Rpm::new(2400.0)));
+    }
+}

@@ -1,0 +1,53 @@
+//! Fan-speed controllers for the `leakctl` reproduction.
+//!
+//! Implements the three control schemes compared in the paper's Table I
+//! plus two extensions:
+//!
+//! - [`FixedSpeedController`] — the vendor default: fans pinned near
+//!   3300 RPM regardless of load (over-cooling baseline),
+//! - [`BangBangController`] — the 5-action temperature-band controller
+//!   (reactive; tracks CSTH temperature only),
+//! - [`LutController`] — the paper's contribution: a lookup table from
+//!   utilization to the energy-optimal fan speed, polled every second,
+//!   with a 1-minute rate limit on speed changes (proactive; never needs
+//!   a temperature reading),
+//! - [`PidController`] — a classic temperature-setpoint PID, included
+//!   as an ablation point,
+//! - [`build_lut`] — generates the LUT from a fitted
+//!   [`ServerPowerModel`](leakctl_power::ServerPowerModel) and a
+//!   steady-temperature predictor (measured grid or model preview),
+//!   minimizing `P_leak + P_fan` subject to the 75 °C operational cap.
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_control::{ControlInputs, FanController, FixedSpeedController};
+//! use leakctl_units::{Rpm, SimInstant, Utilization};
+//!
+//! let mut ctl = FixedSpeedController::paper_default();
+//! let inputs = ControlInputs {
+//!     now: SimInstant::ZERO,
+//!     utilization: Utilization::FULL,
+//!     max_cpu_temp: None,
+//! };
+//! assert_eq!(ctl.decide(&inputs), Some(Rpm::new(3300.0)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bangbang;
+mod builder;
+mod fixed;
+mod lut;
+mod pid;
+mod ratelimit;
+mod traits;
+
+pub use bangbang::BangBangController;
+pub use builder::{build_lut, build_lut_with_predictors, LutBuildError, SteadyTempGrid};
+pub use fixed::FixedSpeedController;
+pub use lut::{LookupTable, LutController, LutError};
+pub use pid::PidController;
+pub use ratelimit::RateLimiter;
+pub use traits::{ControlInputs, FanController};

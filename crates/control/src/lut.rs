@@ -1,0 +1,324 @@
+//! The LUT-based controller — the paper's contribution.
+
+use core::fmt;
+
+use leakctl_units::{Rpm, SimDuration, Utilization};
+
+use crate::ratelimit::RateLimiter;
+use crate::traits::{ControlInputs, FanController};
+
+/// Errors produced when constructing a [`LookupTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LutError {
+    /// The table has no entries.
+    Empty,
+    /// Breakpoints are not strictly increasing.
+    Unsorted,
+    /// The last breakpoint does not reach 100 % utilization.
+    IncompleteCoverage {
+        /// The highest breakpoint present.
+        highest_percent: f64,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "lookup table must have at least one entry"),
+            Self::Unsorted => write!(f, "breakpoints must be strictly increasing"),
+            Self::IncompleteCoverage { highest_percent } => write!(
+                f,
+                "table must cover up to 100% utilization, highest breakpoint is {highest_percent}%"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LutError {}
+
+/// A utilization-addressed fan-speed table.
+///
+/// Each entry `(breakpoint, rpm)` covers utilizations up to and
+/// including the breakpoint; lookup takes the first entry whose
+/// breakpoint is ≥ the observed utilization. The last breakpoint must
+/// therefore be 100 %.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::LookupTable;
+/// use leakctl_units::{Rpm, Utilization};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lut = LookupTable::new(vec![
+///     (Utilization::from_percent(50.0)?, Rpm::new(1800.0)),
+///     (Utilization::from_percent(100.0)?, Rpm::new(2400.0)),
+/// ])?;
+/// assert_eq!(lut.lookup(Utilization::from_percent(30.0)?), Rpm::new(1800.0));
+/// assert_eq!(lut.lookup(Utilization::from_percent(80.0)?), Rpm::new(2400.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LookupTable {
+    entries: Vec<(Utilization, Rpm)>,
+}
+
+impl LookupTable {
+    /// Creates a table from `(breakpoint, rpm)` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::Empty`], [`LutError::Unsorted`], or
+    /// [`LutError::IncompleteCoverage`].
+    pub fn new(entries: Vec<(Utilization, Rpm)>) -> Result<Self, LutError> {
+        if entries.is_empty() {
+            return Err(LutError::Empty);
+        }
+        for pair in entries.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(LutError::Unsorted);
+            }
+        }
+        let highest = entries.last().expect("non-empty").0;
+        if !highest.is_full() {
+            return Err(LutError::IncompleteCoverage {
+                highest_percent: highest.as_percent(),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// The optimal fan speed for the observed utilization.
+    #[must_use]
+    pub fn lookup(&self, u: Utilization) -> Rpm {
+        for &(breakpoint, rpm) in &self.entries {
+            if u <= breakpoint {
+                return rpm;
+            }
+        }
+        // Unreachable in practice: coverage is validated to 100 %.
+        self.entries.last().expect("non-empty").1
+    }
+
+    /// The `(breakpoint, rpm)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(Utilization, Rpm)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false` — construction rejects empty tables. Provided for
+    /// API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The paper's LUT-based cooling controller.
+///
+/// Runs on the DLC-PC: polls utilization every second (`sar`/`mpstat`),
+/// looks up the energy-optimal fan speed, and commands it — *proactive*
+/// control that acts on load changes before temperature reacts.
+/// Stability comes from the 1-minute rate limit on changes: the
+/// controller "react\[s\] fast … as soon as a spike is detected; however,
+/// we do not allow RPM changes for 1 minute after each RPM update".
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::{ControlInputs, FanController, LookupTable, LutController};
+/// use leakctl_units::{Rpm, SimInstant, Utilization};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lut = LookupTable::new(vec![
+///     (Utilization::from_percent(50.0)?, Rpm::new(1800.0)),
+///     (Utilization::from_percent(100.0)?, Rpm::new(2400.0)),
+/// ])?;
+/// let mut ctl = LutController::paper_default(lut);
+/// let busy = ControlInputs {
+///     now: SimInstant::ZERO,
+///     utilization: Utilization::FULL,
+///     max_cpu_temp: None,
+/// };
+/// assert_eq!(ctl.decide(&busy), Some(Rpm::new(2400.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutController {
+    table: LookupTable,
+    limiter: RateLimiter,
+    current: Option<Rpm>,
+}
+
+impl LutController {
+    /// Creates a controller with an explicit rate-limit interval.
+    #[must_use]
+    pub fn new(table: LookupTable, min_change_interval: SimDuration) -> Self {
+        Self {
+            table,
+            limiter: RateLimiter::new(min_change_interval),
+            current: None,
+        }
+    }
+
+    /// The paper's configuration: 1-minute minimum between changes.
+    #[must_use]
+    pub fn paper_default(table: LookupTable) -> Self {
+        Self::new(table, SimDuration::from_mins(1))
+    }
+
+    /// The underlying table.
+    #[must_use]
+    pub fn table(&self) -> &LookupTable {
+        &self.table
+    }
+}
+
+impl FanController for LutController {
+    fn name(&self) -> &str {
+        "LUT"
+    }
+
+    /// "Utilization is polled every second to be able to respond to
+    /// sudden utilization spikes."
+    fn poll_period(&self) -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn decide(&mut self, inputs: &ControlInputs) -> Option<Rpm> {
+        let want = self.table.lookup(inputs.utilization);
+        if Some(want) == self.current {
+            return None;
+        }
+        if !self.limiter.allows(inputs.now) {
+            return None;
+        }
+        self.limiter.record(inputs.now);
+        self.current = Some(want);
+        Some(want)
+    }
+
+    fn reset(&mut self) {
+        self.limiter.reset();
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::SimInstant;
+
+    fn table() -> LookupTable {
+        LookupTable::new(vec![
+            (Utilization::from_percent(25.0).unwrap(), Rpm::new(1800.0)),
+            (Utilization::from_percent(50.0).unwrap(), Rpm::new(1800.0) + Rpm::new(0.0)),
+            (Utilization::from_percent(75.0).unwrap(), Rpm::new(2400.0)),
+            (Utilization::from_percent(100.0).unwrap(), Rpm::new(2400.0)),
+        ])
+        .unwrap()
+    }
+
+    fn inputs(at_secs: u64, pct: f64) -> ControlInputs {
+        ControlInputs {
+            now: SimInstant::from_millis(at_secs * 1_000),
+            utilization: Utilization::from_percent(pct).unwrap(),
+            max_cpu_temp: None,
+        }
+    }
+
+    #[test]
+    fn lookup_uses_ceiling_breakpoint() {
+        let t = table();
+        assert_eq!(t.lookup(Utilization::IDLE), Rpm::new(1800.0));
+        assert_eq!(
+            t.lookup(Utilization::from_percent(25.0).unwrap()),
+            Rpm::new(1800.0)
+        );
+        assert_eq!(
+            t.lookup(Utilization::from_percent(60.0).unwrap()),
+            Rpm::new(2400.0)
+        );
+        assert_eq!(t.lookup(Utilization::FULL), Rpm::new(2400.0));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_validation() {
+        assert_eq!(LookupTable::new(vec![]).unwrap_err(), LutError::Empty);
+        let unsorted = LookupTable::new(vec![
+            (Utilization::from_percent(50.0).unwrap(), Rpm::new(1800.0)),
+            (Utilization::from_percent(50.0).unwrap(), Rpm::new(2400.0)),
+        ]);
+        assert_eq!(unsorted.unwrap_err(), LutError::Unsorted);
+        let incomplete = LookupTable::new(vec![(
+            Utilization::from_percent(80.0).unwrap(),
+            Rpm::new(1800.0),
+        )]);
+        assert!(matches!(
+            incomplete.unwrap_err(),
+            LutError::IncompleteCoverage { .. }
+        ));
+    }
+
+    #[test]
+    fn reacts_immediately_to_first_spike() {
+        let mut ctl = LutController::paper_default(table());
+        assert_eq!(ctl.decide(&inputs(0, 100.0)), Some(Rpm::new(2400.0)));
+        assert_eq!(ctl.name(), "LUT");
+        assert_eq!(ctl.poll_period(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn rate_limit_blocks_changes_for_one_minute() {
+        let mut ctl = LutController::paper_default(table());
+        assert!(ctl.decide(&inputs(0, 100.0)).is_some());
+        // Load drops 10 s later — blocked.
+        assert_eq!(ctl.decide(&inputs(10, 10.0)), None);
+        assert_eq!(ctl.decide(&inputs(59, 10.0)), None);
+        // After a minute the change is released.
+        assert_eq!(ctl.decide(&inputs(60, 10.0)), Some(Rpm::new(1800.0)));
+    }
+
+    #[test]
+    fn no_change_requested_when_lut_output_stable() {
+        let mut ctl = LutController::paper_default(table());
+        assert!(ctl.decide(&inputs(0, 80.0)).is_some());
+        // Different utilizations mapping to the same RPM: no command,
+        // and the rate limiter is not consumed.
+        assert_eq!(ctl.decide(&inputs(70, 90.0)), None);
+        assert_eq!(ctl.decide(&inputs(71, 100.0)), None);
+        // A real change right after is allowed (limiter untouched).
+        assert_eq!(ctl.decide(&inputs(72, 10.0)), Some(Rpm::new(1800.0)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ctl = LutController::paper_default(table());
+        assert!(ctl.decide(&inputs(0, 100.0)).is_some());
+        ctl.reset();
+        // Fresh run: first decision goes through immediately again.
+        assert_eq!(ctl.decide(&inputs(1, 100.0)), Some(Rpm::new(2400.0)));
+        assert_eq!(ctl.table().len(), 4);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LutError::Empty.to_string().contains("at least one"));
+        assert!(LutError::Unsorted.to_string().contains("increasing"));
+        assert!(LutError::IncompleteCoverage {
+            highest_percent: 80.0
+        }
+        .to_string()
+        .contains("80"));
+    }
+}

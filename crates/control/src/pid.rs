@@ -1,0 +1,267 @@
+//! Temperature-setpoint PID controller (ablation extension).
+
+use leakctl_units::{Celsius, Rpm, SimDuration};
+
+use crate::ratelimit::RateLimiter;
+use crate::traits::{ControlInputs, FanController};
+
+/// A classic PID controller regulating the hottest CPU temperature to a
+/// setpoint by modulating fan speed.
+///
+/// Not part of the paper's evaluation — included as an ablation point
+/// between the reactive bang-bang and the proactive LUT: like bang-bang
+/// it only sees temperature; unlike it, the response is proportional.
+/// Output is quantized to 100 RPM and changes are rate-limited to one
+/// per minute (as for the LUT controller), so sensor noise walking the
+/// integrator across quantization boundaries does not produce a stream
+/// of micro-adjustments.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::{ControlInputs, FanController, PidController};
+/// use leakctl_units::{Celsius, SimInstant, Utilization};
+///
+/// let mut ctl = PidController::paper_tuned();
+/// let hot = ControlInputs {
+///     now: SimInstant::ZERO,
+///     utilization: Utilization::FULL,
+///     max_cpu_temp: Some(Celsius::new(85.0)),
+/// };
+/// let cmd = ctl.decide(&hot).expect("hot die demands a speed change");
+/// assert!(cmd.value() > 3000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidController {
+    setpoint: Celsius,
+    kp: f64, // RPM per °C
+    ki: f64, // RPM per (°C·s)
+    kd: f64, // RPM per (°C/s)
+    min_rpm: Rpm,
+    max_rpm: Rpm,
+    base_rpm: Rpm,
+    quantum: f64,
+    integral: f64,
+    prev_error: Option<f64>,
+    current: Option<Rpm>,
+    limiter: RateLimiter,
+}
+
+impl PidController {
+    /// Creates a PID controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive gains quantum or an inverted RPM range.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        setpoint: Celsius,
+        kp: f64,
+        ki: f64,
+        kd: f64,
+        min_rpm: Rpm,
+        max_rpm: Rpm,
+        base_rpm: Rpm,
+        quantum: f64,
+    ) -> Self {
+        assert!(kp >= 0.0 && ki >= 0.0 && kd >= 0.0, "gains must be >= 0");
+        assert!(min_rpm < max_rpm, "min_rpm must be below max_rpm");
+        assert!(quantum > 0.0, "quantum must be positive");
+        Self {
+            setpoint,
+            kp,
+            ki,
+            kd,
+            min_rpm,
+            max_rpm,
+            base_rpm,
+            quantum,
+            integral: 0.0,
+            prev_error: None,
+            current: None,
+            limiter: RateLimiter::new(SimDuration::from_mins(1)),
+        }
+    }
+
+    /// Gains tuned for the calibrated twin: setpoint 70 °C, mostly
+    /// proportional with gentle integral action.
+    #[must_use]
+    pub fn paper_tuned() -> Self {
+        Self::new(
+            Celsius::new(70.0),
+            120.0,
+            0.6,
+            0.0,
+            Rpm::new(1800.0),
+            Rpm::new(4200.0),
+            Rpm::new(2400.0),
+            100.0,
+        )
+    }
+
+    /// The temperature setpoint.
+    #[must_use]
+    pub fn setpoint(&self) -> Celsius {
+        self.setpoint
+    }
+}
+
+impl FanController for PidController {
+    fn name(&self) -> &str {
+        "PID"
+    }
+
+    fn poll_period(&self) -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+
+    fn decide(&mut self, inputs: &ControlInputs) -> Option<Rpm> {
+        let t = inputs.max_cpu_temp?;
+        let dt = self.poll_period().as_secs_f64();
+        let error = t.degrees() - self.setpoint.degrees();
+        self.integral = (self.integral + error * dt).clamp(-2_000.0, 2_000.0);
+        let derivative = self
+            .prev_error
+            .map_or(0.0, |prev| (error - prev) / dt);
+        self.prev_error = Some(error);
+
+        let raw = self.base_rpm.value()
+            + self.kp * error
+            + self.ki * self.integral
+            + self.kd * derivative;
+        let clamped = raw.clamp(self.min_rpm.value(), self.max_rpm.value());
+        let quantized = Rpm::new((clamped / self.quantum).round() * self.quantum);
+        if Some(quantized) == self.current {
+            return None;
+        }
+        if !self.limiter.allows(inputs.now) {
+            return None;
+        }
+        self.limiter.record(inputs.now);
+        self.current = Some(quantized);
+        Some(quantized)
+    }
+
+    fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+        self.current = None;
+        self.limiter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::{SimInstant, Utilization};
+
+    fn inputs(temp: f64) -> ControlInputs {
+        inputs_at(0, temp)
+    }
+
+    fn inputs_at(secs: u64, temp: f64) -> ControlInputs {
+        ControlInputs {
+            now: SimInstant::from_millis(secs * 1_000),
+            utilization: Utilization::FULL,
+            max_cpu_temp: Some(Celsius::new(temp)),
+        }
+    }
+
+    #[test]
+    fn hotter_means_faster() {
+        let mut a = PidController::paper_tuned();
+        let mut b = PidController::paper_tuned();
+        let cool = a.decide(&inputs(60.0)).unwrap();
+        let hot = b.decide(&inputs(85.0)).unwrap();
+        assert!(hot > cool, "hot {hot} vs cool {cool}");
+    }
+
+    #[test]
+    fn output_clamped_and_quantized() {
+        let mut ctl = PidController::paper_tuned();
+        let cmd = ctl.decide(&inputs(120.0)).unwrap();
+        assert_eq!(cmd, Rpm::new(4200.0));
+        let mut ctl = PidController::paper_tuned();
+        let cmd = ctl.decide(&inputs(10.0)).unwrap();
+        assert_eq!(cmd, Rpm::new(1800.0));
+        let mut ctl = PidController::paper_tuned();
+        let cmd = ctl.decide(&inputs(71.3)).unwrap();
+        assert!((cmd.value() % 100.0).abs() < 1e-9, "quantized to 100 RPM");
+    }
+
+    #[test]
+    fn stable_reading_emits_once() {
+        let mut ctl = PidController::paper_tuned();
+        let first = ctl.decide(&inputs(70.0));
+        assert!(first.is_some());
+        // Same temperature at setpoint: integral barely moves, quantized
+        // output stays put.
+        assert_eq!(ctl.decide(&inputs(70.0)), None);
+    }
+
+    #[test]
+    fn integral_windup_bounded() {
+        let mut ctl = PidController::paper_tuned();
+        let mut t = 0u64;
+        for _ in 0..10_000 {
+            let _ = ctl.decide(&inputs_at(t, 90.0));
+            t += 10;
+        }
+        // After a long saturation stretch, a cold reading must still
+        // bring the command down within a bounded number of polls.
+        let mut cmd = Rpm::new(4200.0);
+        for _ in 0..200 {
+            if let Some(c) = ctl.decide(&inputs_at(t, 40.0)) {
+                cmd = c;
+            }
+            t += 10;
+        }
+        assert!(cmd < Rpm::new(2500.0), "recovered to {cmd}");
+    }
+
+    #[test]
+    fn rate_limit_spaces_commands() {
+        let mut ctl = PidController::paper_tuned();
+        let mut changes: Vec<u64> = Vec::new();
+        // Noisy readings around the setpoint every 10 s for 30 minutes.
+        for k in 0..180u64 {
+            let noise = if k % 2 == 0 { 1.5 } else { -1.5 };
+            if ctl.decide(&inputs_at(k * 10, 70.0 + noise)).is_some() {
+                changes.push(k * 10);
+            }
+        }
+        for pair in changes.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= 60,
+                "commands at {}s and {}s violate the 1-minute limit",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn missing_temperature_no_action() {
+        let mut ctl = PidController::paper_tuned();
+        let no_temp = ControlInputs {
+            now: SimInstant::ZERO,
+            utilization: Utilization::FULL,
+            max_cpu_temp: None,
+        };
+        assert_eq!(ctl.decide(&no_temp), None);
+    }
+
+    #[test]
+    fn reset_clears_integrator() {
+        let mut ctl = PidController::paper_tuned();
+        for _ in 0..100 {
+            let _ = ctl.decide(&inputs(90.0));
+        }
+        ctl.reset();
+        let mut fresh = PidController::paper_tuned();
+        assert_eq!(ctl.decide(&inputs(70.0)), fresh.decide(&inputs(70.0)));
+        assert_eq!(ctl.setpoint(), Celsius::new(70.0));
+        assert_eq!(ctl.name(), "PID");
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimum-interval rate limiting for actuator commands.
+
+use leakctl_units::{SimDuration, SimInstant};
+
+/// Enforces a minimum interval between actuator changes.
+///
+/// The paper: "we do not allow RPM changes for 1 minute after each RPM
+/// update … a tradeoff between the maximum number of fan changes …
+/// and the maximum temperature overshoot we want to tolerate."
+///
+/// # Example
+///
+/// ```
+/// use leakctl_control::RateLimiter;
+/// use leakctl_units::{SimDuration, SimInstant};
+///
+/// let mut rl = RateLimiter::new(SimDuration::from_mins(1));
+/// let t0 = SimInstant::ZERO;
+/// assert!(rl.allows(t0));
+/// rl.record(t0);
+/// assert!(!rl.allows(t0 + SimDuration::from_secs(30)));
+/// assert!(rl.allows(t0 + SimDuration::from_secs(60)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimiter {
+    min_interval: SimDuration,
+    last: Option<SimInstant>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter with the given minimum interval between
+    /// recorded changes.
+    #[must_use]
+    pub fn new(min_interval: SimDuration) -> Self {
+        Self {
+            min_interval,
+            last: None,
+        }
+    }
+
+    /// `true` when a change at `now` is permitted.
+    #[must_use]
+    pub fn allows(&self, now: SimInstant) -> bool {
+        match self.last {
+            None => true,
+            Some(last) => now.since(last) >= self.min_interval,
+        }
+    }
+
+    /// Records that a change happened at `now`.
+    pub fn record(&mut self, now: SimInstant) {
+        self.last = Some(now);
+    }
+
+    /// Forgets history (fresh run).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+
+    /// The configured minimum interval.
+    #[must_use]
+    pub fn min_interval(&self) -> SimDuration {
+        self.min_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::from_millis(s * 1_000)
+    }
+
+    #[test]
+    fn first_change_always_allowed() {
+        let rl = RateLimiter::new(SimDuration::from_mins(1));
+        assert!(rl.allows(at(0)));
+        assert_eq!(rl.min_interval(), SimDuration::from_mins(1));
+    }
+
+    #[test]
+    fn blocks_within_interval_exactly() {
+        let mut rl = RateLimiter::new(SimDuration::from_secs(60));
+        rl.record(at(100));
+        assert!(!rl.allows(at(100)));
+        assert!(!rl.allows(at(159)));
+        assert!(rl.allows(at(160)), "boundary is inclusive");
+        // Times before the recorded change are also blocked (saturating).
+        assert!(!rl.allows(at(50)));
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut rl = RateLimiter::new(SimDuration::from_secs(60));
+        rl.record(at(0));
+        assert!(!rl.allows(at(1)));
+        rl.reset();
+        assert!(rl.allows(at(1)));
+    }
+
+    #[test]
+    fn zero_interval_never_blocks() {
+        let mut rl = RateLimiter::new(SimDuration::ZERO);
+        rl.record(at(5));
+        assert!(rl.allows(at(5)));
+    }
+}

@@ -1,0 +1,72 @@
+//! The controller interface.
+
+use leakctl_units::{Celsius, Rpm, SimDuration, SimInstant, Utilization};
+
+/// Everything a controller may observe at a decision instant — the
+/// information the paper's DLC-PC has: `sar`-style utilization (polled
+/// every second) and the latest CSTH temperature sample (10-second
+/// cadence). Ground-truth simulator state is deliberately absent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlInputs {
+    /// Current instant.
+    pub now: SimInstant,
+    /// Utilization reported by the OS counters over the last poll
+    /// window.
+    pub utilization: Utilization,
+    /// Hottest CPU temperature in the most recent CSTH sample, if any
+    /// sample exists yet.
+    pub max_cpu_temp: Option<Celsius>,
+}
+
+/// A fan-speed control policy.
+///
+/// Implementations are polled by the experiment runner every
+/// [`FanController::poll_period`]; returning `Some(rpm)` requests a new
+/// fan speed (the platform clamps it to the supported range), `None`
+/// leaves the fans alone.
+pub trait FanController {
+    /// Short name used in tables and traces (e.g. `"LUT"`).
+    fn name(&self) -> &str;
+
+    /// How often the controller wants to be consulted.
+    fn poll_period(&self) -> SimDuration;
+
+    /// Makes a control decision.
+    fn decide(&mut self, inputs: &ControlInputs) -> Option<Rpm>;
+
+    /// Resets internal state (rate limiters, integrators) for a fresh
+    /// run.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait stays object-safe — runners hold `Box<dyn FanController>`.
+    #[test]
+    fn object_safety() {
+        struct Noop;
+        impl FanController for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn poll_period(&self) -> SimDuration {
+                SimDuration::from_secs(1)
+            }
+            fn decide(&mut self, _inputs: &ControlInputs) -> Option<Rpm> {
+                None
+            }
+            fn reset(&mut self) {}
+        }
+        let mut boxed: Box<dyn FanController> = Box::new(Noop);
+        let inputs = ControlInputs {
+            now: SimInstant::ZERO,
+            utilization: Utilization::IDLE,
+            max_cpu_temp: None,
+        };
+        assert_eq!(boxed.decide(&inputs), None);
+        assert_eq!(boxed.name(), "noop");
+        boxed.reset();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the controllers.
+
+use leakctl_control::{
+    BangBangController, ControlInputs, FanController, LookupTable, LutController, PidController,
+    RateLimiter,
+};
+use leakctl_units::{Celsius, Rpm, SimDuration, SimInstant, Utilization};
+use proptest::prelude::*;
+
+fn inputs(at_secs: u64, util: f64, temp: Option<f64>) -> ControlInputs {
+    ControlInputs {
+        now: SimInstant::from_millis(at_secs * 1_000),
+        utilization: Utilization::saturating_from_fraction(util),
+        max_cpu_temp: temp.map(Celsius::new),
+    }
+}
+
+/// Strategy: a valid LUT with ascending breakpoints ending at 100 %.
+fn lut_strategy() -> impl Strategy<Value = LookupTable> {
+    prop::collection::vec((0.01..0.99f64, 1800.0..4200.0f64), 0..5).prop_map(|mut mids| {
+        mids.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        mids.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
+        let mut entries: Vec<(Utilization, Rpm)> = mids
+            .into_iter()
+            .map(|(u, r)| {
+                (
+                    Utilization::from_fraction(u).expect("valid"),
+                    Rpm::new(r.round()),
+                )
+            })
+            .collect();
+        entries.push((Utilization::FULL, Rpm::new(2400.0)));
+        LookupTable::new(entries).expect("constructed valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LUT lookup always returns one of the table's own speeds.
+    #[test]
+    fn lut_lookup_closed_over_entries(table in lut_strategy(), u in 0.0..=1.0f64) {
+        let speed = table.lookup(Utilization::saturating_from_fraction(u));
+        prop_assert!(table.entries().iter().any(|(_, rpm)| *rpm == speed));
+    }
+
+    /// The LUT controller never issues two commands within the lockout.
+    #[test]
+    fn lut_controller_respects_lockout(
+        table in lut_strategy(),
+        utils in prop::collection::vec(0.0..=1.0f64, 10..200),
+        lockout_secs in 10u64..180,
+    ) {
+        let mut ctl = LutController::new(table, SimDuration::from_secs(lockout_secs));
+        let mut last_change: Option<u64> = None;
+        for (sec, u) in utils.iter().enumerate() {
+            let sec = sec as u64;
+            if ctl.decide(&inputs(sec, *u, None)).is_some() {
+                if let Some(prev) = last_change {
+                    prop_assert!(
+                        sec - prev >= lockout_secs,
+                        "changes at {prev}s and {sec}s violate the {lockout_secs}s lockout"
+                    );
+                }
+                last_change = Some(sec);
+            }
+        }
+    }
+
+    /// Bang-bang output always stays within [1800, 4200] RPM no matter
+    /// the temperature sequence.
+    #[test]
+    fn bangbang_output_within_limits(
+        temps in prop::collection::vec(20.0..110.0f64, 1..100),
+    ) {
+        let mut ctl = BangBangController::paper_default();
+        for (i, t) in temps.iter().enumerate() {
+            if let Some(rpm) = ctl.decide(&inputs(i as u64 * 10, 0.5, Some(*t))) {
+                prop_assert!(rpm >= Rpm::new(1800.0) && rpm <= Rpm::new(4200.0));
+            }
+        }
+    }
+
+    /// Bang-bang never acts inside its comfort band.
+    #[test]
+    fn bangbang_silent_in_band(t in 65.0..=75.0f64) {
+        let mut ctl = BangBangController::paper_default();
+        prop_assert_eq!(ctl.decide(&inputs(0, 0.5, Some(t))), None);
+    }
+
+    /// PID output is clamped and quantized for any temperature.
+    #[test]
+    fn pid_output_clamped_and_quantized(
+        temps in prop::collection::vec(0.0..150.0f64, 1..50),
+    ) {
+        let mut ctl = PidController::paper_tuned();
+        for (i, t) in temps.iter().enumerate() {
+            if let Some(rpm) = ctl.decide(&inputs(i as u64 * 10, 0.5, Some(*t))) {
+                prop_assert!(rpm >= Rpm::new(1800.0) && rpm <= Rpm::new(4200.0));
+                prop_assert!((rpm.value() % 100.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Rate limiter: after `record`, `allows` is false strictly inside
+    /// the interval and true at/after its end.
+    #[test]
+    fn rate_limiter_boundary(interval_ms in 1u64..600_000, offset_ms in 0u64..1_200_000) {
+        let mut rl = RateLimiter::new(SimDuration::from_millis(interval_ms));
+        let start = SimInstant::from_millis(1_000_000);
+        rl.record(start);
+        let probe = start + SimDuration::from_millis(offset_ms);
+        prop_assert_eq!(rl.allows(probe), offset_ms >= interval_ms);
+    }
+}

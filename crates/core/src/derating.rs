@@ -1,0 +1,173 @@
+//! Ambient and altitude derating analysis — the extension the paper's
+//! discussion motivates: "setting a high minimum RPM is common in
+//! commercial servers to ensure reliable operation under a wider range
+//! of ambient and altitude settings". This module quantifies exactly
+//! when a LUT built at 24 °C sea level stops being safe, and what fan
+//! speed would be required instead.
+
+use leakctl_control::LookupTable;
+use leakctl_platform::{Server, ServerConfig};
+use leakctl_units::{Celsius, Rpm, Utilization};
+
+use crate::error::CoreError;
+
+/// Air-density ratio versus sea level at the given altitude, using the
+/// standard 8 400 m scale height.
+#[must_use]
+pub fn air_density_ratio(altitude_m: f64) -> f64 {
+    (-altitude_m.max(0.0) / 8_400.0).exp()
+}
+
+/// One row of a derating sweep.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeratingPoint {
+    /// Inlet ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Altitude, metres.
+    pub altitude_m: f64,
+    /// The LUT's full-load fan speed.
+    pub lut_rpm: Rpm,
+    /// Predicted steady hottest-die temperature at 100 % load under the
+    /// LUT's full-load speed.
+    pub lut_max_temp: Celsius,
+    /// Whether the LUT stays within the 75 °C operational target.
+    pub lut_safe: bool,
+    /// The slowest candidate speed that satisfies the target at this
+    /// point (`None` when even maximum cooling cannot).
+    pub required_rpm: Option<Rpm>,
+}
+
+/// Sweeps ambient temperature (and optionally altitude) at 100 % load,
+/// asking at each point whether the sea-level LUT still honours the
+/// paper's 75 °C operational target and which speed would.
+///
+/// Candidate speeds are the paper's characterization set
+/// (1800–4200 RPM in 600 RPM steps).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] for an empty sweep and propagates
+/// platform failures.
+pub fn derating_sweep(
+    base: &ServerConfig,
+    lut: &LookupTable,
+    points: &[(f64, f64)], // (ambient °C, altitude m)
+    seed: u64,
+) -> Result<Vec<DeratingPoint>, CoreError> {
+    if points.is_empty() {
+        return Err(CoreError::Invalid {
+            what: "derating sweep needs at least one (ambient, altitude) point".to_owned(),
+        });
+    }
+    let t_cap = Celsius::new(crate::paper::TARGET_MAX_TEMP_C);
+    let candidates: Vec<Rpm> = (0..=4).map(|i| Rpm::new(1800.0 + 600.0 * f64::from(i))).collect();
+    let lut_rpm = lut.lookup(Utilization::FULL);
+
+    let mut out = Vec::with_capacity(points.len());
+    for &(ambient_c, altitude_m) in points {
+        let mut config = base.clone();
+        config.ambient = Celsius::new(ambient_c);
+        config.fans = config.fans.derate_flow(air_density_ratio(altitude_m));
+        let server = Server::new(config, seed)?;
+
+        // Thermal runaway (the leakage fixed point diverging) counts as
+        // "infinitely hot" rather than an error: it is the strongest
+        // possible way for an operating point to be unsafe.
+        let max_at = |rpm: Rpm| -> Result<Celsius, CoreError> {
+            use leakctl_platform::PlatformError;
+            use leakctl_thermal::ThermalError;
+            match server.steady_state_preview(Utilization::FULL, rpm) {
+                Ok((temps, _)) => Ok(temps
+                    .into_iter()
+                    .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)),
+                Err(PlatformError::Thermal(ThermalError::Diverged { .. })) => {
+                    Ok(Celsius::new(f64::INFINITY))
+                }
+                Err(e) => Err(e.into()),
+            }
+        };
+
+        let lut_max_temp = max_at(lut_rpm)?;
+        let mut required = None;
+        for &rpm in &candidates {
+            if max_at(rpm)? <= t_cap {
+                required = Some(rpm);
+                break;
+            }
+        }
+        out.push(DeratingPoint {
+            ambient_c,
+            altitude_m,
+            lut_rpm,
+            lut_max_temp,
+            lut_safe: lut_max_temp <= t_cap,
+            required_rpm: required,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_control::LookupTable;
+
+    fn lut_2400() -> LookupTable {
+        LookupTable::new(vec![(Utilization::FULL, Rpm::new(2400.0))]).expect("valid")
+    }
+
+    #[test]
+    fn density_ratio_physical() {
+        assert!((air_density_ratio(0.0) - 1.0).abs() < 1e-12);
+        let high = air_density_ratio(3_000.0);
+        assert!((0.6..0.8).contains(&high), "3 km ratio {high}");
+        assert!(air_density_ratio(-100.0) <= 1.0, "negative altitude clamps");
+    }
+
+    #[test]
+    fn hotter_ambient_needs_faster_fans() {
+        let sweep = derating_sweep(
+            &ServerConfig::default(),
+            &lut_2400(),
+            &[(24.0, 0.0), (32.0, 0.0), (40.0, 0.0)],
+            1,
+        )
+        .unwrap();
+        // Monotone die temperature in ambient.
+        assert!(sweep[1].lut_max_temp > sweep[0].lut_max_temp);
+        assert!(sweep[2].lut_max_temp > sweep[1].lut_max_temp);
+        // The sea-level 24 °C point is safe with the paper's optimum.
+        assert!(sweep[0].lut_safe);
+        assert_eq!(sweep[0].required_rpm, Some(Rpm::new(2400.0)));
+        // At 40 °C ambient the 2400 RPM table is no longer safe, but
+        // some faster speed still is.
+        assert!(!sweep[2].lut_safe, "2400 RPM at 40 °C should violate 75 °C");
+        let req = sweep[2].required_rpm.expect("faster speed suffices");
+        assert!(req > Rpm::new(2400.0));
+    }
+
+    #[test]
+    fn altitude_degrades_cooling() {
+        let sweep = derating_sweep(
+            &ServerConfig::default(),
+            &lut_2400(),
+            &[(24.0, 0.0), (24.0, 3_000.0)],
+            1,
+        )
+        .unwrap();
+        assert!(
+            sweep[1].lut_max_temp > sweep[0].lut_max_temp,
+            "thin air must run hotter: {:?} vs {:?}",
+            sweep[1].lut_max_temp,
+            sweep[0].lut_max_temp
+        );
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        assert!(matches!(
+            derating_sweep(&ServerConfig::default(), &lut_2400(), &[], 1),
+            Err(CoreError::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Core pipeline error type.
+
+use core::fmt;
+
+use leakctl_control::LutBuildError;
+use leakctl_platform::PlatformError;
+use leakctl_power::fit::FitError;
+use leakctl_workload::ProfileError;
+
+/// Errors produced by the characterization / fitting / evaluation
+/// pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The digital twin failed.
+    Platform(PlatformError),
+    /// Model fitting failed.
+    Fit(FitError),
+    /// LUT generation failed.
+    LutBuild(LutBuildError),
+    /// A workload profile was invalid.
+    Profile(ProfileError),
+    /// The pipeline was driven with inconsistent inputs.
+    Invalid {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Platform(e) => write!(f, "platform: {e}"),
+            Self::Fit(e) => write!(f, "fitting: {e}"),
+            Self::LutBuild(e) => write!(f, "LUT build: {e}"),
+            Self::Profile(e) => write!(f, "profile: {e}"),
+            Self::Invalid { what } => write!(f, "invalid pipeline input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Platform(e) => Some(e),
+            Self::Fit(e) => Some(e),
+            Self::LutBuild(e) => Some(e),
+            Self::Profile(e) => Some(e),
+            Self::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<PlatformError> for CoreError {
+    fn from(e: PlatformError) -> Self {
+        Self::Platform(e)
+    }
+}
+
+impl From<FitError> for CoreError {
+    fn from(e: FitError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+impl From<LutBuildError> for CoreError {
+    fn from(e: LutBuildError) -> Self {
+        Self::LutBuild(e)
+    }
+}
+
+impl From<ProfileError> for CoreError {
+    fn from(e: ProfileError) -> Self {
+        Self::Profile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Invalid {
+            what: "bad input".into(),
+        };
+        assert!(e.to_string().contains("bad input"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: CoreError = FitError::Degenerate.into();
+        assert!(e.to_string().contains("fitting"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,430 @@
+//! Figure reproductions: the data series behind Figs. 1(a), 1(b),
+//! 2(a), 2(b) and 3.
+
+use leakctl_control::{
+    BangBangController, FanController, FixedSpeedController, LookupTable, LutController,
+};
+use leakctl_units::{Rpm, SimDuration, Utilization};
+use leakctl_workload::{suite, Profile};
+
+use crate::characterize::CharacterizationData;
+use crate::error::CoreError;
+use crate::experiment::{run_experiment, RunOptions};
+use crate::fitting::FittedModels;
+
+/// A labeled temperature-versus-time series.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TempSeries {
+    /// Legend label (e.g. `"1800 RPM"` or `"LUT"`).
+    pub label: String,
+    /// `(minutes, °C)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Data behind Fig. 1(a)/(b): processor temperature transients.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Data {
+    /// Figure title.
+    pub title: String,
+    /// One series per fan speed (1a) or utilization level (1b).
+    pub series: Vec<TempSeries>,
+}
+
+impl Fig1Data {
+    /// Serializes all series to long-format CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,minutes,temp_c\n");
+        for s in &self.series {
+            for (m, t) in &s.points {
+                out.push_str(&format!("{},{m:.3},{t:.3}\n", s.label));
+            }
+        }
+        out
+    }
+}
+
+/// One operating point of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Point {
+    /// Utilization, percent.
+    pub util_pct: f64,
+    /// Fan speed at this point, RPM.
+    pub rpm: f64,
+    /// Average measured CPU temperature, °C.
+    pub temp_c: f64,
+    /// Measured fan power, W.
+    pub fan_w: f64,
+    /// Leakage estimated from measurements (system power minus the
+    /// fitted base and active components), W.
+    pub leak_measured_w: f64,
+    /// Leakage predicted by the fitted `k2·e^(k3·T)` curve, W.
+    pub leak_fitted_w: f64,
+    /// Ground-truth leakage from the twin, W (validation only).
+    pub leak_true_w: f64,
+}
+
+impl Fig2Point {
+    /// The controllable cost `P_fan + P_leak(fitted)` the LUT minimizes.
+    #[must_use]
+    pub fn fan_plus_leak(&self) -> f64 {
+        self.fan_w + self.leak_fitted_w
+    }
+}
+
+/// Data behind Fig. 2(a)/(b): leakage/fan power versus temperature.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Data {
+    /// Figure title.
+    pub title: String,
+    /// Points grouped by utilization level (one group for 2a; six for
+    /// 2b), each ascending in temperature.
+    pub groups: Vec<(String, Vec<Fig2Point>)>,
+}
+
+impl Fig2Data {
+    /// Serializes to CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "group,util_pct,rpm,temp_c,fan_w,leak_measured_w,leak_fitted_w,leak_true_w,fan_plus_leak_w\n",
+        );
+        for (label, points) in &self.groups {
+            for p in points {
+                out.push_str(&format!(
+                    "{label},{:.1},{:.0},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                    p.util_pct,
+                    p.rpm,
+                    p.temp_c,
+                    p.fan_w,
+                    p.leak_measured_w,
+                    p.leak_fitted_w,
+                    p.leak_true_w,
+                    p.fan_plus_leak()
+                ));
+            }
+        }
+        out
+    }
+
+    /// The temperature at which `P_fan + P_leak` is minimal within a
+    /// group (the paper reports ≈70 °C for 100 % utilization).
+    #[must_use]
+    pub fn optimum_of(&self, group: &str) -> Option<Fig2Point> {
+        let (_, points) = self.groups.iter().find(|(l, _)| l == group)?;
+        points
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                a.fan_plus_leak()
+                    .partial_cmp(&b.fan_plus_leak())
+                    .expect("finite costs")
+            })
+    }
+}
+
+/// Data behind Fig. 3: runtime temperature traces for the three
+/// controllers on Test-3, plus the fan-speed traces.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig3Data {
+    /// Measured CPU temperature traces, one per controller.
+    pub temperature: Vec<TempSeries>,
+    /// Fan-speed traces `(minutes, RPM)`, one per controller.
+    pub fan_speed: Vec<TempSeries>,
+}
+
+impl Fig3Data {
+    /// Serializes the temperature traces to CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("controller,minutes,temp_c,rpm\n");
+        for (ts, rs) in self.temperature.iter().zip(&self.fan_speed) {
+            for ((m, t), (_, r)) in ts.points.iter().zip(&rs.points) {
+                out.push_str(&format!("{},{m:.3},{t:.3},{r:.0}\n", ts.label));
+            }
+        }
+        out
+    }
+}
+
+/// Reproduces **Fig. 1(a)**: CPU temperature under 100 % utilization for
+/// the five fan speeds (same protocol as the paper: fan speed set at
+/// `t = 0`, 5 idle minutes, 30-minute run, 10-minute cooldown).
+///
+/// # Errors
+///
+/// Propagates platform/run failures.
+pub fn fig1a(options: &RunOptions, seed: u64) -> Result<Fig1Data, CoreError> {
+    let mut series = Vec::new();
+    for rpm in crate::paper::FAN_SPEEDS_RPM {
+        let profile = Profile::constant(Utilization::FULL, SimDuration::from_mins(30))?;
+        let mut controller = FixedSpeedController::new(Rpm::new(rpm));
+        let outcome = run_experiment(options, profile, &mut controller, seed)?;
+        series.push(TempSeries {
+            label: format!("{rpm:.0} RPM"),
+            points: outcome
+                .samples
+                .iter()
+                .map(|s| (s.minutes, s.cpu_temp_measured))
+                .collect(),
+        });
+    }
+    Ok(Fig1Data {
+        title: "Average CPU0 temperature, 100% duty cycle, varying fan speed".to_owned(),
+        series,
+    })
+}
+
+/// Reproduces **Fig. 1(b)**: CPU temperature at 1800 RPM for
+/// utilization levels {25, 50, 75, 100} %.
+///
+/// # Errors
+///
+/// Propagates platform/run failures.
+pub fn fig1b(options: &RunOptions, seed: u64) -> Result<Fig1Data, CoreError> {
+    let mut series = Vec::new();
+    for pct in [25.0, 50.0, 75.0, 100.0] {
+        let level = Utilization::from_percent(pct).map_err(|e| CoreError::Invalid {
+            what: e.to_string(),
+        })?;
+        let profile = Profile::constant(level, SimDuration::from_mins(30))?;
+        let mut controller = FixedSpeedController::new(Rpm::new(1800.0));
+        let outcome = run_experiment(options, profile, &mut controller, seed)?;
+        series.push(TempSeries {
+            label: format!("{pct:.0}%"),
+            points: outcome
+                .samples
+                .iter()
+                .map(|s| (s.minutes, s.cpu_temp_measured))
+                .collect(),
+        });
+    }
+    Ok(Fig1Data {
+        title: "Average CPU0 temperature at 1800 RPM, varying utilization".to_owned(),
+        series,
+    })
+}
+
+/// Builds the Fig. 2 point set for one utilization level.
+fn fig2_points(
+    data: &CharacterizationData,
+    fitted: &FittedModels,
+    level: Utilization,
+) -> Vec<Fig2Point> {
+    let mut points: Vec<Fig2Point> = data
+        .at_utilization(level)
+        .into_iter()
+        .map(|p| {
+            let t = p.avg_cpu_temp.degrees();
+            Fig2Point {
+                util_pct: level.as_percent(),
+                rpm: p.rpm.value(),
+                temp_c: t,
+                fan_w: p.fan_power.value(),
+                leak_measured_w: p.system_power.value()
+                    - fitted.base
+                    - fitted.k1 * level.as_percent(),
+                leak_fitted_w: fitted.k2 * (fitted.k3 * t).exp(),
+                leak_true_w: p.true_leakage.value(),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| a.temp_c.partial_cmp(&b.temp_c).expect("finite temps"));
+    points
+}
+
+/// Reproduces **Fig. 2(a)**: leakage power and fan power versus average
+/// CPU temperature at 100 % utilization, from characterization data and
+/// the fitted model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when the dataset lacks a 100 %
+/// utilization sweep.
+pub fn fig2a(
+    data: &CharacterizationData,
+    fitted: &FittedModels,
+) -> Result<Fig2Data, CoreError> {
+    let points = fig2_points(data, fitted, Utilization::FULL);
+    if points.is_empty() {
+        return Err(CoreError::Invalid {
+            what: "characterization data has no 100% utilization points".to_owned(),
+        });
+    }
+    Ok(Fig2Data {
+        title: "Leakage and fan power vs avg CPU temperature, DC 100%".to_owned(),
+        groups: vec![("100%".to_owned(), points)],
+    })
+}
+
+/// Reproduces **Fig. 2(b)**: fan + leakage power versus temperature for
+/// every characterized utilization level at or above 25 % (the paper
+/// shows 25–100 %).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when no eligible levels exist.
+pub fn fig2b(
+    data: &CharacterizationData,
+    fitted: &FittedModels,
+) -> Result<Fig2Data, CoreError> {
+    let mut groups = Vec::new();
+    for level in data.utilization_axis() {
+        if level.as_percent() < 24.9 {
+            continue;
+        }
+        let points = fig2_points(data, fitted, level);
+        if !points.is_empty() {
+            groups.push((format!("{:.0}%", level.as_percent()), points));
+        }
+    }
+    if groups.is_empty() {
+        return Err(CoreError::Invalid {
+            what: "characterization data has no utilization levels ≥ 25%".to_owned(),
+        });
+    }
+    Ok(Fig2Data {
+        title: "Fan + leakage power vs avg CPU temperature, all duty cycles".to_owned(),
+        groups,
+    })
+}
+
+/// Reproduces **Fig. 3**: temperature (and fan-speed) traces of the
+/// three controllers over Test-3.
+///
+/// # Errors
+///
+/// Propagates platform/run failures.
+pub fn fig3(options: &RunOptions, lut: LookupTable, seed: u64) -> Result<Fig3Data, CoreError> {
+    let mut temperature = Vec::new();
+    let mut fan_speed = Vec::new();
+    let mut controllers: Vec<Box<dyn FanController>> = vec![
+        Box::new(FixedSpeedController::paper_default()),
+        Box::new(BangBangController::paper_default()),
+        Box::new(LutController::paper_default(lut)),
+    ];
+    for controller in &mut controllers {
+        let outcome = run_experiment(options, suite::test3(), controller.as_mut(), seed)?;
+        temperature.push(TempSeries {
+            label: outcome.controller.clone(),
+            points: outcome
+                .samples
+                .iter()
+                .map(|s| (s.minutes, s.cpu_temp_measured))
+                .collect(),
+        });
+        fan_speed.push(TempSeries {
+            label: outcome.controller.clone(),
+            points: outcome.samples.iter().map(|s| (s.minutes, s.rpm)).collect(),
+        });
+    }
+    Ok(Fig3Data {
+        temperature,
+        fan_speed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::CharacterizationPoint;
+    use leakctl_units::{Celsius, Watts};
+
+    fn synthetic_data() -> (CharacterizationData, FittedModels) {
+        let mut points = Vec::new();
+        for &u in &[25.0, 50.0, 60.0, 75.0, 90.0, 100.0] {
+            for &rpm in &[1800.0, 2400.0, 3000.0, 3600.0, 4200.0] {
+                let t = 26.0 + 0.38 * u + (4200.0 - rpm) * 0.0085;
+                points.push(CharacterizationPoint {
+                    utilization: Utilization::from_percent(u).unwrap(),
+                    rpm: Rpm::new(rpm),
+                    avg_cpu_temp: Celsius::new(t),
+                    max_cpu_temp: Celsius::new(t + 1.5),
+                    system_power: Watts::new(
+                        460.0 + 0.4452 * u + 0.3231 * (0.04749 * t).exp(),
+                    ),
+                    fan_power: Watts::new(33.0 * (rpm / 4200.0_f64).powi(3)),
+                    true_leakage: Watts::new(9.0 + 0.3231 * (0.04749 * t).exp()),
+                });
+            }
+        }
+        let data = CharacterizationData { points };
+        let fitted = crate::fitting::fit_models(&data).unwrap();
+        (data, fitted)
+    }
+
+    #[test]
+    fn fig2a_shows_convex_sum_with_interior_minimum() {
+        let (data, fitted) = synthetic_data();
+        let fig = fig2a(&data, &fitted).unwrap();
+        assert_eq!(fig.groups.len(), 1);
+        let pts = &fig.groups[0].1;
+        assert_eq!(pts.len(), 5);
+        // Temperatures ascend, fan power descends along temperature.
+        assert!(pts.windows(2).all(|w| w[1].temp_c > w[0].temp_c));
+        assert!(pts.windows(2).all(|w| w[1].fan_w < w[0].fan_w));
+        // Interior optimum.
+        let opt = fig.optimum_of("100%").unwrap();
+        let first = pts.first().unwrap().fan_plus_leak();
+        let last = pts.last().unwrap().fan_plus_leak();
+        assert!(opt.fan_plus_leak() < first && opt.fan_plus_leak() < last);
+        // CSV includes every point.
+        assert_eq!(fig.to_csv().lines().count(), 1 + 5);
+    }
+
+    #[test]
+    fn fig2b_has_groups_per_level() {
+        let (data, fitted) = synthetic_data();
+        let fig = fig2b(&data, &fitted).unwrap();
+        assert_eq!(fig.groups.len(), 6);
+        for (label, pts) in &fig.groups {
+            assert!(!pts.is_empty(), "{label} group empty");
+        }
+        assert!(fig.optimum_of("100%").is_some());
+        assert!(fig.optimum_of("nope").is_none());
+    }
+
+    #[test]
+    fn fig2_leak_measured_tracks_fitted_curve() {
+        let (data, fitted) = synthetic_data();
+        let fig = fig2a(&data, &fitted).unwrap();
+        for p in &fig.groups[0].1 {
+            assert!(
+                (p.leak_measured_w - p.leak_fitted_w).abs() < 1.0,
+                "measured {:.2} vs fitted {:.2}",
+                p.leak_measured_w,
+                p.leak_fitted_w
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_csv_format() {
+        let fig = Fig1Data {
+            title: "x".into(),
+            series: vec![TempSeries {
+                label: "1800 RPM".into(),
+                points: vec![(0.0, 40.0), (1.0, 45.0)],
+            }],
+        };
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("series,minutes,temp_c\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn fig3_csv_pairs_temp_and_rpm() {
+        let fig = Fig3Data {
+            temperature: vec![TempSeries {
+                label: "LUT".into(),
+                points: vec![(0.0, 50.0)],
+            }],
+            fan_speed: vec![TempSeries {
+                label: "LUT".into(),
+                points: vec![(0.0, 2400.0)],
+            }],
+        };
+        let csv = fig.to_csv();
+        assert!(csv.contains("LUT,0.000,50.000,2400"));
+    }
+}

@@ -1,0 +1,157 @@
+//! LUT generation from characterization + fitting — step V of the
+//! paper: "Based on the model fitting results we generate a Lookup
+//! Table that holds the optimum fan speed values for each utilization
+//! level."
+
+use leakctl_control::{build_lut_with_predictors, LookupTable, SteadyTempGrid};
+use leakctl_power::ServerPowerModel;
+use leakctl_units::{Celsius, Utilization};
+
+use crate::characterize::CharacterizationData;
+use crate::error::CoreError;
+use crate::fitting::FittedModels;
+
+/// The paper's utilization bins, as LUT breakpoints (each entry covers
+/// utilizations up to the breakpoint; the last reaches 100 %).
+///
+/// # Panics
+///
+/// Never — the levels are static and valid.
+#[must_use]
+pub fn default_utilization_bins() -> Vec<Utilization> {
+    [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0]
+        .iter()
+        .map(|&p| Utilization::from_percent(p).expect("static levels valid"))
+        .collect()
+}
+
+/// Builds the optimal-fan-speed table from measured characterization
+/// data and the fitted power model.
+///
+/// Two measured grids drive the optimization: the *average* CPU
+/// temperature feeds the leakage cost (energy scales with the time-
+/// average temperature) while the *hottest* sensor feeds the paper's
+/// 75 °C operational cap; the cost function is the fitted
+/// `P_leak(T) + P_fan(RPM)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] when the dataset does not form a full
+/// grid, and propagates LUT-construction failures.
+pub fn build_lut_from_characterization(
+    data: &CharacterizationData,
+    fitted: &FittedModels,
+) -> Result<LookupTable, CoreError> {
+    let utils = data.utilization_axis();
+    let rpms = data.rpm_axis();
+    let mut avg_temps = Vec::with_capacity(utils.len());
+    let mut max_temps = Vec::with_capacity(utils.len());
+    for &u in &utils {
+        let mut avg_row = Vec::with_capacity(rpms.len());
+        let mut max_row = Vec::with_capacity(rpms.len());
+        for &r in &rpms {
+            let point = data.point(u, r).ok_or_else(|| CoreError::Invalid {
+                what: format!(
+                    "characterization grid incomplete: missing ({:.0}%, {:.0} RPM)",
+                    u.as_percent(),
+                    r.value()
+                ),
+            })?;
+            avg_row.push(point.avg_cpu_temp);
+            max_row.push(point.max_cpu_temp);
+        }
+        avg_temps.push(avg_row);
+        max_temps.push(max_row);
+    }
+    let avg_grid = SteadyTempGrid::new(utils.clone(), rpms.clone(), avg_temps)?;
+    let cap_grid = SteadyTempGrid::new(utils.clone(), rpms.clone(), max_temps)?;
+
+    // Fitted analysis model: measured fan law is known from the fan
+    // characterization (the paper measured per-RPM fan power directly);
+    // active/leakage come from the fit.
+    let model = ServerPowerModel::paper_fit()
+        .with_active(fitted.active())
+        .with_leakage(fitted.leakage());
+
+    // Bins: the measured utilization levels, extended to 100 % if the
+    // sweep did not include it.
+    let mut bins = utils;
+    if !bins.last().copied().unwrap_or(Utilization::IDLE).is_full() {
+        bins.push(Utilization::FULL);
+    }
+
+    Ok(build_lut_with_predictors(
+        &model,
+        &|u, rpm| avg_grid.temp(u, rpm),
+        &|u, rpm| cap_grid.temp(u, rpm),
+        &rpms,
+        &bins,
+        Celsius::new(crate::paper::TARGET_MAX_TEMP_C),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::CharacterizationPoint;
+    use leakctl_units::{Rpm, Watts};
+
+    fn synthetic_data() -> CharacterizationData {
+        // Shapes taken from the calibrated twin: temperature falls with
+        // RPM, rises with load; fan power cubic.
+        let mut points = Vec::new();
+        for &u in &[25.0, 50.0, 75.0, 100.0] {
+            for &rpm in &[1800.0, 2400.0, 3000.0, 3600.0, 4200.0] {
+                let t = 26.0 + 0.38 * u + (4200.0 - rpm) * (0.008 + 0.00006 * u);
+                points.push(CharacterizationPoint {
+                    utilization: Utilization::from_percent(u).unwrap(),
+                    rpm: Rpm::new(rpm),
+                    avg_cpu_temp: Celsius::new(t - 1.0),
+                    max_cpu_temp: Celsius::new(t),
+                    system_power: Watts::new(460.0 + 0.4452 * u + 0.3231 * (0.04749 * t).exp()),
+                    fan_power: Watts::new(33.0 * (rpm / 4200.0_f64).powi(3)),
+                    true_leakage: Watts::new(9.0 + 0.3231 * (0.04749 * t).exp()),
+                });
+            }
+        }
+        CharacterizationData { points }
+    }
+
+    #[test]
+    fn pipeline_produces_sensible_lut() {
+        let data = synthetic_data();
+        let fitted = crate::fitting::fit_models(&data).unwrap();
+        let lut = build_lut_from_characterization(&data, &fitted).unwrap();
+
+        // Low load → slow fans; high load → interior optimum under the
+        // 75 °C cap (never the extremes).
+        let low = lut.lookup(Utilization::from_percent(20.0).unwrap());
+        let high = lut.lookup(Utilization::FULL);
+        assert!(low <= high, "low-load speed {low} above high-load {high}");
+        assert!(
+            high >= Rpm::new(2400.0) && high <= Rpm::new(3600.0),
+            "full-load optimum {high} should be interior"
+        );
+        // The cap holds: at the chosen full-load speed, predicted
+        // temperature is ≤ 75 °C by construction.
+    }
+
+    #[test]
+    fn incomplete_grid_rejected() {
+        let mut data = synthetic_data();
+        data.points.remove(3);
+        let fitted = crate::fitting::fit_models(&data).unwrap();
+        assert!(matches!(
+            build_lut_from_characterization(&data, &fitted),
+            Err(CoreError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn default_bins_end_at_full() {
+        let bins = default_utilization_bins();
+        assert_eq!(bins.len(), 8);
+        assert!(bins.last().unwrap().is_full());
+        assert!(bins.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,220 @@
+//! Plain-text rendering: ASCII tables and quick line charts for the
+//! reproduction binaries and examples.
+
+/// Renders an ASCII table with a header row.
+///
+/// Column widths adapt to the longest cell; all columns are left-
+/// aligned except those whose header ends with `)` or that look
+/// numeric, which are right-aligned.
+///
+/// # Example
+///
+/// ```
+/// use leakctl::report::ascii_table;
+///
+/// let out = ascii_table(
+///     &["Test", "Energy (kWh)"],
+///     &[vec!["Test-1".into(), "0.6695".into()]],
+/// );
+/// assert!(out.contains("Test-1"));
+/// assert!(out.contains('|'));
+/// ```
+#[must_use]
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let right_align: Vec<bool> = headers
+        .iter()
+        .map(|h| h.ends_with(')') || h.chars().any(|c| c.is_ascii_digit()))
+        .collect();
+
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    let emit_row = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for i in 0..cols {
+            let cell = cells.get(i).map_or("", String::as_str);
+            if right_align[i] {
+                out.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+
+    sep(&mut out);
+    emit_row(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+    );
+    sep(&mut out);
+    for row in rows {
+        emit_row(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// A labeled series for [`ascii_chart`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSeries {
+    /// Legend label; the first character is used as the plot glyph.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders labeled series as a fixed-size ASCII line chart — enough to
+/// eyeball the shape of Fig. 1/Fig. 3 reproductions in a terminal.
+///
+/// # Example
+///
+/// ```
+/// use leakctl::report::{ascii_chart, ChartSeries};
+///
+/// let s = ChartSeries {
+///     label: "A".into(),
+///     points: (0..50).map(|i| (f64::from(i), f64::from(i) * 0.5)).collect(),
+/// };
+/// let plot = ascii_chart(&[s], 40, 10);
+/// assert!(plot.contains('A'));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[ChartSeries], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for (x, y) in &s.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>8.1} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("         │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>8.1} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("         └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "          {x_min:<10.1}{:>width$.1}\n",
+        x_max,
+        width = width.saturating_sub(10)
+    ));
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        out.push_str(&format!("          {glyph} = {}\n", s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let out = ascii_table(
+            &["Name", "Value (W)"],
+            &[
+                vec!["alpha".into(), "1.5".into()],
+                vec!["beta".into(), "22.0".into()],
+            ],
+        );
+        assert!(out.contains("alpha"));
+        assert!(out.contains("22.0"));
+        assert!(out.contains("Value (W)"));
+        // Header + 2 rows + 3 separators = 6 lines.
+        assert_eq!(out.lines().count(), 6);
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let out = ascii_table(&["A", "B"], &[vec!["only".into()]]);
+        assert!(out.contains("only"));
+    }
+
+    #[test]
+    fn chart_renders_extremes() {
+        let s = ChartSeries {
+            label: "T".into(),
+            points: vec![(0.0, 40.0), (45.0, 86.0)],
+        };
+        let out = ascii_chart(&[s], 60, 12);
+        assert!(out.contains("86.0"));
+        assert!(out.contains("40.0"));
+        assert!(out.contains('T'));
+    }
+
+    #[test]
+    fn chart_empty_series_safe() {
+        assert_eq!(ascii_chart(&[], 40, 10), "(no data)\n");
+        let nan_series = ChartSeries {
+            label: "N".into(),
+            points: vec![(f64::NAN, f64::NAN)],
+        };
+        assert_eq!(ascii_chart(&[nan_series], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn chart_constant_series_safe() {
+        let s = ChartSeries {
+            label: "C".into(),
+            points: vec![(0.0, 5.0), (10.0, 5.0)],
+        };
+        let out = ascii_chart(&[s], 30, 8);
+        assert!(out.contains('C'));
+    }
+}

@@ -1,0 +1,262 @@
+//! Table I reproduction: the four test workloads × three controllers.
+
+use leakctl_control::{
+    BangBangController, FanController, FixedSpeedController, LookupTable, LutController,
+};
+use leakctl_units::{KilowattHours, Rpm, SimDuration, Watts};
+use leakctl_workload::suite;
+
+use crate::error::CoreError;
+use crate::experiment::{measure_idle_power, run_experiment, RunOptions};
+
+/// Options for [`generate_table1`].
+#[derive(Debug, Clone)]
+pub struct Table1Options {
+    /// Per-run protocol options.
+    pub run: RunOptions,
+    /// Seed for sensor noise and Test-4's queueing workload.
+    pub seed: u64,
+    /// The LUT to evaluate (from the characterization pipeline). When
+    /// absent, a table derived from the calibrated analysis model's
+    /// steady-state preview is used.
+    pub lut: LookupTable,
+}
+
+/// One row of the reproduced Table I.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Row {
+    /// Test name (`Test-1` … `Test-4`).
+    pub test: String,
+    /// Control scheme (`Default`, `Bang`, `LUT`).
+    pub scheme: String,
+    /// Total energy over the 80-minute run.
+    pub energy: KilowattHours,
+    /// Net savings vs. the Default scheme (idle energy subtracted);
+    /// `None` for the baseline rows.
+    pub net_savings_pct: Option<f64>,
+    /// Peak total power.
+    pub peak_power: Watts,
+    /// Hottest measured CPU temperature, °C.
+    pub max_temp_c: f64,
+    /// Fan speed changes during the run.
+    pub fan_changes: u64,
+    /// Time-averaged fan speed.
+    pub avg_rpm: Rpm,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1 {
+    /// All rows, test-major, Default → Bang → LUT within each test.
+    pub rows: Vec<Table1Row>,
+    /// The idle-power reference used for net-savings accounting.
+    pub idle_power: Watts,
+}
+
+impl Table1 {
+    /// Renders the table as ASCII, mirroring the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.test.clone(),
+                    r.scheme.clone(),
+                    format!("{:.4}", r.energy.value()),
+                    r.net_savings_pct
+                        .map_or_else(|| "--".to_owned(), |s| format!("{s:.1}%")),
+                    format!("{:.0}", r.peak_power.value()),
+                    format!("{:.0}", r.max_temp_c),
+                    format!("{}", r.fan_changes),
+                    format!("{:.0}", r.avg_rpm.value()),
+                ]
+            })
+            .collect();
+        let mut out = crate::report::ascii_table(
+            &[
+                "Test",
+                "Scheme",
+                "Energy (kWh)",
+                "Net Savings",
+                "Peak Pwr (W)",
+                "Max Temp (C)",
+                "#fan change",
+                "Avg RPM",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "idle reference: {:.0} W (subtracted for net savings)\n",
+            self.idle_power.value()
+        ));
+        out
+    }
+
+    /// Serializes the table to CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "test,scheme,energy_kwh,net_savings_pct,peak_power_w,max_temp_c,fan_changes,avg_rpm\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.4},{},{:.0},{:.1},{},{:.0}\n",
+                r.test,
+                r.scheme,
+                r.energy.value(),
+                r.net_savings_pct
+                    .map_or_else(|| "".to_owned(), |s| format!("{s:.2}")),
+                r.peak_power.value(),
+                r.max_temp_c,
+                r.fan_changes,
+                r.avg_rpm.value(),
+            ));
+        }
+        out
+    }
+
+    /// The row for a given test and scheme.
+    #[must_use]
+    pub fn row(&self, test: &str, scheme: &str) -> Option<&Table1Row> {
+        self.rows
+            .iter()
+            .find(|r| r.test == test && r.scheme == scheme)
+    }
+}
+
+/// Reproduces Table I: runs `{Default, Bang, LUT} × {Test-1 … Test-4}`
+/// under the paper's protocol and computes net savings against the
+/// Default rows with the idle energy subtracted.
+///
+/// # Errors
+///
+/// Propagates platform/run failures.
+pub fn generate_table1(options: &Table1Options) -> Result<Table1, CoreError> {
+    let idle_power = measure_idle_power(&options.run.config, options.seed)?;
+    let mut rows = Vec::with_capacity(12);
+
+    for (test_name, profile) in suite::all(options.seed) {
+        let mut controllers: Vec<Box<dyn FanController>> = vec![
+            Box::new(FixedSpeedController::paper_default()),
+            Box::new(BangBangController::paper_default()),
+            Box::new(LutController::paper_default(options.lut.clone())),
+        ];
+        let mut test_rows = Vec::with_capacity(3);
+        for controller in &mut controllers {
+            let outcome = run_experiment(
+                &options.run,
+                profile.clone(),
+                controller.as_mut(),
+                options.seed,
+            )?;
+            let m = outcome.metrics;
+            test_rows.push(Table1Row {
+                test: test_name.to_owned(),
+                scheme: outcome.controller,
+                energy: m.total_energy.as_kwh(),
+                net_savings_pct: None,
+                peak_power: m.peak_power,
+                max_temp_c: m.max_temp.degrees(),
+                fan_changes: m.fan_changes,
+                avg_rpm: m.avg_rpm,
+            });
+        }
+        // Net savings vs. the Default row of this test.
+        let duration: SimDuration = suite::TEST_DURATION;
+        let idle_energy = idle_power * duration;
+        let base_net = test_rows[0].energy.as_joules() - idle_energy;
+        for row in test_rows.iter_mut().skip(1) {
+            let net = row.energy.as_joules() - idle_energy;
+            row.net_savings_pct = Some((base_net - net) / base_net * 100.0);
+        }
+        rows.extend(test_rows);
+    }
+    Ok(Table1 {
+        rows,
+        idle_power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::Utilization;
+
+    #[test]
+    fn render_and_csv_shapes() {
+        let table = Table1 {
+            rows: vec![
+                Table1Row {
+                    test: "Test-1".into(),
+                    scheme: "Default".into(),
+                    energy: KilowattHours::new(0.6695),
+                    net_savings_pct: None,
+                    peak_power: Watts::new(710.0),
+                    max_temp_c: 61.0,
+                    fan_changes: 0,
+                    avg_rpm: Rpm::new(3300.0),
+                },
+                Table1Row {
+                    test: "Test-1".into(),
+                    scheme: "LUT".into(),
+                    energy: KilowattHours::new(0.6556),
+                    net_savings_pct: Some(7.7),
+                    peak_power: Watts::new(705.0),
+                    max_temp_c: 73.0,
+                    fan_changes: 6,
+                    avg_rpm: Rpm::new(2117.0),
+                },
+            ],
+            idle_power: Watts::new(460.0),
+        };
+        let text = table.render();
+        assert!(text.contains("Test-1"));
+        assert!(text.contains("7.7%"));
+        assert!(text.contains("--"));
+        assert!(text.contains("idle reference"));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("0.6556"));
+        assert!(table.row("Test-1", "LUT").is_some());
+        assert!(table.row("Test-9", "LUT").is_none());
+    }
+
+    /// A miniature end-to-end Table I over one short test to keep the
+    /// unit suite fast; the full 4×3 reproduction runs in the bench
+    /// harness and integration tests.
+    #[test]
+    fn mini_table_lut_beats_default() {
+        let lut = LookupTable::new(vec![
+            (Utilization::from_percent(25.0).unwrap(), Rpm::new(1800.0)),
+            (Utilization::from_percent(50.0).unwrap(), Rpm::new(1800.0) + Rpm::new(200.0)),
+            (Utilization::from_percent(75.0).unwrap(), Rpm::new(2200.0)),
+            (Utilization::from_percent(100.0).unwrap(), Rpm::new(2400.0)),
+        ])
+        .unwrap();
+        let mut run = RunOptions::fast();
+        run.record = false;
+        let idle = measure_idle_power(&run.config, 3).unwrap();
+
+        let profile = leakctl_workload::Profile::builder()
+            .hold_percent(90.0, SimDuration::from_mins(10))
+            .unwrap()
+            .hold_percent(20.0, SimDuration::from_mins(10))
+            .unwrap()
+            .build();
+
+        let mut default = FixedSpeedController::paper_default();
+        let base = run_experiment(&run, profile.clone(), &mut default, 3).unwrap();
+        let mut lutc = LutController::paper_default(lut);
+        let ours = run_experiment(&run, profile, &mut lutc, 3).unwrap();
+
+        let dur = SimDuration::from_mins(20);
+        let base_net = base.metrics.total_energy - idle * dur;
+        let ours_net = ours.metrics.total_energy - idle * dur;
+        assert!(
+            ours_net < base_net,
+            "LUT net {ours_net:?} should beat default {base_net:?}"
+        );
+    }
+}

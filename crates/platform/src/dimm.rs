@@ -1,0 +1,91 @@
+//! Memory-subsystem power model.
+
+use leakctl_units::{Utilization, Watts};
+
+/// One bank of DIMMs (the airflow crosses two banks of 16 before
+/// reaching the CPUs).
+///
+/// Memory power is mostly activity-independent (refresh + standby) with
+/// a modest activity term — the bank receives a share of the server's
+/// fitted dynamic slope.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_platform::DimmBank;
+/// use leakctl_units::{Utilization, Watts};
+///
+/// let bank = DimmBank::new(0, 16, Watts::new(3.0), 0.0668);
+/// assert!(bank.power(Utilization::FULL) > bank.power(Utilization::IDLE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimmBank {
+    id: usize,
+    dimms: usize,
+    idle_each: Watts,
+    dynamic_slope_w_per_pct: f64,
+}
+
+impl DimmBank {
+    /// Creates a bank of `dimms` modules; `dynamic_slope_w_per_pct` is
+    /// the bank's share of the server dynamic slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty bank.
+    #[must_use]
+    pub fn new(id: usize, dimms: usize, idle_each: Watts, dynamic_slope_w_per_pct: f64) -> Self {
+        assert!(dimms > 0, "bank must contain DIMMs");
+        Self {
+            id,
+            dimms,
+            idle_each,
+            dynamic_slope_w_per_pct,
+        }
+    }
+
+    /// The bank index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of modules in the bank.
+    #[must_use]
+    pub fn dimms(&self) -> usize {
+        self.dimms
+    }
+
+    /// Bank power at the given activity level.
+    #[must_use]
+    pub fn power(&self, activity: Utilization) -> Watts {
+        self.idle_each * self.dimms as f64
+            + Watts::new(self.dynamic_slope_w_per_pct * activity.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_scales_with_count() {
+        let bank = DimmBank::new(0, 16, Watts::new(3.0), 0.0668);
+        assert!((bank.power(Utilization::IDLE).value() - 48.0).abs() < 1e-12);
+        assert_eq!(bank.dimms(), 16);
+        assert_eq!(bank.id(), 0);
+    }
+
+    #[test]
+    fn activity_adds_linear_term() {
+        let bank = DimmBank::new(1, 16, Watts::new(3.0), 0.0668);
+        let p = bank.power(Utilization::FULL);
+        assert!((p.value() - (48.0 + 6.68)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain")]
+    fn empty_bank_rejected() {
+        let _ = DimmBank::new(0, 0, Watts::new(3.0), 0.0);
+    }
+}

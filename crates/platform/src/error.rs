@@ -1,0 +1,86 @@
+//! Platform error type.
+
+use core::fmt;
+
+use leakctl_telemetry::TelemetryError;
+use leakctl_thermal::ThermalError;
+
+/// Errors produced by the digital-twin server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The thermal solver failed.
+    Thermal(ThermalError),
+    /// Telemetry recording failed.
+    Telemetry(TelemetryError),
+    /// A configuration value was invalid.
+    Config {
+        /// Description of the problem.
+        what: String,
+    },
+    /// A socket or fan index was out of range.
+    BadIndex {
+        /// What was being indexed.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Thermal(e) => write!(f, "thermal model: {e}"),
+            Self::Telemetry(e) => write!(f, "telemetry: {e}"),
+            Self::Config { what } => write!(f, "invalid configuration: {what}"),
+            Self::BadIndex { kind, index } => write!(f, "{kind} index {index} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Thermal(e) => Some(e),
+            Self::Telemetry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for PlatformError {
+    fn from(e: ThermalError) -> Self {
+        Self::Thermal(e)
+    }
+}
+
+impl From<TelemetryError> for PlatformError {
+    fn from(e: TelemetryError) -> Self {
+        Self::Telemetry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PlatformError::Config {
+            what: "bad thing".into(),
+        };
+        assert!(e.to_string().contains("bad thing"));
+        let e = PlatformError::BadIndex {
+            kind: "socket",
+            index: 7,
+        };
+        assert!(e.to_string().contains("socket"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn from_thermal() {
+        let e: PlatformError = ThermalError::NoCapacitiveNodes.into();
+        assert!(matches!(e, PlatformError::Thermal(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

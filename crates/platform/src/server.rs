@@ -1,0 +1,1091 @@
+//! The assembled digital-twin server.
+
+use leakctl_sim::{Clock, Periodic, SimRng, TraceRecorder};
+use leakctl_telemetry::{ChannelId, Csth, Sensor, SensorSpec, CSTH_POLL_PERIOD};
+use leakctl_thermal::{
+    ConvectionModel, Coupling, Integrator, NodeId, ThermalNetwork, ThermalNetworkBuilder,
+    ThermalState,
+};
+use leakctl_units::{
+    Celsius, Joules, Rpm, SimDuration, SimInstant, ThermalConductance, Utilization, Watts,
+};
+
+use crate::config::ServerConfig;
+use crate::cpu::CpuSocket;
+use crate::dimm::DimmBank;
+use crate::error::PlatformError;
+use crate::fans::FanBank;
+use crate::service_processor::{ServiceProcessor, SpAction};
+
+/// Thermal-network handles for one socket.
+#[derive(Debug, Clone, Copy)]
+struct SocketNodes {
+    die: NodeId,
+    sink: NodeId,
+    air: NodeId,
+}
+
+/// Telemetry channel handles.
+#[derive(Debug, Clone)]
+struct Channels {
+    cpu_temps: Vec<ChannelId>, // 2 per socket
+    dimm_temps: Vec<ChannelId>,
+    core_currents: Vec<ChannelId>,
+    socket_voltages: Vec<ChannelId>,
+    system_power: ChannelId,
+    fan_power: ChannelId,
+    fan_rpm: ChannelId,
+}
+
+/// Sensor instances matching [`Channels`].
+#[derive(Debug, Clone)]
+struct Sensors {
+    cpu_temps: Vec<Sensor>,
+    dimm_temps: Vec<Sensor>,
+    dimm_offsets: Vec<f64>,
+    core_currents: Vec<Sensor>,
+    system_power: Sensor,
+    fan_power: Sensor,
+    fan_rpm: Sensor,
+}
+
+/// The digital-twin enterprise server.
+///
+/// Owns the thermal RC network, per-component power models, the fan
+/// bank with its external supplies, the service-processor failsafe, the
+/// CSTH telemetry harness, and energy/peak accounting. Drive it with
+/// [`Server::step`], command cooling with [`Server::command_fan_speed`],
+/// and observe it the way the paper's DLC-PC does — through telemetry.
+///
+/// See the [crate-level example](crate) for basic use.
+#[derive(Debug, Clone)]
+pub struct Server {
+    config: ServerConfig,
+    // Components.
+    sockets: Vec<CpuSocket>,
+    dimm_banks: Vec<DimmBank>,
+    fans: FanBank,
+    sp: ServiceProcessor,
+    // Thermal model.
+    net: ThermalNetwork,
+    state: ThermalState,
+    socket_nodes: Vec<SocketNodes>,
+    dimm_nodes: Vec<NodeId>,
+    air_dimm: NodeId,
+    ambient_node: NodeId,
+    chassis_flow: leakctl_thermal::FlowChannelId,
+    // Time & telemetry.
+    clock: Clock,
+    csth: Csth,
+    channels: Channels,
+    sensors: Sensors,
+    poll: Periodic,
+    trace: TraceRecorder,
+    // Accounting.
+    last_activity: Utilization,
+    system_energy: Joules,
+    fan_energy: Joules,
+    peak_power: Watts,
+    accounted: SimDuration,
+}
+
+impl Server {
+    /// Builds a server from `config`, seeding all sensor-noise streams
+    /// from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Config`] for inconsistent configuration
+    /// or a thermal-construction failure.
+    pub fn new(config: ServerConfig, seed: u64) -> Result<Self, PlatformError> {
+        config.validate()?;
+        let mut rng = SimRng::seed(seed);
+
+        // ---- components ------------------------------------------
+        let cpu_slope = config.cpu_dynamic_slope_per_socket();
+        let sockets: Vec<CpuSocket> = (0..config.sockets)
+            .map(|s| {
+                CpuSocket::new(
+                    s,
+                    config.cores_per_socket,
+                    config.cpu_idle_per_socket,
+                    cpu_slope,
+                    config.cpu_const_leak_per_socket.value(),
+                    config.cpu_leak_ref_per_socket.value(),
+                    config.process_sigma[s],
+                    config.core_voltage,
+                )
+            })
+            .collect();
+        let dimms_per_bank = config.dimm_count / 2;
+        let dimm_slope_per_bank = config.dimm_dynamic_slope() / 2.0;
+        let dimm_banks: Vec<DimmBank> = (0..2)
+            .map(|b| {
+                DimmBank::new(
+                    b,
+                    dimms_per_bank,
+                    config.dimm_idle_each,
+                    dimm_slope_per_bank,
+                )
+            })
+            .collect();
+        let fans = FanBank::new(
+            config.fans,
+            config.default_rpm,
+            config.fan_slew_rpm_per_s,
+            SimDuration::from_millis(config.supply_latency_ms),
+            config.min_rpm,
+            config.max_rpm,
+        );
+        let sp = ServiceProcessor::new(
+            config.critical_temp,
+            config.failsafe_release_temp,
+            config.max_rpm,
+        );
+
+        // ---- thermal network --------------------------------------
+        let mut b = ThermalNetworkBuilder::new();
+        let ambient = b.add_boundary("ambient", config.ambient);
+        let chassis_flow = b.add_flow_channel("chassis");
+        let q_ref = config.fans.flow(config.max_rpm);
+        let sink_conv = ConvectionModel::new(
+            config.sink_conv_g_ref,
+            q_ref,
+            config.sink_conv_exponent,
+            config.sink_conv_g_min,
+        );
+        let dimm_conv = ConvectionModel::new(
+            config.dimm_conv_g_ref,
+            q_ref,
+            config.sink_conv_exponent,
+            config.sink_conv_g_min,
+        );
+
+        let air_dimm = b.add_node("air_dimm", config.air_capacitance);
+        b.connect_directed(
+            ambient,
+            air_dimm,
+            Coupling::Advective {
+                channel: chassis_flow,
+                fraction: 1.0,
+            },
+        )?;
+        // Natural-convection leak so the network stays solvable at zero
+        // flow.
+        b.connect(
+            air_dimm,
+            ambient,
+            Coupling::Conductance(ThermalConductance::new(0.5)),
+        )?;
+
+        let mut dimm_nodes = Vec::new();
+        for bank in 0..2 {
+            let node = b.add_node(&format!("dimm_bank{bank}"), config.dimm_bank_capacitance);
+            b.connect(
+                node,
+                air_dimm,
+                Coupling::Convective {
+                    channel: chassis_flow,
+                    model: dimm_conv,
+                },
+            )?;
+            dimm_nodes.push(node);
+        }
+
+        let per_socket_fraction = 1.0 / config.sockets as f64;
+        let mut socket_nodes = Vec::new();
+        for s in 0..config.sockets {
+            let die = b.add_node(&format!("cpu{s}_die"), config.die_capacitance);
+            let sink = b.add_node(&format!("cpu{s}_sink"), config.sink_capacitance);
+            let air = b.add_node(&format!("cpu{s}_air"), config.air_capacitance);
+            b.connect(die, sink, Coupling::Conductance(config.die_sink_conductance))?;
+            b.connect(
+                sink,
+                air,
+                Coupling::Convective {
+                    channel: chassis_flow,
+                    model: sink_conv,
+                },
+            )?;
+            b.connect_directed(
+                air_dimm,
+                air,
+                Coupling::Advective {
+                    channel: chassis_flow,
+                    fraction: per_socket_fraction,
+                },
+            )?;
+            b.connect(
+                air,
+                ambient,
+                Coupling::Conductance(ThermalConductance::new(0.5)),
+            )?;
+            socket_nodes.push(SocketNodes { die, sink, air });
+        }
+        let mut net = b.build()?;
+        net.set_flow(chassis_flow, fans.flow())?;
+        let state = net.uniform_state(config.ambient);
+
+        // ---- telemetry --------------------------------------------
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let mut cpu_temp_ch = Vec::new();
+        let mut cpu_temp_sensors = Vec::new();
+        for s in 0..config.sockets {
+            for d in 0..2 {
+                cpu_temp_ch.push(csth.add_channel(&format!("cpu{s}_temp{d}"), "C"));
+                cpu_temp_sensors.push(Sensor::new(
+                    SensorSpec::cpu_thermal_diode(),
+                    rng.fork(&format!("cpu{s}_temp{d}")),
+                ));
+            }
+        }
+        let mut dimm_ch = Vec::new();
+        let mut dimm_sensors = Vec::new();
+        let mut dimm_offsets = Vec::new();
+        for i in 0..config.dimm_count {
+            dimm_ch.push(csth.add_channel(&format!("dimm{i:02}_temp"), "C"));
+            dimm_sensors.push(Sensor::new(
+                SensorSpec::dimm_thermal(),
+                rng.fork(&format!("dimm{i:02}")),
+            ));
+            dimm_offsets.push(0.8 * rng.next_gaussian());
+        }
+        let mut core_i_ch = Vec::new();
+        let mut core_i_sensors = Vec::new();
+        for s in 0..config.sockets {
+            for c in 0..config.cores_per_socket {
+                core_i_ch.push(csth.add_channel(&format!("cpu{s}_core{c:02}_i"), "A"));
+                core_i_sensors.push(Sensor::new(
+                    SensorSpec {
+                        gain: 1.0,
+                        offset: 0.0,
+                        noise_sigma: 0.02,
+                        quantization: 0.001,
+                    },
+                    rng.fork(&format!("cpu{s}_core{c:02}_i")),
+                ));
+            }
+        }
+        let socket_v_ch: Vec<ChannelId> = (0..config.sockets)
+            .map(|s| csth.add_channel(&format!("cpu{s}_vdd"), "V"))
+            .collect();
+        let system_power_ch = csth.add_channel("system_power", "W");
+        let fan_power_ch = csth.add_channel("fan_power", "W");
+        let fan_rpm_ch = csth.add_channel("fan_rpm", "RPM");
+
+        let channels = Channels {
+            cpu_temps: cpu_temp_ch,
+            dimm_temps: dimm_ch,
+            core_currents: core_i_ch,
+            socket_voltages: socket_v_ch,
+            system_power: system_power_ch,
+            fan_power: fan_power_ch,
+            fan_rpm: fan_rpm_ch,
+        };
+        let sensors = Sensors {
+            cpu_temps: cpu_temp_sensors,
+            dimm_temps: dimm_sensors,
+            dimm_offsets,
+            core_currents: core_i_sensors,
+            system_power: Sensor::new(SensorSpec::system_power_meter(), rng.fork("system_power")),
+            fan_power: Sensor::new(
+                SensorSpec {
+                    gain: 1.0,
+                    offset: 0.0,
+                    noise_sigma: 0.2,
+                    quantization: 0.1,
+                },
+                rng.fork("fan_power"),
+            ),
+            fan_rpm: Sensor::new(
+                SensorSpec {
+                    gain: 1.0,
+                    offset: 0.0,
+                    noise_sigma: 3.0,
+                    quantization: 1.0,
+                },
+                rng.fork("fan_rpm"),
+            ),
+        };
+
+        let mut server = Self {
+            config,
+            sockets,
+            dimm_banks,
+            fans,
+            sp,
+            net,
+            state,
+            socket_nodes,
+            dimm_nodes,
+            air_dimm,
+            ambient_node: ambient,
+            chassis_flow,
+            clock: Clock::new(),
+            csth,
+            channels,
+            sensors,
+            poll: Periodic::new(SimInstant::ZERO, CSTH_POLL_PERIOD),
+            trace: TraceRecorder::with_capacity(10_000),
+            last_activity: Utilization::IDLE,
+            system_energy: Joules::ZERO,
+            fan_energy: Joules::ZERO,
+            peak_power: Watts::ZERO,
+            accounted: SimDuration::ZERO,
+        };
+        // Initial telemetry sample at t = 0.
+        server.poll_telemetry()?;
+        server.poll.catch_up(SimInstant::ZERO);
+        Ok(server)
+    }
+
+    // ---- observation ----------------------------------------------
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Ground-truth die temperature of `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn die_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.die))
+    }
+
+    /// Ground-truth heat-sink temperature of `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn sink_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.sink))
+    }
+
+    /// Ground-truth local air temperature at `socket`'s heat sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn air_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.air))
+    }
+
+    /// Ground-truth hottest die temperature.
+    #[must_use]
+    pub fn max_die_temperature(&self) -> Celsius {
+        self.socket_nodes
+            .iter()
+            .map(|n| self.net.temperature(&self.state, n.die))
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Latest *measured* CPU temperatures (2 per socket), as a
+    /// controller polling CSTH would see them.
+    #[must_use]
+    pub fn measured_cpu_temps(&self) -> Vec<Celsius> {
+        self.channels
+            .cpu_temps
+            .iter()
+            .filter_map(|&ch| self.csth.series(ch).last())
+            .map(|(_, v)| Celsius::new(v))
+            .collect()
+    }
+
+    /// Hottest measured CPU temperature, if any sample exists.
+    #[must_use]
+    pub fn max_measured_cpu_temp(&self) -> Option<Celsius> {
+        self.measured_cpu_temps()
+            .into_iter()
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: Celsius| a.max(t))))
+    }
+
+    /// Ground-truth wall (AC) power of the system side — everything
+    /// behind the PSU; fans are powered externally.
+    #[must_use]
+    pub fn system_power(&self) -> Watts {
+        self.config.psu.input_power(self.dc_power())
+    }
+
+    /// Ground-truth DC power of all system components.
+    #[must_use]
+    pub fn dc_power(&self) -> Watts {
+        let cpu: Watts = self
+            .sockets
+            .iter()
+            .zip(&self.socket_nodes)
+            .map(|(s, n)| s.power(self.last_activity, self.net.temperature(&self.state, n.die)))
+            .sum();
+        let dimm: Watts = self
+            .dimm_banks
+            .iter()
+            .map(|b| b.power(self.last_activity))
+            .sum();
+        cpu + dimm + self.config.board_power
+    }
+
+    /// Ground-truth total CPU leakage right now (for analysis and
+    /// EXPERIMENTS.md ground-truth columns; controllers never see this).
+    #[must_use]
+    pub fn leakage_power(&self) -> Watts {
+        self.sockets
+            .iter()
+            .zip(&self.socket_nodes)
+            .map(|(s, n)| s.leakage_power(self.net.temperature(&self.state, n.die)))
+            .sum()
+    }
+
+    /// Ground-truth fan power (drawn from the external supplies).
+    #[must_use]
+    pub fn fan_power(&self) -> Watts {
+        self.fans.power()
+    }
+
+    /// Ground-truth total power: system wall power plus fan power.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.system_power() + self.fan_power()
+    }
+
+    /// Accumulated system + fan energy since construction or the last
+    /// [`Server::reset_accounting`].
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.system_energy + self.fan_energy
+    }
+
+    /// Accumulated fan energy.
+    #[must_use]
+    pub fn fan_energy(&self) -> Joules {
+        self.fan_energy
+    }
+
+    /// Accumulated system (wall) energy.
+    #[must_use]
+    pub fn system_energy(&self) -> Joules {
+        self.system_energy
+    }
+
+    /// Highest instantaneous total power observed.
+    #[must_use]
+    pub fn peak_power(&self) -> Watts {
+        self.peak_power
+    }
+
+    /// Time over which energy has been accumulated.
+    #[must_use]
+    pub fn accounted_time(&self) -> SimDuration {
+        self.accounted
+    }
+
+    /// The telemetry harness (read side).
+    #[must_use]
+    pub fn csth(&self) -> &Csth {
+        &self.csth
+    }
+
+    /// The event trace.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mean actual fan speed.
+    #[must_use]
+    pub fn actual_rpm(&self) -> Rpm {
+        self.fans.mean_rpm()
+    }
+
+    /// Last applied fan command.
+    #[must_use]
+    pub fn commanded_rpm(&self) -> Rpm {
+        self.fans.commanded()
+    }
+
+    /// Number of accepted fan speed changes.
+    #[must_use]
+    pub fn fan_speed_changes(&self) -> u64 {
+        self.fans.speed_changes()
+    }
+
+    /// How many times the thermal failsafe tripped.
+    #[must_use]
+    pub fn failsafe_activations(&self) -> u32 {
+        self.sp.activations()
+    }
+
+    /// The activity level applied in the most recent step.
+    #[must_use]
+    pub fn current_activity(&self) -> Utilization {
+        self.last_activity
+    }
+
+    // ---- control ----------------------------------------------------
+
+    /// Commands all fan pairs to `rpm` through the external supplies
+    /// (applies after the configured command latency, then slews).
+    /// While the thermal failsafe is engaged the command is recorded but
+    /// overridden.
+    pub fn command_fan_speed(&mut self, rpm: Rpm) {
+        if self.sp.is_engaged() {
+            self.trace.record(
+                self.clock.now(),
+                "server",
+                format!("fan command {rpm:.0} ignored: failsafe engaged"),
+            );
+            return;
+        }
+        self.fans.command_all(self.clock.now(), rpm);
+    }
+
+    /// Re-pins the ambient (inlet) temperature — used for ambient-
+    /// derating sweeps and rack scenarios where exhaust recirculation
+    /// warms the inlet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network errors (never expected for the
+    /// built-in ambient node).
+    pub fn set_ambient(&mut self, ambient: Celsius) -> Result<(), PlatformError> {
+        self.net.set_boundary(self.ambient_node, ambient)?;
+        Ok(())
+    }
+
+    /// The current ambient (inlet) temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.net.temperature(&self.state, self.ambient_node)
+    }
+
+    /// Resets energy, peak-power and timing accumulators (used between
+    /// experiment phases; telemetry history is preserved).
+    pub fn reset_accounting(&mut self) {
+        self.system_energy = Joules::ZERO;
+        self.fan_energy = Joules::ZERO;
+        self.peak_power = Watts::ZERO;
+        self.accounted = SimDuration::ZERO;
+    }
+
+    // ---- dynamics ---------------------------------------------------
+
+    /// Advances the machine by `dt` with the given switching activity
+    /// (the duty-cycle-averaged instantaneous load over the step, from
+    /// `LoadGen`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solver and telemetry failures.
+    pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), PlatformError> {
+        if dt.is_zero() {
+            return Ok(());
+        }
+        let end = self.clock.now() + dt;
+        self.last_activity = activity;
+
+        // Fan supplies apply due commands; fans slew.
+        self.fans.advance(end, dt);
+        self.net.set_flow(self.chassis_flow, self.fans.flow())?;
+
+        // Thermal failsafe on ground-truth die temperature.
+        match self.sp.check(self.max_die_temperature()) {
+            SpAction::ForceMaxCooling => {
+                self.fans.command_all(self.clock.now(), self.config.max_rpm);
+                self.trace.record(
+                    self.clock.now(),
+                    "service-processor",
+                    "failsafe: forcing maximum cooling",
+                );
+            }
+            SpAction::Release => {
+                self.trace
+                    .record(self.clock.now(), "service-processor", "failsafe released");
+            }
+            SpAction::None => {}
+        }
+
+        // Component powers from start-of-step temperatures.
+        for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
+            let die_t = self.net.temperature(&self.state, nodes.die);
+            let p = socket.power(activity, die_t);
+            self.net.set_power(nodes.die, p)?;
+        }
+        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
+            self.net.set_power(node, bank.power(activity))?;
+        }
+        self.net
+            .set_power(self.air_dimm, self.config.board_power)?;
+
+        // Energy accounting with start-of-step powers.
+        let wall = self.system_power();
+        let fan_p = self.fan_power();
+        self.system_energy += wall * dt;
+        self.fan_energy += fan_p * dt;
+        self.peak_power = self.peak_power.max(wall + fan_p);
+        self.accounted += dt;
+
+        // Integrate the thermal network.
+        self.net
+            .step(&mut self.state, dt, Integrator::BackwardEuler)?;
+        self.clock.advance_to(end).expect("time moves forward");
+
+        // CSTH polling.
+        while self.poll.is_due(end) {
+            self.poll_telemetry()?;
+            self.poll.advance();
+        }
+        Ok(())
+    }
+
+    /// Records one full telemetry sample at the current instant.
+    fn poll_telemetry(&mut self) -> Result<(), PlatformError> {
+        let at = self.clock.now();
+        // CPU temperatures: two diodes per die.
+        for (s, nodes) in self.socket_nodes.iter().enumerate() {
+            let true_t = self.net.temperature(&self.state, nodes.die).degrees();
+            for d in 0..2 {
+                let idx = 2 * s + d;
+                let measured = self.sensors.cpu_temps[idx].measure(true_t);
+                self.csth
+                    .record(self.channels.cpu_temps[idx], at, measured)?;
+            }
+        }
+        // DIMM temperatures: per-module offset around the bank node.
+        let per_bank = self.config.dimm_count / 2;
+        for i in 0..self.config.dimm_count {
+            let bank = i / per_bank;
+            let true_t = self
+                .net
+                .temperature(&self.state, self.dimm_nodes[bank])
+                .degrees()
+                + self.sensors.dimm_offsets[i];
+            let measured = self.sensors.dimm_temps[i].measure(true_t);
+            self.csth
+                .record(self.channels.dimm_temps[i], at, measured)?;
+        }
+        // Per-core currents and per-socket voltages.
+        for (s, (socket, nodes)) in self.sockets.iter().zip(&self.socket_nodes).enumerate() {
+            let die_t = self.net.temperature(&self.state, nodes.die);
+            let i_true = socket.core_current(self.last_activity, die_t).value();
+            for c in 0..self.config.cores_per_socket {
+                let idx = s * self.config.cores_per_socket + c;
+                let measured = self.sensors.core_currents[idx].measure(i_true);
+                self.csth
+                    .record(self.channels.core_currents[idx], at, measured)?;
+            }
+            self.csth.record(
+                self.channels.socket_voltages[s],
+                at,
+                socket.core_voltage().value(),
+            )?;
+        }
+        // System power, fan power, fan RPM.
+        let wall = self.system_power().value();
+        let wall_measured = self.sensors.system_power.measure(wall);
+        self.csth
+            .record(self.channels.system_power, at, wall_measured)?;
+        let fan_measured = self.sensors.fan_power.measure(self.fan_power().value());
+        self.csth
+            .record(self.channels.fan_power, at, fan_measured)?;
+        let rpm_measured = self.sensors.fan_rpm.measure(self.actual_rpm().value());
+        self.csth
+            .record(self.channels.fan_rpm, at, rpm_measured)?;
+        Ok(())
+    }
+
+    // ---- analysis helpers -------------------------------------------
+
+    /// Predicts the steady-state die temperatures and system DC power
+    /// for a hypothetical operating point, solving the
+    /// leakage–temperature fixed point. Does not disturb the live
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a thermal error when the network cannot be solved.
+    pub fn steady_state_preview(
+        &self,
+        activity: Utilization,
+        rpm: Rpm,
+    ) -> Result<(Vec<Celsius>, Watts), PlatformError> {
+        let mut net = self.net.clone();
+        let rpm = rpm.clamp(self.config.min_rpm, self.config.max_rpm);
+        net.set_flow(self.chassis_flow, self.config.fans.flow(rpm))?;
+        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
+            net.set_power(node, bank.power(activity))?;
+        }
+        net.set_power(self.air_dimm, self.config.board_power)?;
+
+        let mut temps: Vec<Celsius> = vec![self.config.ambient; self.sockets.len()];
+        let mut state = net.uniform_state(self.config.ambient);
+        for _ in 0..60 {
+            for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
+                let idx = socket.id();
+                net.set_power(nodes.die, socket.power(activity, temps[idx]))?;
+            }
+            state = net.steady_state()?;
+            let new_temps: Vec<Celsius> = self
+                .socket_nodes
+                .iter()
+                .map(|n| net.temperature(&state, n.die))
+                .collect();
+            // Leakage–temperature thermal runaway: the fixed point has
+            // no finite solution at this operating point.
+            if new_temps.iter().any(|t| !t.is_finite()) {
+                return Err(PlatformError::Thermal(
+                    leakctl_thermal::ThermalError::Diverged {
+                        name: "leakage-temperature fixed point".to_owned(),
+                    },
+                ));
+            }
+            let delta = new_temps
+                .iter()
+                .zip(&temps)
+                .map(|(a, b)| (a.degrees() - b.degrees()).abs())
+                .fold(0.0, f64::max);
+            temps = new_temps;
+            if delta < 1e-6 {
+                break;
+            }
+        }
+        let dc: Watts = self
+            .sockets
+            .iter()
+            .map(|s| s.power(activity, temps[s.id()]))
+            .sum::<Watts>()
+            + self
+                .dimm_banks
+                .iter()
+                .map(|b| b.power(activity))
+                .sum::<Watts>()
+            + self.config.board_power;
+        let _ = &state;
+        Ok((temps, dc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default(), 42).unwrap()
+    }
+
+    /// Run to (approximate) thermal steady state at a fixed activity and
+    /// fan speed.
+    fn settle(server: &mut Server, activity: Utilization, rpm: Rpm, mins: u64) {
+        server.command_fan_speed(rpm);
+        for _ in 0..(mins * 60) {
+            server.step(SimDuration::from_secs(1), activity).unwrap();
+        }
+    }
+
+    #[test]
+    fn calibration_steady_temperatures_at_full_load() {
+        // DESIGN.md §5 anchors, reproducing Fig. 1a's steady states.
+        let cases = [
+            (1800.0, 80.0, 90.0),
+            (2400.0, 67.0, 75.0),
+            (3000.0, 60.0, 68.0),
+            (3600.0, 56.0, 63.0),
+            (4200.0, 52.0, 59.0),
+        ];
+        for (rpm, lo, hi) in cases {
+            let mut s = server();
+            settle(&mut s, Utilization::FULL, Rpm::new(rpm), 45);
+            let t = s.max_die_temperature().degrees();
+            assert!(
+                (lo..=hi).contains(&t),
+                "at {rpm} RPM: die {t:.1} °C outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_power_draw() {
+        let mut s = server();
+        settle(&mut s, Utilization::IDLE, Rpm::new(3300.0), 30);
+        let idle = s.total_power().value();
+        assert!(
+            (440.0..=500.0).contains(&idle),
+            "idle total power {idle:.0} W"
+        );
+        settle(&mut s, Utilization::FULL, Rpm::new(3300.0), 30);
+        let busy = s.total_power().value();
+        assert!(
+            (490.0..=560.0).contains(&busy),
+            "full-load total power {busy:.0} W"
+        );
+        let swing = busy - idle;
+        assert!(
+            (35.0..=70.0).contains(&swing),
+            "idle→full swing {swing:.0} W should reflect k1·100 plus leakage growth"
+        );
+    }
+
+    #[test]
+    fn faster_fans_cool_the_dies() {
+        let mut slow = server();
+        settle(&mut slow, Utilization::FULL, Rpm::new(1800.0), 40);
+        let mut fast = server();
+        settle(&mut fast, Utilization::FULL, Rpm::new(4200.0), 40);
+        assert!(
+            slow.max_die_temperature().degrees() - fast.max_die_temperature().degrees() > 15.0,
+            "1800 vs 4200 RPM should differ by tens of °C"
+        );
+        assert!(fast.fan_power() > slow.fan_power());
+    }
+
+    #[test]
+    fn thermal_time_constant_depends_on_fan_speed() {
+        // Fig. 1a: the 1800 RPM transient is several times slower than
+        // the 4200 RPM one. Measure time to cover 63 % of the rise.
+        let tau_at = |rpm: f64| {
+            let mut s = server();
+            s.command_fan_speed(Rpm::new(rpm));
+            // Let fans settle and machine idle-stabilize first.
+            for _ in 0..600 {
+                s.step(SimDuration::from_secs(1), Utilization::IDLE).unwrap();
+            }
+            let t0 = s.max_die_temperature().degrees();
+            let (target, _) = s
+                .steady_state_preview(Utilization::FULL, Rpm::new(rpm))
+                .unwrap();
+            let t_inf = target
+                .iter()
+                .map(|t| t.degrees())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let threshold = t0 + 0.632 * (t_inf - t0);
+            let mut secs = 0u64;
+            while s.max_die_temperature().degrees() < threshold && secs < 3_600 {
+                s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+                secs += 1;
+            }
+            secs as f64
+        };
+        let tau_slow = tau_at(1800.0);
+        let tau_fast = tau_at(4200.0);
+        assert!(
+            tau_slow > 1.5 * tau_fast,
+            "τ(1800)={tau_slow}s should clearly exceed τ(4200)={tau_fast}s"
+        );
+        assert!(
+            (60.0..=600.0).contains(&tau_fast),
+            "τ(4200)={tau_fast}s out of plausible band"
+        );
+        assert!(
+            (120.0..=900.0).contains(&tau_slow),
+            "τ(1800)={tau_slow}s out of plausible band"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_consistent() {
+        let mut s = server();
+        settle(&mut s, Utilization::FULL, Rpm::new(3000.0), 10);
+        let total = s.total_energy().value();
+        let parts = s.system_energy().value() + s.fan_energy().value();
+        assert!((total - parts).abs() < 1e-6);
+        assert_eq!(s.accounted_time(), SimDuration::from_mins(10));
+        // Average power implied by energy is within the instantaneous
+        // power band.
+        let avg = s.total_energy().average_power(s.accounted_time()).value();
+        assert!((400.0..=600.0).contains(&avg), "average power {avg:.0} W");
+        s.reset_accounting();
+        assert_eq!(s.total_energy(), Joules::ZERO);
+        assert_eq!(s.peak_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn telemetry_polls_every_ten_seconds() {
+        let mut s = server();
+        for _ in 0..95 {
+            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+        }
+        let ch = s.csth().channel_by_name("cpu0_temp0").unwrap();
+        // t = 0 initial + polls at 10..90 = 10 samples.
+        assert_eq!(s.csth().series(ch).len(), 10);
+        let temps = s.measured_cpu_temps();
+        assert_eq!(temps.len(), 4);
+        assert!(s.max_measured_cpu_temp().is_some());
+        // Measured temps track the truth within sensor error.
+        let truth = s.max_die_temperature().degrees();
+        let measured = s.max_measured_cpu_temp().unwrap().degrees();
+        assert!((truth - measured).abs() < 3.0);
+    }
+
+    #[test]
+    fn telemetry_channel_inventory_matches_paper() {
+        let s = server();
+        // 4 CPU temps, 32 DIMM temps, 32 core currents, 2 Vdd, system
+        // power, fan power, fan RPM.
+        assert_eq!(s.csth().channel_count(), 4 + 32 + 32 + 2 + 3);
+    }
+
+    #[test]
+    fn failsafe_trips_under_impossible_cooling() {
+        // Cripple convection so the die overheats at min fan speed.
+        let config = ServerConfig {
+            sink_conv_g_ref: ThermalConductance::new(0.8),
+            sink_conv_g_min: ThermalConductance::new(0.01),
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(config, 1).unwrap();
+        s.command_fan_speed(Rpm::new(1800.0));
+        for _ in 0..3_600 {
+            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+            if s.failsafe_activations() > 0 {
+                break;
+            }
+        }
+        assert!(s.failsafe_activations() > 0, "failsafe should trip");
+        // Let the forced command propagate through the supply latency.
+        for _ in 0..10 {
+            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+        }
+        // While engaged, external commands are ignored.
+        s.command_fan_speed(Rpm::new(1800.0));
+        assert!(s.commanded_rpm() > Rpm::new(4000.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut s = Server::new(ServerConfig::default(), seed).unwrap();
+            s.command_fan_speed(Rpm::new(2400.0));
+            for i in 0..300 {
+                let act = if i % 40 < 20 {
+                    Utilization::FULL
+                } else {
+                    Utilization::IDLE
+                };
+                s.step(SimDuration::from_secs(1), act).unwrap();
+            }
+            (
+                s.max_die_temperature(),
+                s.total_energy(),
+                s.measured_cpu_temps(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        let (t1, e1, m1) = run(7);
+        let (t2, e2, m2) = run(8);
+        // Ground truth identical (same physics), measurements differ.
+        assert_eq!(t1, t2);
+        assert_eq!(e1, e2);
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn steady_state_preview_matches_transient_settling() {
+        let mut s = server();
+        let (preview, _) = s
+            .steady_state_preview(Utilization::FULL, Rpm::new(3000.0))
+            .unwrap();
+        settle(&mut s, Utilization::FULL, Rpm::new(3000.0), 60);
+        for (socket, want) in preview.iter().enumerate() {
+            let got = s.die_temperature(socket).unwrap().degrees();
+            assert!(
+                (got - want.degrees()).abs() < 1.0,
+                "socket {socket}: transient {got:.1} vs preview {want:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn process_variation_shows_in_die_temperatures() {
+        let mut s = server();
+        settle(&mut s, Utilization::FULL, Rpm::new(2400.0), 45);
+        let t0 = s.die_temperature(0).unwrap().degrees();
+        let t1 = s.die_temperature(1).unwrap().degrees();
+        assert!(
+            (t1 - t0).abs() > 0.1,
+            "sigma 0.96 vs 1.04 should separate die temps, got {t0:.2} vs {t1:.2}"
+        );
+    }
+
+    #[test]
+    fn bad_socket_index_rejected() {
+        let s = server();
+        assert!(matches!(
+            s.die_temperature(5),
+            Err(PlatformError::BadIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn preview_reports_thermal_runaway() {
+        // At extreme ambient with minimum airflow the exponential
+        // leakage has no finite fixed point.
+        let config = ServerConfig {
+            ambient: Celsius::new(55.0),
+            ..ServerConfig::default()
+        };
+        let s = Server::new(config, 1).unwrap();
+        let result = s.steady_state_preview(Utilization::FULL, Rpm::new(1800.0));
+        assert!(
+            matches!(
+                result,
+                Err(PlatformError::Thermal(
+                    leakctl_thermal::ThermalError::Diverged { .. }
+                ))
+            ),
+            "expected divergence, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn ambient_setter_round_trips() {
+        let mut s = server();
+        assert_eq!(s.ambient(), Celsius::new(24.0));
+        s.set_ambient(Celsius::new(30.0)).unwrap();
+        assert_eq!(s.ambient(), Celsius::new(30.0));
+        // Hotter inlet warms the dies at steady state.
+        let (hot, _) = s
+            .steady_state_preview(Utilization::FULL, Rpm::new(3000.0))
+            .unwrap();
+        s.set_ambient(Celsius::new(24.0)).unwrap();
+        let (cool, _) = s
+            .steady_state_preview(Utilization::FULL, Rpm::new(3000.0))
+            .unwrap();
+        assert!(hot[0] > cool[0]);
+    }
+
+    #[test]
+    fn zero_step_is_noop() {
+        let mut s = server();
+        let t = s.now();
+        s.step(SimDuration::ZERO, Utilization::FULL).unwrap();
+        assert_eq!(s.now(), t);
+    }
+}

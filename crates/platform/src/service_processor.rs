@@ -1,0 +1,154 @@
+//! Thermal-failsafe watchdog (the service processor's protection role).
+
+use leakctl_units::{Celsius, Rpm};
+
+/// Action requested by the service processor after a temperature check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpAction {
+    /// Temperatures are acceptable; external control may proceed.
+    None,
+    /// A die crossed the critical threshold: force maximum cooling and
+    /// lock out external fan control.
+    ForceMaxCooling,
+    /// Temperatures receded below the release threshold: return control.
+    Release,
+}
+
+/// The server's thermal watchdog.
+///
+/// While the paper's experiments rewire fan power, the service
+/// processor's protection logic stays armed: if any CPU reaches the
+/// critical temperature (90 °C on the paper's machine), cooling is
+/// forced to maximum regardless of what the external controller asks,
+/// until temperatures recede below the release threshold.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_platform::{ServiceProcessor, SpAction};
+/// use leakctl_units::{Celsius, Rpm};
+///
+/// let mut sp = ServiceProcessor::new(Celsius::new(90.0), Celsius::new(80.0), Rpm::new(4200.0));
+/// assert_eq!(sp.check(Celsius::new(75.0)), SpAction::None);
+/// assert_eq!(sp.check(Celsius::new(91.0)), SpAction::ForceMaxCooling);
+/// assert!(sp.is_engaged());
+/// assert_eq!(sp.check(Celsius::new(79.0)), SpAction::Release);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProcessor {
+    critical: Celsius,
+    release: Celsius,
+    max_rpm: Rpm,
+    engaged: bool,
+    activations: u32,
+}
+
+impl ServiceProcessor {
+    /// Creates a watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `critical <= release`.
+    #[must_use]
+    pub fn new(critical: Celsius, release: Celsius, max_rpm: Rpm) -> Self {
+        assert!(
+            critical > release,
+            "critical threshold must exceed release threshold"
+        );
+        Self {
+            critical,
+            release,
+            max_rpm,
+            engaged: false,
+            activations: 0,
+        }
+    }
+
+    /// Evaluates the hottest die temperature and returns the required
+    /// action. Engagement is latched: once tripped, it persists until
+    /// temperatures recede below the release threshold.
+    pub fn check(&mut self, max_die: Celsius) -> SpAction {
+        if self.engaged {
+            if max_die < self.release {
+                self.engaged = false;
+                SpAction::Release
+            } else {
+                SpAction::ForceMaxCooling
+            }
+        } else if max_die >= self.critical {
+            self.engaged = true;
+            self.activations += 1;
+            SpAction::ForceMaxCooling
+        } else {
+            SpAction::None
+        }
+    }
+
+    /// `true` while the failsafe is holding the fans at maximum.
+    #[must_use]
+    pub fn is_engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// How many times the failsafe has tripped.
+    #[must_use]
+    pub fn activations(&self) -> u32 {
+        self.activations
+    }
+
+    /// The speed the failsafe forces.
+    #[must_use]
+    pub fn forced_rpm(&self) -> Rpm {
+        self.max_rpm
+    }
+
+    /// The critical threshold.
+    #[must_use]
+    pub fn critical(&self) -> Celsius {
+        self.critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> ServiceProcessor {
+        ServiceProcessor::new(Celsius::new(90.0), Celsius::new(80.0), Rpm::new(4200.0))
+    }
+
+    #[test]
+    fn stays_quiet_in_normal_range() {
+        let mut s = sp();
+        for t in [40.0, 60.0, 75.0, 89.9] {
+            assert_eq!(s.check(Celsius::new(t)), SpAction::None);
+        }
+        assert!(!s.is_engaged());
+        assert_eq!(s.activations(), 0);
+    }
+
+    #[test]
+    fn trips_latches_and_releases() {
+        let mut s = sp();
+        assert_eq!(s.check(Celsius::new(90.0)), SpAction::ForceMaxCooling);
+        assert!(s.is_engaged());
+        assert_eq!(s.activations(), 1);
+        // Still hot, still forced — and no double-count.
+        assert_eq!(s.check(Celsius::new(85.0)), SpAction::ForceMaxCooling);
+        assert_eq!(s.activations(), 1);
+        // Recedes below release.
+        assert_eq!(s.check(Celsius::new(79.9)), SpAction::Release);
+        assert!(!s.is_engaged());
+        // Second trip counts again.
+        assert_eq!(s.check(Celsius::new(95.0)), SpAction::ForceMaxCooling);
+        assert_eq!(s.activations(), 2);
+        assert_eq!(s.forced_rpm(), Rpm::new(4200.0));
+        assert_eq!(s.critical(), Celsius::new(90.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "critical threshold")]
+    fn rejects_inverted_thresholds() {
+        let _ = ServiceProcessor::new(Celsius::new(80.0), Celsius::new(85.0), Rpm::new(4200.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the digital-twin server.
+
+use leakctl_platform::{Server, ServerConfig};
+use leakctl_units::{Celsius, Rpm, SimDuration, Utilization, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Steady-state die temperature is monotone decreasing in fan speed
+    /// at any load.
+    #[test]
+    fn steady_preview_monotone_in_rpm(
+        util in 0.0..=1.0f64,
+        rpm_lo in 1800.0..3000.0f64,
+        extra in 300.0..1200.0f64,
+    ) {
+        let server = Server::new(ServerConfig::default(), 1).expect("server");
+        let u = Utilization::from_fraction(util).expect("valid");
+        let hot = server
+            .steady_state_preview(u, Rpm::new(rpm_lo))
+            .expect("preview");
+        let cold = server
+            .steady_state_preview(u, Rpm::new(rpm_lo + extra))
+            .expect("preview");
+        let max = |temps: &[Celsius]| {
+            temps.iter().map(|t| t.degrees()).fold(f64::NEG_INFINITY, f64::max)
+        };
+        prop_assert!(max(&cold.0) <= max(&hot.0) + 1e-9);
+    }
+
+    /// Steady-state die temperature is monotone increasing in load at
+    /// any fan speed.
+    #[test]
+    fn steady_preview_monotone_in_load(
+        rpm in 1800.0..4200.0f64,
+        u_lo in 0.0..0.6f64,
+        du in 0.1..0.4f64,
+    ) {
+        let server = Server::new(ServerConfig::default(), 1).expect("server");
+        let cool = server
+            .steady_state_preview(
+                Utilization::from_fraction(u_lo).expect("valid"),
+                Rpm::new(rpm),
+            )
+            .expect("preview");
+        let warm = server
+            .steady_state_preview(
+                Utilization::from_fraction(u_lo + du).expect("valid"),
+                Rpm::new(rpm),
+            )
+            .expect("preview");
+        let max = |temps: &[Celsius]| {
+            temps.iter().map(|t| t.degrees()).fold(f64::NEG_INFINITY, f64::max)
+        };
+        prop_assert!(max(&warm.0) >= max(&cool.0) - 1e-9);
+    }
+
+    /// Energy accounting: total = system + fan, and average power lies
+    /// between the observed instantaneous extremes.
+    #[test]
+    fn energy_accounting_consistent(
+        util in 0.0..=1.0f64,
+        rpm in 1800.0..4200.0f64,
+        minutes in 2u64..8,
+    ) {
+        let mut server = Server::new(ServerConfig::default(), 2).expect("server");
+        server.command_fan_speed(Rpm::new(rpm));
+        let u = Utilization::from_fraction(util).expect("valid");
+        let mut p_min = f64::INFINITY;
+        let mut p_max = f64::NEG_INFINITY;
+        for _ in 0..(minutes * 60) {
+            server.step(SimDuration::from_secs(1), u).expect("step");
+            // Sample after stepping: accounting uses post-slew fan
+            // speeds, so pre-step samples can exceed the recorded peak.
+            let p = server.total_power().value();
+            p_min = p_min.min(p);
+            p_max = p_max.max(p);
+        }
+        let total = server.total_energy().value();
+        let parts = server.system_energy().value() + server.fan_energy().value();
+        prop_assert!((total - parts).abs() < 1e-6);
+        // Accounting uses start-of-step powers while the samples above
+        // are end-of-step; allow a watt of skew for the one-step lag.
+        let avg = server
+            .total_energy()
+            .average_power(server.accounted_time())
+            .value();
+        prop_assert!(avg >= p_min - 1.0 && avg <= p_max + 1.0);
+        prop_assert!(server.peak_power() >= Watts::new(p_max - 1.0));
+    }
+
+    /// Commanded fan speeds are always reached (within the supported
+    /// range) after latency + slew time.
+    #[test]
+    fn fan_commands_converge(target in 1000.0..5000.0f64) {
+        let mut server = Server::new(ServerConfig::default(), 3).expect("server");
+        server.command_fan_speed(Rpm::new(target));
+        for _ in 0..30 {
+            server
+                .step(SimDuration::from_secs(1), Utilization::IDLE)
+                .expect("step");
+        }
+        let expect = target.clamp(1800.0, 4200.0);
+        prop_assert!(
+            (server.actual_rpm().value() - expect).abs() < 1e-6,
+            "commanded {target}, settled at {}",
+            server.actual_rpm()
+        );
+    }
+
+    /// Die temperatures stay finite and above ambient under any
+    /// constant operating point.
+    #[test]
+    fn temperatures_physical(
+        util in 0.0..=1.0f64,
+        rpm in 1800.0..4200.0f64,
+    ) {
+        let mut server = Server::new(ServerConfig::default(), 4).expect("server");
+        server.command_fan_speed(Rpm::new(rpm));
+        let u = Utilization::from_fraction(util).expect("valid");
+        for _ in 0..600 {
+            server.step(SimDuration::from_secs(1), u).expect("step");
+        }
+        let t = server.max_die_temperature();
+        prop_assert!(t.is_finite());
+        prop_assert!(t.degrees() >= 24.0 - 1e-6, "below ambient: {t}");
+        prop_assert!(t.degrees() < 100.0, "implausibly hot: {t}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Active (dynamic) power as a function of utilization.
+
+use leakctl_units::{Utilization, Watts};
+
+use crate::PAPER_K1;
+
+/// Linear active-power model `P_active = k1 · U[%]`, the form the paper
+/// fits for a LoadGen-style workload that spreads load evenly across
+/// cores.
+///
+/// `LoadGen` duty-cycles between full load and idle, so average dynamic
+/// power is proportional to the duty cycle — which is why the linear
+/// form fits the paper's data so well across all utilization levels.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_power::ActivePowerModel;
+/// use leakctl_units::{Utilization, Watts};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = ActivePowerModel::paper_fit();
+/// let p = m.power(Utilization::from_percent(100.0)?);
+/// assert!((p.value() - 44.52).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActivePowerModel {
+    watts_per_percent: f64,
+}
+
+impl ActivePowerModel {
+    /// Creates a model with the given slope in watts per percent
+    /// utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slope is negative or non-finite.
+    #[must_use]
+    pub fn new(watts_per_percent: f64) -> Self {
+        assert!(
+            watts_per_percent >= 0.0 && watts_per_percent.is_finite(),
+            "active-power slope must be non-negative and finite"
+        );
+        Self { watts_per_percent }
+    }
+
+    /// The paper's fitted slope (`k1 = 0.4452 W/%`).
+    #[must_use]
+    pub fn paper_fit() -> Self {
+        Self::new(PAPER_K1)
+    }
+
+    /// Dynamic power at the given utilization.
+    #[must_use]
+    pub fn power(&self, u: Utilization) -> Watts {
+        Watts::new(self.watts_per_percent * u.as_percent())
+    }
+
+    /// The slope, watts per percent.
+    #[must_use]
+    pub fn watts_per_percent(&self) -> f64 {
+        self.watts_per_percent
+    }
+}
+
+impl Default for ActivePowerModel {
+    /// The paper's fitted model.
+    fn default() -> Self {
+        Self::paper_fit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_idle() {
+        assert_eq!(
+            ActivePowerModel::paper_fit().power(Utilization::IDLE),
+            Watts::ZERO
+        );
+    }
+
+    #[test]
+    fn linear_in_percent() {
+        let m = ActivePowerModel::new(0.5);
+        let u25 = Utilization::from_percent(25.0).unwrap();
+        let u75 = Utilization::from_percent(75.0).unwrap();
+        assert!((m.power(u75).value() - 3.0 * m.power(u25).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_value_at_full_load() {
+        let p = ActivePowerModel::paper_fit().power(Utilization::FULL);
+        assert!((p.value() - 44.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper_fit() {
+        assert_eq!(ActivePowerModel::default(), ActivePowerModel::paper_fit());
+        assert!((ActivePowerModel::default().watts_per_percent() - 0.4452).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_slope() {
+        let _ = ActivePowerModel::new(-0.1);
+    }
+}

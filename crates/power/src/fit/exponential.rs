@@ -1,0 +1,139 @@
+//! Fitting the paper's leakage form `y = c + a·e^(b·x)`.
+
+use super::{levenberg_marquardt, validate_xy, FitError, Goodness, LmOptions};
+
+/// Result of fitting `y = offset + scale·e^(rate·x)` — the paper's
+/// `P_leak = C + k2·e^(k3·T)` with `x` the CPU temperature in °C.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExponentialFit {
+    /// The constant offset `C`.
+    pub offset: f64,
+    /// The scale factor `k2`.
+    pub scale: f64,
+    /// The exponent `k3`.
+    pub rate: f64,
+    /// Residual statistics.
+    pub goodness: Goodness,
+}
+
+impl ExponentialFit {
+    /// Evaluates the fitted curve at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.offset + self.scale * (self.rate * x).exp()
+    }
+}
+
+/// Fits `y = c + a·e^(b·x)` with `a > 0`, `b > 0` (leakage grows with
+/// temperature).
+///
+/// Seeding follows the classic two-stage approach: guess `c` slightly
+/// below the smallest observation, log-linearize `ln(y − c) = ln a + b·x`
+/// for `(a, b)`, then refine all three parameters with
+/// Levenberg–Marquardt.
+///
+/// # Errors
+///
+/// Returns data-validation errors from the shared checks, or
+/// [`FitError::Degenerate`] when the observations do not grow with `x`
+/// (no exponential signal to fit).
+pub fn exponential(xs: &[f64], ys: &[f64]) -> Result<ExponentialFit, FitError> {
+    validate_xy(xs, ys, 4)?;
+
+    let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if y_max - y_min < 1e-12 {
+        return Err(FitError::Degenerate);
+    }
+
+    // Stage 1: log-linear seed with c slightly below min(y).
+    let c0 = y_min - 0.05 * (y_max - y_min).max(1e-6);
+    let (lin_xs, lin_ys): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(_, &y)| y > c0)
+        .map(|(&x, &y)| (x, (y - c0).ln()))
+        .unzip();
+    let seed = super::linear(&lin_xs, &lin_ys)?;
+    let b0 = seed.slope.max(1e-6);
+    let a0 = seed.intercept.exp().max(1e-9);
+
+    // Stage 2: full nonlinear refinement.
+    let fit = levenberg_marquardt(
+        |p, x| p[0] + p[1] * (p[2] * x).exp(),
+        xs,
+        ys,
+        &[c0, a0, b0],
+        LmOptions::default(),
+    )?;
+
+    Ok(ExponentialFit {
+        offset: fit.params[0],
+        scale: fit.params[1],
+        rate: fit.params[2],
+        goodness: fit.goodness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(c: f64, a: f64, b: f64, noise_amp: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut seed = 42u64;
+        let mut noise = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * noise_amp
+        };
+        let xs: Vec<f64> = (45..=88).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| c + a * (b * x).exp() + noise())
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_paper_constants_noiseless() {
+        let (xs, ys) = synth(9.0, 0.3231, 0.04749, 0.0);
+        let f = exponential(&xs, &ys).unwrap();
+        assert!((f.offset - 9.0).abs() < 1e-3, "offset {}", f.offset);
+        assert!((f.scale - 0.3231).abs() < 1e-3, "scale {}", f.scale);
+        assert!((f.rate - 0.04749).abs() < 1e-4, "rate {}", f.rate);
+        assert!(f.goodness.rmse < 1e-5);
+        assert!(f.goodness.accuracy_percent > 99.9);
+    }
+
+    #[test]
+    fn recovers_constants_with_sensor_noise() {
+        let (xs, ys) = synth(9.0, 0.3231, 0.04749, 0.5);
+        let f = exponential(&xs, &ys).unwrap();
+        assert!((f.rate - 0.04749).abs() < 0.01, "rate {}", f.rate);
+        assert!(f.goodness.rmse < 0.6);
+        assert!(f.goodness.r_squared > 0.95);
+    }
+
+    #[test]
+    fn predict_round_trip() {
+        let (xs, ys) = synth(5.0, 1.0, 0.03, 0.0);
+        let f = exponential(&xs, &ys).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((f.predict(x) - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flat_data_rejected() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys = vec![3.0; 10];
+        assert_eq!(exponential(&xs, &ys), Err(FitError::Degenerate));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            exponential(&[1.0, 2.0, 3.0], &[1.0, 2.0, 4.0]),
+            Err(FitError::InsufficientData { .. })
+        ));
+    }
+}

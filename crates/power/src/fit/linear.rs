@@ -1,0 +1,108 @@
+//! Ordinary least squares for `y = slope·x + intercept`.
+
+use super::{validate_xy, FitError, Goodness};
+
+/// Result of an ordinary-least-squares line fit.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Residual statistics.
+    pub goodness: Goodness,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// Used to identify `k1` in `P_active = k1·U` from `(utilization,
+/// active power)` observations.
+///
+/// # Errors
+///
+/// Returns [`FitError::InsufficientData`] for fewer than 2 points,
+/// [`FitError::LengthMismatch`], [`FitError::NonFiniteData`], or
+/// [`FitError::Degenerate`] when all `x` coincide.
+pub fn linear(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    validate_xy(xs, ys, 2)?;
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx < 1e-300 {
+        return Err(FitError::Degenerate);
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let residuals: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| slope * x + intercept - y)
+        .collect();
+    Ok(LinearFit {
+        slope,
+        intercept,
+        goodness: Goodness::from_residuals(&residuals, ys),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..=10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.4452 * x + 3.0).collect();
+        let f = linear(&xs, &ys).unwrap();
+        assert!((f.slope - 0.4452).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!(f.goodness.r_squared > 0.999_999);
+        assert!((f.predict(20.0) - (0.4452 * 20.0 + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_recovered_approximately() {
+        // Deterministic "noise" from a simple LCG.
+        let mut seed = 1u64;
+        let mut noise = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let xs: Vec<f64> = (0..200).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x - 5.0 + noise()).collect();
+        let f = linear(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!((f.intercept + 5.0).abs() < 1.0);
+        assert!(f.goodness.rmse < 1.0);
+    }
+
+    #[test]
+    fn vertical_data_rejected() {
+        assert_eq!(
+            linear(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            linear(&[1.0], &[1.0]),
+            Err(FitError::InsufficientData { .. })
+        ));
+    }
+}

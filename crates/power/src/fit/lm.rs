@@ -1,0 +1,274 @@
+//! Levenberg–Marquardt nonlinear least squares with numeric Jacobians.
+
+use super::{solve_small, validate_xy, FitError, Goodness};
+
+/// Convergence and damping options for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Relative SSE improvement below which iteration stops.
+    pub tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-12,
+            initial_lambda: 1e-3,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmFit {
+    /// Fitted parameter vector.
+    pub params: Vec<f64>,
+    /// Residual statistics at the solution.
+    pub goodness: Goodness,
+    /// Outer iterations consumed.
+    pub iterations: usize,
+}
+
+/// Fits `y ≈ model(params, x)` by Levenberg–Marquardt with central-
+/// difference Jacobians.
+///
+/// `model` evaluates the prediction for one `x`; the parameter vector
+/// length is taken from `initial`. This is the general engine behind
+/// [`exponential`](super::exponential()); it is public so downstream
+/// experiments (e.g. ablations with alternative leakage forms) can fit
+/// their own models.
+///
+/// # Errors
+///
+/// Returns the usual data-validation errors,
+/// [`FitError::SingularNormalEquations`] when the damped normal
+/// equations collapse, and [`FitError::NotConverged`] when the iteration
+/// limit passes without meeting the tolerance.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_power::fit::{levenberg_marquardt, LmOptions};
+///
+/// # fn main() -> Result<(), leakctl_power::fit::FitError> {
+/// let xs: Vec<f64> = (0..30).map(|i| f64::from(i) * 0.2).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (0.7 * x).exp()).collect();
+/// let fit = levenberg_marquardt(
+///     |p, x| p[0] * (p[1] * x).exp(),
+///     &xs,
+///     &ys,
+///     &[1.0, 0.3],
+///     LmOptions::default(),
+/// )?;
+/// assert!((fit.params[0] - 3.0).abs() < 1e-6);
+/// assert!((fit.params[1] - 0.7).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt<F>(
+    model: F,
+    xs: &[f64],
+    ys: &[f64],
+    initial: &[f64],
+    options: LmOptions,
+) -> Result<LmFit, FitError>
+where
+    F: Fn(&[f64], f64) -> f64,
+{
+    let n_params = initial.len();
+    validate_xy(xs, ys, n_params + 1)?;
+    if initial.iter().any(|p| !p.is_finite()) {
+        return Err(FitError::NonFiniteData);
+    }
+
+    let residuals = |p: &[f64]| -> Vec<f64> {
+        xs.iter().zip(ys).map(|(&x, &y)| model(p, x) - y).collect()
+    };
+    let sse = |r: &[f64]| -> f64 { r.iter().map(|v| v * v).sum() };
+
+    let mut params = initial.to_vec();
+    let mut r = residuals(&params);
+    let mut current_sse = sse(&r);
+    let mut lambda = options.initial_lambda;
+    let mut iterations = 0;
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+
+        // Central-difference Jacobian: J[i][j] = ∂r_i/∂p_j.
+        let mut jac = vec![vec![0.0; n_params]; xs.len()];
+        for j in 0..n_params {
+            let h = 1e-6 * params[j].abs().max(1e-4);
+            let mut p_hi = params.clone();
+            p_hi[j] += h;
+            let mut p_lo = params.clone();
+            p_lo[j] -= h;
+            for (i, &x) in xs.iter().enumerate() {
+                jac[i][j] = (model(&p_hi, x) - model(&p_lo, x)) / (2.0 * h);
+            }
+        }
+
+        // Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr.
+        let mut jtj = vec![vec![0.0; n_params]; n_params];
+        let mut jtr = vec![0.0; n_params];
+        for i in 0..xs.len() {
+            for a in 0..n_params {
+                jtr[a] += jac[i][a] * r[i];
+                for b in 0..n_params {
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+                }
+            }
+        }
+
+        // Inner loop: raise λ until a step improves the SSE.
+        let mut improved = false;
+        for _ in 0..30 {
+            let mut damped = jtj.clone();
+            for (a, row) in damped.iter_mut().enumerate() {
+                row[a] += lambda * jtj[a][a].max(1e-12);
+            }
+            let rhs: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let delta = match solve_small(damped, rhs) {
+                Ok(d) => d,
+                Err(_) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+            };
+            let candidate: Vec<f64> = params
+                .iter()
+                .zip(&delta)
+                .map(|(p, d)| p + d)
+                .collect();
+            if candidate.iter().any(|p| !p.is_finite()) {
+                lambda *= 10.0;
+                continue;
+            }
+            let cand_r = residuals(&candidate);
+            let cand_sse = sse(&cand_r);
+            if cand_sse.is_finite() && cand_sse < current_sse {
+                let rel_gain = (current_sse - cand_sse) / current_sse.max(1e-300);
+                params = candidate;
+                r = cand_r;
+                current_sse = cand_sse;
+                lambda = (lambda / 10.0).max(1e-12);
+                improved = true;
+                if rel_gain < options.tolerance {
+                    // Converged.
+                    return Ok(LmFit {
+                        goodness: Goodness::from_residuals(&r, ys),
+                        params,
+                        iterations,
+                    });
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+
+        if !improved {
+            // λ exhausted — we are at a (local) minimum.
+            return Ok(LmFit {
+                goodness: Goodness::from_residuals(&r, ys),
+                params,
+                iterations,
+            });
+        }
+    }
+
+    Err(FitError::NotConverged {
+        iterations: options.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exponential_with_offset() {
+        let truth = [9.0, 0.3231, 0.04749];
+        let xs: Vec<f64> = (45..=88).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| truth[0] + truth[1] * (truth[2] * x).exp())
+            .collect();
+        let fit = levenberg_marquardt(
+            |p, x| p[0] + p[1] * (p[2] * x).exp(),
+            &xs,
+            &ys,
+            &[5.0, 1.0, 0.03],
+            LmOptions::default(),
+        )
+        .unwrap();
+        for (got, want) in fit.params.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+        assert!(fit.goodness.rmse < 1e-6);
+    }
+
+    #[test]
+    fn fits_polynomial() {
+        let xs: Vec<f64> = (-10..=10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+        let fit = levenberg_marquardt(
+            |p, x| p[0] + p[1] * x + p[2] * x * x,
+            &xs,
+            &ys,
+            &[0.0, 0.0, 0.0],
+            LmOptions::default(),
+        )
+        .unwrap();
+        assert!((fit.params[0] - 1.0).abs() < 1e-8);
+        assert!((fit.params[1] + 2.0).abs() < 1e-8);
+        assert!((fit.params[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn stays_finite_on_wild_start() {
+        let xs: Vec<f64> = (0..50).map(|i| f64::from(i) * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + x).collect();
+        let fit = levenberg_marquardt(
+            |p, x| p[0] + p[1] * (p[2] * x).exp(),
+            &xs,
+            &ys,
+            &[100.0, -50.0, 5.0],
+            LmOptions::default(),
+        );
+        // Either converges or reports non-convergence — never panics.
+        if let Ok(f) = fit {
+            assert!(f.params.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        let err = levenberg_marquardt(
+            |p, x| p[0] * x,
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            LmOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FitError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn non_finite_initial_rejected() {
+        let err = levenberg_marquardt(
+            |p, x| p[0] * x,
+            &[1.0, 2.0, 3.0],
+            &[1.0, 2.0, 3.0],
+            &[f64::NAN],
+            LmOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::NonFiniteData);
+    }
+}

@@ -1,0 +1,245 @@
+//! Curve fitting for power-model identification.
+//!
+//! The characterization pipeline measures `(U, T, P)` triples from the
+//! digital twin's telemetry and identifies the paper's Eqn. 2 constants:
+//! `k1` by [ordinary least squares](linear()) on the active component and
+//! `(C, k2, k3)` by [exponential fitting](exponential()) (log-linear
+//! seeding refined with [Levenberg–Marquardt](levenberg_marquardt())).
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_power::fit;
+//!
+//! # fn main() -> Result<(), fit::FitError> {
+//! let xs: Vec<f64> = (0..20).map(f64::from).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 0.5 * x).collect();
+//! let f = fit::linear(&xs, &ys)?;
+//! assert!((f.slope - 0.5).abs() < 1e-9);
+//! assert!((f.intercept - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod exponential;
+mod linear;
+mod lm;
+
+pub use exponential::{exponential, ExponentialFit};
+pub use linear::{linear, LinearFit};
+pub use lm::{levenberg_marquardt, LmFit, LmOptions};
+
+use core::fmt;
+
+/// Errors produced by the fitting routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer observations than the model has parameters (plus one).
+    InsufficientData {
+        /// Observations supplied.
+        got: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// `xs` and `ys` differ in length.
+    LengthMismatch,
+    /// Input contained NaN/∞ values.
+    NonFiniteData,
+    /// The regressors are degenerate (e.g. all `x` identical).
+    Degenerate,
+    /// The normal equations were singular at some iterate.
+    SingularNormalEquations,
+    /// The iteration limit was reached without meeting the tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientData { got, need } => {
+                write!(f, "need at least {need} observations, got {got}")
+            }
+            Self::LengthMismatch => write!(f, "xs and ys must have equal length"),
+            Self::NonFiniteData => write!(f, "input data must be finite"),
+            Self::Degenerate => write!(f, "regressors are degenerate"),
+            Self::SingularNormalEquations => write!(f, "singular normal equations"),
+            Self::NotConverged { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Goodness-of-fit summary attached to every fit result.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Goodness {
+    /// Root-mean-square residual, in the units of `y` (the paper's
+    /// "fitting error of 2.243 W").
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Largest absolute residual.
+    pub max_abs_err: f64,
+    /// `100·(1 − mean|residual| / mean|y|)` — the "98 % accuracy" figure
+    /// of merit the paper quotes.
+    pub accuracy_percent: f64,
+}
+
+impl Goodness {
+    /// Computes the summary from residuals and observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `residuals` and `ys` differ in length or are empty
+    /// (internal misuse; public entry points validate earlier).
+    pub(crate) fn from_residuals(residuals: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(residuals.len(), ys.len());
+        assert!(!ys.is_empty());
+        let n = ys.len() as f64;
+        let sse: f64 = residuals.iter().map(|r| r * r).sum();
+        let rmse = (sse / n).sqrt();
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let sst: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+        let max_abs_err = residuals.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+        let mean_abs_res = residuals.iter().map(|r| r.abs()).sum::<f64>() / n;
+        let mean_abs_y = ys.iter().map(|y| y.abs()).sum::<f64>() / n;
+        let accuracy_percent = if mean_abs_y > 0.0 {
+            100.0 * (1.0 - mean_abs_res / mean_abs_y)
+        } else {
+            0.0
+        };
+        Self {
+            rmse,
+            r_squared,
+            max_abs_err,
+            accuracy_percent,
+        }
+    }
+}
+
+/// Validates paired observation arrays.
+pub(crate) fn validate_xy(xs: &[f64], ys: &[f64], min_n: usize) -> Result<(), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < min_n {
+        return Err(FitError::InsufficientData {
+            got: xs.len(),
+            need: min_n,
+        });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteData);
+    }
+    Ok(())
+}
+
+/// Solves a small dense linear system in place (Gaussian elimination
+/// with partial pivoting). Used for the ≤ 4-parameter normal equations;
+/// the thermal crate carries the full LU machinery for larger systems.
+pub(crate) fn solve_small(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for k in 0..n {
+        let mut piv = k;
+        for r in (k + 1)..n {
+            if a[r][k].abs() > a[piv][k].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][k].abs() < 1e-300 {
+            return Err(FitError::SingularNormalEquations);
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        for r in (k + 1)..n {
+            let factor = a[r][k] / a[k][k];
+            let (pivot_rows, rest) = a.split_at_mut(k + 1);
+            let pivot_row = &pivot_rows[k];
+            let row = &mut rest[r - k - 1];
+            for (cell, pivot_cell) in row[k..].iter_mut().zip(&pivot_row[k..]) {
+                *cell -= factor * pivot_cell;
+            }
+            b[r] -= factor * b[k];
+        }
+    }
+    for r in (0..n).rev() {
+        for c in (r + 1)..n {
+            b[r] -= a[r][c] * b[c];
+        }
+        b[r] /= a[r][r];
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodness_of_perfect_fit() {
+        let ys = [1.0, 2.0, 3.0];
+        let g = Goodness::from_residuals(&[0.0, 0.0, 0.0], &ys);
+        assert_eq!(g.rmse, 0.0);
+        assert_eq!(g.r_squared, 1.0);
+        assert_eq!(g.max_abs_err, 0.0);
+        assert_eq!(g.accuracy_percent, 100.0);
+    }
+
+    #[test]
+    fn goodness_known_values() {
+        let ys = [10.0, 10.0, 10.0, 10.0];
+        let res = [1.0, -1.0, 1.0, -1.0];
+        let g = Goodness::from_residuals(&res, &ys);
+        assert!((g.rmse - 1.0).abs() < 1e-12);
+        assert!((g.accuracy_percent - 90.0).abs() < 1e-12);
+        assert_eq!(g.max_abs_err, 1.0);
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        assert_eq!(
+            validate_xy(&[1.0], &[1.0, 2.0], 1),
+            Err(FitError::LengthMismatch)
+        );
+        assert_eq!(
+            validate_xy(&[1.0], &[1.0], 3),
+            Err(FitError::InsufficientData { got: 1, need: 3 })
+        );
+        assert_eq!(
+            validate_xy(&[f64::NAN, 1.0], &[0.0, 1.0], 2),
+            Err(FitError::NonFiniteData)
+        );
+        assert!(validate_xy(&[1.0, 2.0], &[3.0, 4.0], 2).is_ok());
+    }
+
+    #[test]
+    fn solve_small_known_system() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_small(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_small_detects_singular() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(
+            solve_small(a, vec![1.0, 2.0]),
+            Err(FitError::SingularNormalEquations)
+        );
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(FitError::Degenerate.to_string().contains("degenerate"));
+        assert!(FitError::NotConverged { iterations: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

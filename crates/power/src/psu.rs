@@ -1,0 +1,150 @@
+//! Power-supply-unit efficiency model.
+
+use leakctl_units::Watts;
+
+/// Load-dependent PSU efficiency.
+///
+/// Efficiency follows the familiar 80-PLUS-style hump: poor at light
+/// load, peaking near half load, slightly lower at full load:
+///
+/// ```text
+/// η(l) = η_peak − droop·(l − l_peak)²,   l = P_out / P_rated
+/// ```
+///
+/// The digital twin routes all DC consumers through this model so the
+/// simulated wall-power sensor sees realistic conversion losses (the
+/// paper's power telemetry is measured at the system level).
+///
+/// # Example
+///
+/// ```
+/// use leakctl_power::PsuModel;
+/// use leakctl_units::Watts;
+///
+/// let psu = PsuModel::paper_server();
+/// let input = psu.input_power(Watts::new(500.0));
+/// assert!(input.value() > 500.0, "input exceeds output by the losses");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PsuModel {
+    rated: f64,
+    eta_peak: f64,
+    load_peak: f64,
+    droop: f64,
+}
+
+impl PsuModel {
+    /// Creates a PSU rated for `rated` output watts with peak efficiency
+    /// `eta_peak` at load fraction `load_peak` and quadratic `droop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rated <= 0`, `eta_peak` is outside `(0, 1]`,
+    /// `load_peak` is outside `(0, 1]`, or `droop < 0`.
+    #[must_use]
+    pub fn new(rated: Watts, eta_peak: f64, load_peak: f64, droop: f64) -> Self {
+        assert!(rated.value() > 0.0 && rated.is_finite(), "rating must be positive");
+        assert!(
+            eta_peak > 0.0 && eta_peak <= 1.0,
+            "peak efficiency must be in (0, 1]"
+        );
+        assert!(
+            load_peak > 0.0 && load_peak <= 1.0,
+            "peak-efficiency load must be in (0, 1]"
+        );
+        assert!(droop >= 0.0 && droop.is_finite(), "droop must be non-negative");
+        Self {
+            rated: rated.value(),
+            eta_peak,
+            load_peak,
+            droop,
+        }
+    }
+
+    /// The twin's supply: 2 kW rating, 91 % peak efficiency at half
+    /// load, mild droop (η ≈ 88 % at full load).
+    #[must_use]
+    pub fn paper_server() -> Self {
+        Self::new(Watts::new(2000.0), 0.91, 0.5, 0.12)
+    }
+
+    /// Efficiency at the given DC output power (clamped to 20 % minimum
+    /// so pathological light loads stay finite).
+    #[must_use]
+    pub fn efficiency(&self, output: Watts) -> f64 {
+        let load = (output.value().max(0.0) / self.rated).min(1.5);
+        (self.eta_peak - self.droop * (load - self.load_peak).powi(2)).clamp(0.2, 1.0)
+    }
+
+    /// AC input power needed to deliver `output` DC watts.
+    #[must_use]
+    pub fn input_power(&self, output: Watts) -> Watts {
+        let out = output.max(Watts::ZERO);
+        Watts::new(out.value() / self.efficiency(out))
+    }
+
+    /// Conversion loss at the given output level.
+    #[must_use]
+    pub fn loss(&self, output: Watts) -> Watts {
+        self.input_power(output) - output.max(Watts::ZERO)
+    }
+}
+
+impl Default for PsuModel {
+    /// The twin's calibrated supply.
+    fn default() -> Self {
+        Self::paper_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_at_configured_load() {
+        let psu = PsuModel::new(Watts::new(1000.0), 0.9, 0.5, 0.2);
+        let at_peak = psu.efficiency(Watts::new(500.0));
+        assert!((at_peak - 0.9).abs() < 1e-12);
+        assert!(psu.efficiency(Watts::new(100.0)) < at_peak);
+        assert!(psu.efficiency(Watts::new(1000.0)) < at_peak);
+    }
+
+    #[test]
+    fn input_always_exceeds_output() {
+        let psu = PsuModel::paper_server();
+        for out in [50.0, 200.0, 500.0, 800.0, 1500.0] {
+            let input = psu.input_power(Watts::new(out));
+            assert!(input.value() > out, "input {input} for output {out}");
+        }
+    }
+
+    #[test]
+    fn loss_is_consistent() {
+        let psu = PsuModel::paper_server();
+        let out = Watts::new(600.0);
+        let loss = psu.loss(out);
+        assert!((psu.input_power(out).value() - out.value() - loss.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_output_safe() {
+        let psu = PsuModel::paper_server();
+        assert_eq!(psu.input_power(Watts::ZERO), Watts::ZERO);
+        assert_eq!(psu.input_power(Watts::new(-10.0)), Watts::ZERO);
+        assert!(psu.efficiency(Watts::new(-10.0)) > 0.0);
+    }
+
+    #[test]
+    fn efficiency_stays_in_bounds_under_overload() {
+        let psu = PsuModel::new(Watts::new(100.0), 0.95, 0.5, 3.0);
+        let eta = psu.efficiency(Watts::new(1000.0));
+        assert!((0.2..=1.0).contains(&eta));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak efficiency")]
+    fn rejects_bad_efficiency() {
+        let _ = PsuModel::new(Watts::new(100.0), 1.2, 0.5, 0.1);
+    }
+}

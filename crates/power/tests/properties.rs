@@ -1,0 +1,133 @@
+//! Property-based tests for power models and fitting.
+
+use leakctl_power::fit;
+use leakctl_power::{
+    ActivePowerModel, EmpiricalLeakage, FanPowerModel, PhysicalLeakage, PsuModel,
+    ServerPowerModel,
+};
+use leakctl_units::{AirFlow, Celsius, Rpm, Utilization, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn active_power_is_linear(k1 in 0.01..2.0f64, u in 0.0..=1.0f64) {
+        let m = ActivePowerModel::new(k1);
+        let u1 = Utilization::from_fraction(u).unwrap();
+        let p = m.power(u1).value();
+        prop_assert!((p - k1 * u * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_monotone(
+        c in 0.0..20.0f64,
+        k2 in 0.01..2.0f64,
+        k3 in 0.01..0.1f64,
+        t1 in 20.0..70.0f64,
+        dt in 0.5..30.0f64,
+    ) {
+        let m = EmpiricalLeakage::new(c, k2, k3);
+        let p1 = m.power(Celsius::new(t1));
+        let p2 = m.power(Celsius::new(t1 + dt));
+        prop_assert!(p2 > p1);
+    }
+
+    #[test]
+    fn physical_leakage_positive_and_monotone(
+        pref in 1.0..30.0f64,
+        sigma in 0.5..2.0f64,
+        t in 20.0..100.0f64,
+    ) {
+        let m = PhysicalLeakage::calibrated(pref).with_process_sigma(sigma);
+        let p = m.power(Celsius::new(t));
+        prop_assert!(p.value() > 0.0);
+        let p_hotter = m.power(Celsius::new(t + 1.0));
+        prop_assert!(p_hotter > p);
+    }
+
+    #[test]
+    fn fan_power_monotone_and_superlinear(
+        rpm in 500.0..4000.0f64,
+        factor in 1.1..2.0f64,
+    ) {
+        let m = FanPowerModel::paper_server();
+        let p1 = m.power(Rpm::new(rpm));
+        let p2 = m.power(Rpm::new(rpm * factor));
+        prop_assert!(p2 > p1);
+        // Dynamic part grows faster than linearly.
+        let floor = m.power(Rpm::ZERO).value();
+        prop_assert!(p2.value() - floor > factor * (p1.value() - floor) * 0.999);
+    }
+
+    #[test]
+    fn fan_flow_linear(rpm in 100.0..4200.0f64, k in 1.1..3.0f64) {
+        let m = FanPowerModel::paper_server();
+        let q1 = m.flow(Rpm::new(rpm)).value();
+        let q2 = m.flow(Rpm::new(rpm * k)).value();
+        prop_assert!((q2 - k * q1).abs() < 1e-9 * q2.abs().max(1.0));
+        prop_assert!(m.flow(Rpm::new(rpm)).value() >= 0.0);
+        let _ = AirFlow::ZERO;
+    }
+
+    #[test]
+    fn psu_input_at_least_output(out in 0.0..1800.0f64) {
+        let psu = PsuModel::paper_server();
+        let input = psu.input_power(Watts::new(out));
+        prop_assert!(input.value() >= out);
+        prop_assert!(psu.loss(Watts::new(out)).value() >= 0.0);
+    }
+
+    #[test]
+    fn psu_input_monotone(out in 10.0..1500.0f64, extra in 1.0..200.0f64) {
+        let psu = PsuModel::paper_server();
+        let i1 = psu.input_power(Watts::new(out));
+        let i2 = psu.input_power(Watts::new(out + extra));
+        prop_assert!(i2 > i1);
+    }
+
+    #[test]
+    fn composite_total_is_sum(
+        u in 0.0..=1.0f64,
+        t in 30.0..90.0f64,
+        rpm in 1800.0..4200.0f64,
+    ) {
+        let m = ServerPowerModel::paper_fit();
+        let uu = Utilization::from_fraction(u).unwrap();
+        let total = m.total(uu, Celsius::new(t), Rpm::new(rpm)).value();
+        let sum = m.idle().value()
+            + m.active().power(uu).value()
+            + m.leakage().power(Celsius::new(t)).value()
+            + m.fan().power(Rpm::new(rpm)).value();
+        prop_assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_truth(
+        slope in -5.0..5.0f64,
+        intercept in -50.0..50.0f64,
+    ) {
+        let xs: Vec<f64> = (0..25).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let f = fit::linear(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-8);
+        prop_assert!((f.intercept - intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_truth(
+        c in 0.0..15.0f64,
+        a in 0.05..2.0f64,
+        b in 0.02..0.08f64,
+    ) {
+        let xs: Vec<f64> = (40..=90).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c + a * (b * x).exp()).collect();
+        let f = fit::exponential(&xs, &ys).unwrap();
+        prop_assert!((f.rate - b).abs() < 1e-3, "rate {} vs {}", f.rate, b);
+        // Offset and scale trade off slightly; check predictions instead.
+        for &x in &xs {
+            let y = c + a * (b * x).exp();
+            prop_assert!((f.predict(x) - y).abs() < 0.05 * y.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The monotonic simulation clock.
+
+use core::fmt;
+
+use leakctl_units::{SimDuration, SimInstant};
+
+/// Error returned when attempting to move a [`Clock`] backwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockError {
+    now: SimInstant,
+    requested: SimInstant,
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot move clock backwards from {} to {}",
+            self.now, self.requested
+        )
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+/// A monotonic simulation clock.
+///
+/// The clock only moves forward; [`Clock::advance_to`] rejects attempts
+/// to rewind, which catches event-ordering bugs early.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::Clock;
+/// use leakctl_units::SimDuration;
+///
+/// let mut clock = Clock::new();
+/// clock.advance_by(SimDuration::from_secs(5));
+/// assert_eq!(clock.now().as_secs_f64(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Clock {
+    now: SimInstant,
+}
+
+impl Clock {
+    /// Creates a clock positioned at [`SimInstant::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock positioned at an arbitrary instant.
+    #[must_use]
+    pub fn starting_at(now: SimInstant) -> Self {
+        Self { now }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Moves the clock forward to `instant`.
+    ///
+    /// Advancing to the current instant is a no-op and allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockError`] when `instant` is in the past.
+    pub fn advance_to(&mut self, instant: SimInstant) -> Result<(), ClockError> {
+        if instant < self.now {
+            return Err(ClockError {
+                now: self.now,
+                requested: instant,
+            });
+        }
+        self.now = instant;
+        Ok(())
+    }
+
+    /// Moves the clock forward by `dt`.
+    pub fn advance_by(&mut self, dt: SimDuration) {
+        self.now += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimInstant::ZERO);
+    }
+
+    #[test]
+    fn advances_forward() {
+        let mut c = Clock::new();
+        c.advance_by(SimDuration::from_secs(10));
+        c.advance_to(SimInstant::from_millis(20_000)).unwrap();
+        assert_eq!(c.now().as_secs_f64(), 20.0);
+    }
+
+    #[test]
+    fn same_instant_is_ok() {
+        let mut c = Clock::starting_at(SimInstant::from_millis(500));
+        assert!(c.advance_to(SimInstant::from_millis(500)).is_ok());
+    }
+
+    #[test]
+    fn rejects_rewind() {
+        let mut c = Clock::starting_at(SimInstant::from_millis(1_000));
+        let err = c.advance_to(SimInstant::from_millis(999)).unwrap_err();
+        assert!(err.to_string().contains("backwards"));
+        assert_eq!(c.now(), SimInstant::from_millis(1_000));
+    }
+}

@@ -1,0 +1,238 @@
+//! Cancellable, deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use leakctl_units::SimInstant;
+
+/// Handle returned by [`EventQueue::push`]; identifies a scheduled event
+/// so it can later be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+/// A priority queue of timestamped events.
+///
+/// Events pop in increasing time order; events scheduled for the *same*
+/// instant pop in insertion (FIFO) order, which keeps multi-component
+/// simulations deterministic without relying on hash-map iteration order.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::EventQueue;
+/// use leakctl_units::SimInstant;
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(SimInstant::from_millis(5), "late");
+/// q.push(SimInstant::from_millis(1), "early");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((SimInstant::from_millis(1), "early")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: SimInstant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at` and returns a cancellation
+    /// handle.
+    pub fn push(&mut self, at: SimInstant, payload: T) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` when the handle referred to an event that had not
+    /// yet fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// The instant of the next live event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimInstant> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the next live event.
+    pub fn pop(&mut self) -> Option<(SimInstant, T)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Removes and returns the next live event only if it fires at or
+    /// before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimInstant) -> Option<(SimInstant, T)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all queued events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(30), 3);
+        q.push(at(10), 1);
+        q.push(at(20), 2);
+        assert_eq!(q.pop(), Some((at(10), 1)));
+        assert_eq!(q.pop(), Some((at(20), 2)));
+        assert_eq!(q.pop(), Some((at(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(at(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((at(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.push(at(10), "a");
+        q.push(at(20), "b");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((at(20), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut q = EventQueue::<u8>::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(at(7), ());
+        assert_eq!(q.peek_time(), Some(at(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(at(100), "later");
+        assert_eq!(q.pop_before(at(99)), None);
+        assert_eq!(q.pop_before(at(100)), Some((at(100), "later")));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(at(1), 1);
+        let h = q.push(at(2), 2);
+        q.cancel(h);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancelled_head_skipped_by_peek() {
+        let mut q = EventQueue::new();
+        let h = q.push(at(1), "dead");
+        q.push(at(2), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(at(2)));
+        assert_eq!(q.pop(), Some((at(2), "live")));
+    }
+}

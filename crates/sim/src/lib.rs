@@ -1,0 +1,48 @@
+//! Deterministic discrete-event simulation kernel for the `leakctl`
+//! workspace.
+//!
+//! The server digital twin mixes *continuous* dynamics (the RC thermal
+//! network) with *discrete* events (telemetry polls every 10 s, DLC-PC
+//! utilization polls every 1 s, fan-supply commands, workload phase
+//! changes). This crate provides the discrete half:
+//!
+//! - [`EventQueue`] — a cancellable priority queue of timestamped events
+//!   with deterministic FIFO ordering for simultaneous events,
+//! - [`Clock`] — the monotonic simulation clock,
+//! - [`Periodic`] — an iterator-style helper for fixed-rate activities,
+//! - [`SimRng`] — a seedable, forkable xoshiro256++ random-number
+//!   generator (implements [`rand::RngCore`]) so every run is exactly
+//!   reproducible from its seed,
+//! - [`TraceRecorder`] — a bounded in-memory log of annotated events.
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_sim::{Clock, EventQueue};
+//! use leakctl_units::{SimDuration, SimInstant};
+//!
+//! let mut clock = Clock::new();
+//! let mut queue = EventQueue::new();
+//! queue.push(SimInstant::ZERO + SimDuration::from_secs(10), "poll");
+//! queue.push(SimInstant::ZERO + SimDuration::from_secs(1), "sar");
+//!
+//! let (t, what) = queue.pop().unwrap();
+//! clock.advance_to(t).unwrap();
+//! assert_eq!(what, "sar");
+//! assert_eq!(clock.now().as_secs_f64(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod event;
+mod periodic;
+mod rng;
+mod trace;
+
+pub use clock::{Clock, ClockError};
+pub use event::{EventHandle, EventQueue};
+pub use periodic::Periodic;
+pub use rng::SimRng;
+pub use trace::{TraceEntry, TraceRecorder};

@@ -1,0 +1,131 @@
+//! Fixed-rate activity helper.
+
+use leakctl_units::{SimDuration, SimInstant};
+
+/// Generates the firing instants of a fixed-period activity (telemetry
+/// polls, controller decision epochs, workload PWM edges).
+///
+/// Behaves like an infinite iterator over instants `start, start + p,
+/// start + 2p, …`, but also supports querying and fast-forwarding, which
+/// the simulation loop needs when it jumps over idle stretches.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::Periodic;
+/// use leakctl_units::{SimDuration, SimInstant};
+///
+/// let mut poll = Periodic::new(SimInstant::ZERO, SimDuration::from_secs(10));
+/// assert_eq!(poll.next_fire().as_secs_f64(), 0.0);
+/// poll.advance();
+/// assert_eq!(poll.next_fire().as_secs_f64(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodic {
+    next: SimInstant,
+    period: SimDuration,
+}
+
+impl Periodic {
+    /// Creates an activity that first fires at `start` and then every
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period` is zero — a zero-period activity would stall
+    /// the simulation loop.
+    #[must_use]
+    pub fn new(start: SimInstant, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "Periodic period must be non-zero");
+        Self {
+            next: start,
+            period,
+        }
+    }
+
+    /// The instant of the next firing.
+    #[inline]
+    #[must_use]
+    pub fn next_fire(&self) -> SimInstant {
+        self.next
+    }
+
+    /// The configured period.
+    #[inline]
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// `true` when the activity is due at or before `now`.
+    #[inline]
+    #[must_use]
+    pub fn is_due(&self, now: SimInstant) -> bool {
+        self.next <= now
+    }
+
+    /// Consumes one firing, moving to the next period boundary.
+    pub fn advance(&mut self) {
+        self.next += self.period;
+    }
+
+    /// Fires as many times as are due at `now`, returning how many
+    /// firings elapsed (0 when not yet due).
+    ///
+    /// Use this after a long integration step to learn how many polls
+    /// were crossed.
+    pub fn catch_up(&mut self, now: SimInstant) -> u64 {
+        let mut fired = 0;
+        while self.next <= now {
+            self.next += self.period;
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Re-anchors the activity to first fire at `start`.
+    pub fn reset(&mut self, start: SimInstant) {
+        self.next = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::from_millis(ms)
+    }
+
+    #[test]
+    fn fires_on_schedule() {
+        let mut p = Periodic::new(at(0), SimDuration::from_secs(1));
+        assert!(p.is_due(at(0)));
+        p.advance();
+        assert!(!p.is_due(at(999)));
+        assert!(p.is_due(at(1_000)));
+    }
+
+    #[test]
+    fn catch_up_counts_missed_firings() {
+        let mut p = Periodic::new(at(0), SimDuration::from_secs(10));
+        let fired = p.catch_up(at(35_000));
+        assert_eq!(fired, 4); // t = 0, 10, 20, 30 s
+        assert_eq!(p.next_fire(), at(40_000));
+        assert_eq!(p.catch_up(at(35_000)), 0);
+    }
+
+    #[test]
+    fn reset_reanchors() {
+        let mut p = Periodic::new(at(0), SimDuration::from_secs(5));
+        p.catch_up(at(60_000));
+        p.reset(at(61_000));
+        assert_eq!(p.next_fire(), at(61_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = Periodic::new(at(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic random-number generation.
+//!
+//! Simulation runs must be exactly reproducible from a seed, including
+//! across releases of third-party crates, so the generator itself —
+//! xoshiro256++ seeded through SplitMix64 — is implemented here rather
+//! than taken from `rand`. The type still implements [`rand::RngCore`],
+//! so the distribution machinery from `rand` works on top of it.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// A seedable, forkable xoshiro256++ generator.
+///
+/// [`SimRng::fork`] derives an independent child stream, letting each
+/// simulation component (sensor noise, workload arrivals, …) own its own
+/// generator so adding randomness to one component never perturbs the
+/// draws seen by another.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+///
+/// let mut child = a.fork("sensor-noise");
+/// let x: f64 = child.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent child generator identified by `label`.
+    ///
+    /// The child stream depends on the parent's *current* state and the
+    /// label, and advances the parent once, so repeated forks with the
+    /// same label yield different streams.
+    #[must_use]
+    pub fn fork(&mut self, label: &str) -> Self {
+        // Mix the label into a 64-bit tag with FNV-1a.
+        let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            tag ^= u64::from(b);
+            tag = tag.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let parent_draw = self.next_u64();
+        Self::seed(parent_draw ^ tag)
+    }
+
+    /// Draws a `f64` uniformly from `[0, 1)`.
+    #[must_use]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws from the standard normal distribution via Box–Muller.
+    #[must_use]
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Rejection-free polar-less form; u1 > 0 guaranteed by the +1 in
+        // the mantissa trick below.
+        let u1 = (self.next_u64() >> 11) as f64 + 1.0;
+        let u1 = u1 * (1.0 / (1u64 << 53) as f64); // (0, 1]
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws from the exponential distribution with the given rate
+    /// (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not strictly positive.
+    #[must_use]
+    pub fn next_exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.next_f64(); // (0, 1]
+        -u.ln() / rate
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::seed(u64::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn forks_are_independent_and_reproducible() {
+        let mut parent1 = SimRng::seed(99);
+        let mut parent2 = SimRng::seed(99);
+        let mut c1 = parent1.fork("noise");
+        let mut c2 = parent2.fork("noise");
+        for _ in 0..32 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // A different label yields a different stream.
+        let mut parent3 = SimRng::seed(99);
+        let mut c3 = parent3.fork("arrivals");
+        let matches = (0..32)
+            .filter(|_| SimRng::seed(99).fork("noise").next_u64() == c3.next_u64())
+            .count();
+        assert!(matches < 4);
+    }
+
+    #[test]
+    fn repeated_forks_same_label_differ() {
+        let mut parent = SimRng::seed(5);
+        let mut a = parent.fork("x");
+        let mut b = parent.fork("x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut rng = SimRng::seed(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed(13);
+        let rate = 0.25;
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.next_exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean} too far from 1/rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        let _ = SimRng::seed(0).next_exponential(0.0);
+    }
+
+    #[test]
+    fn works_with_rand_distributions() {
+        let mut rng = SimRng::seed(21);
+        let x: f64 = rng.gen_range(10.0..20.0);
+        assert!((10.0..20.0).contains(&x));
+        let b: bool = rng.gen_bool(0.5);
+        let _ = b;
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SimRng::seed(77);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seedable_from_seed() {
+        let a = SimRng::from_seed(42u64.to_le_bytes());
+        let b = SimRng::seed(42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Bounded in-memory event trace.
+
+use leakctl_units::SimInstant;
+
+/// One annotated trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimInstant,
+    /// Which component reported it (e.g. `"lut-controller"`).
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A bounded log of annotated simulation events.
+///
+/// Used by controllers and the platform to leave a human-readable audit
+/// trail (fan speed changes, threshold crossings, failsafe activations)
+/// that tests can assert on.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::TraceRecorder;
+/// use leakctl_units::SimInstant;
+///
+/// let mut trace = TraceRecorder::with_capacity(100);
+/// trace.record(SimInstant::ZERO, "lut", "fan 3300 -> 2400 RPM");
+/// assert_eq!(trace.len(), 1);
+/// assert!(trace.entries()[0].message.contains("2400"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that keeps at most `capacity` entries; further
+    /// records drop the *oldest* entry.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(
+        &mut self,
+        at: SimInstant,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push(TraceEntry {
+            at,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted (or rejected by a zero-capacity
+    /// recorder).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries emitted by a particular source.
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.source == source)
+    }
+
+    /// Removes all entries (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::from_millis(ms)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceRecorder::with_capacity(10);
+        t.record(at(1), "a", "first");
+        t.record(at(2), "b", "second");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].message, "first");
+        assert_eq!(t.entries()[1].at, at(2));
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut t = TraceRecorder::with_capacity(2);
+        t.record(at(1), "s", "one");
+        t.record(at(2), "s", "two");
+        t.record(at(3), "s", "three");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.entries()[0].message, "two");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = TraceRecorder::with_capacity(0);
+        t.record(at(1), "s", "gone");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filter_by_source() {
+        let mut t = TraceRecorder::with_capacity(10);
+        t.record(at(1), "lut", "x");
+        t.record(at(2), "bang", "y");
+        t.record(at(3), "lut", "z");
+        let lut: Vec<_> = t.from_source("lut").collect();
+        assert_eq!(lut.len(), 2);
+        assert_eq!(lut[1].message, "z");
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut t = TraceRecorder::with_capacity(1);
+        t.record(at(1), "s", "a");
+        t.record(at(2), "s", "b");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! The telemetry harness: named channels over [`TimeSeries`] storage.
+
+use core::fmt;
+
+use leakctl_units::{SimDuration, SimInstant};
+
+use crate::series::TimeSeries;
+
+/// Identifier of a channel registered with a [`Csth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ChannelId(pub(crate) usize);
+
+/// Errors produced by the telemetry harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// A channel id referred to a different harness.
+    UnknownChannel {
+        /// The offending index.
+        index: usize,
+    },
+    /// A sample was rejected by the underlying series.
+    BadSample {
+        /// Channel name.
+        channel: String,
+        /// Rejection reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownChannel { index } => write!(f, "unknown channel id {index}"),
+            Self::BadSample { channel, reason } => {
+                write!(f, "bad sample on channel {channel}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct Channel {
+    pub(crate) name: String,
+    pub(crate) unit: String,
+    pub(crate) series: TimeSeries,
+}
+
+/// The Continuous System Telemetry Harness: a registry of named,
+/// unit-annotated channels, each backed by a [`TimeSeries`].
+///
+/// The platform registers one channel per physical sensor (4 CPU
+/// temperatures, 32 DIMM temperatures, per-core V/I, system power) and
+/// records into them from its 10-second poller; controllers and the
+/// characterization pipeline read from here, never from simulator
+/// internals.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_telemetry::{Csth, CSTH_POLL_PERIOD};
+/// use leakctl_units::SimInstant;
+///
+/// let mut csth = Csth::new(CSTH_POLL_PERIOD);
+/// let ch = csth.add_channel("system_power", "W");
+/// csth.record(ch, SimInstant::ZERO, 502.0).unwrap();
+/// assert_eq!(csth.series(ch).last().unwrap().1, 502.0);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Csth {
+    channels: Vec<Channel>,
+    poll_period: SimDuration,
+}
+
+impl Csth {
+    /// Creates an empty harness that nominally polls every
+    /// `poll_period` (recorded for documentation/CSV metadata; actual
+    /// polling cadence is driven by the platform).
+    #[must_use]
+    pub fn new(poll_period: SimDuration) -> Self {
+        Self {
+            channels: Vec::new(),
+            poll_period,
+        }
+    }
+
+    /// Registers a channel and returns its id.
+    pub fn add_channel(&mut self, name: &str, unit: &str) -> ChannelId {
+        self.channels.push(Channel {
+            name: name.to_owned(),
+            unit: unit.to_owned(),
+            series: TimeSeries::new(),
+        });
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Records a sample on a channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::UnknownChannel`] for foreign ids and
+    /// [`TelemetryError::BadSample`] for out-of-order or non-finite
+    /// samples.
+    pub fn record(
+        &mut self,
+        channel: ChannelId,
+        at: SimInstant,
+        value: f64,
+    ) -> Result<(), TelemetryError> {
+        let ch = self
+            .channels
+            .get_mut(channel.0)
+            .ok_or(TelemetryError::UnknownChannel { index: channel.0 })?;
+        ch.series
+            .push(at, value)
+            .map_err(|reason| TelemetryError::BadSample {
+                channel: ch.name.clone(),
+                reason,
+            })
+    }
+
+    /// The series recorded on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign channel id.
+    #[must_use]
+    pub fn series(&self, channel: ChannelId) -> &TimeSeries {
+        &self.channels[channel.0].series
+    }
+
+    /// The channel's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign channel id.
+    #[must_use]
+    pub fn name(&self, channel: ChannelId) -> &str {
+        &self.channels[channel.0].name
+    }
+
+    /// The channel's unit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign channel id.
+    #[must_use]
+    pub fn unit(&self, channel: ChannelId) -> &str {
+        &self.channels[channel.0].unit
+    }
+
+    /// Looks up a channel by name.
+    #[must_use]
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(ChannelId)
+    }
+
+    /// Ids of all channels, in registration order.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len()).map(ChannelId)
+    }
+
+    /// Number of registered channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The nominal polling period.
+    #[must_use]
+    pub fn poll_period(&self) -> SimDuration {
+        self.poll_period
+    }
+
+    /// Total samples across all channels.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.channels.iter().map(|c| c.series.len()).sum()
+    }
+
+    pub(crate) fn channel_data(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    pub(crate) fn push_channel_data(&mut self, name: String, unit: String, series: TimeSeries) {
+        self.channels.push(Channel { name, unit, series });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CSTH_POLL_PERIOD;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::from_millis(s * 1_000)
+    }
+
+    #[test]
+    fn register_and_record() {
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let cpu0 = csth.add_channel("cpu0_temp", "C");
+        let cpu1 = csth.add_channel("cpu1_temp", "C");
+        csth.record(cpu0, at(0), 55.0).unwrap();
+        csth.record(cpu0, at(10), 57.0).unwrap();
+        csth.record(cpu1, at(10), 54.0).unwrap();
+        assert_eq!(csth.series(cpu0).len(), 2);
+        assert_eq!(csth.series(cpu1).len(), 1);
+        assert_eq!(csth.channel_count(), 2);
+        assert_eq!(csth.sample_count(), 3);
+        assert_eq!(csth.poll_period(), CSTH_POLL_PERIOD);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let p = csth.add_channel("system_power", "W");
+        assert_eq!(csth.channel_by_name("system_power"), Some(p));
+        assert_eq!(csth.channel_by_name("nope"), None);
+        assert_eq!(csth.name(p), "system_power");
+        assert_eq!(csth.unit(p), "W");
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let err = csth.record(ChannelId(3), at(0), 1.0).unwrap_err();
+        assert!(matches!(err, TelemetryError::UnknownChannel { index: 3 }));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn bad_sample_reported_with_channel_name() {
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let ch = csth.add_channel("cpu0_temp", "C");
+        csth.record(ch, at(10), 50.0).unwrap();
+        let err = csth.record(ch, at(5), 51.0).unwrap_err();
+        match err {
+            TelemetryError::BadSample { channel, .. } => assert_eq!(channel, "cpu0_temp"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn channels_iterator_in_order() {
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        let a = csth.add_channel("a", "x");
+        let b = csth.add_channel("b", "y");
+        let ids: Vec<ChannelId> = csth.channels().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Measurement-channel sensor model.
+
+use leakctl_sim::SimRng;
+
+/// Static error characteristics of a measurement channel.
+///
+/// Applied as `measured = quantize(gain·true + offset + noise)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SensorSpec {
+    /// Multiplicative gain error (1.0 = ideal).
+    pub gain: f64,
+    /// Additive offset, in the channel's unit.
+    pub offset: f64,
+    /// Standard deviation of Gaussian read noise, in the channel's unit.
+    pub noise_sigma: f64,
+    /// Quantization step (0 disables quantization). Thermal diodes
+    /// typically report in 0.5 °C or 1 °C steps.
+    pub quantization: f64,
+}
+
+impl SensorSpec {
+    /// An ideal, noise-free channel.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            gain: 1.0,
+            offset: 0.0,
+            noise_sigma: 0.0,
+            quantization: 0.0,
+        }
+    }
+
+    /// A CPU thermal-diode channel: ±0.25 °C noise, 0.5 °C steps.
+    #[must_use]
+    pub fn cpu_thermal_diode() -> Self {
+        Self {
+            gain: 1.0,
+            offset: 0.0,
+            noise_sigma: 0.25,
+            quantization: 0.5,
+        }
+    }
+
+    /// A DIMM SPD thermal sensor: 1 °C steps, slightly noisier.
+    #[must_use]
+    pub fn dimm_thermal() -> Self {
+        Self {
+            gain: 1.0,
+            offset: 0.0,
+            noise_sigma: 0.4,
+            quantization: 1.0,
+        }
+    }
+
+    /// A system power meter: 0.5 % gain error band represented as ±0.2 %
+    /// noise, 1 W steps.
+    #[must_use]
+    pub fn system_power_meter() -> Self {
+        Self {
+            gain: 1.0,
+            offset: 0.0,
+            noise_sigma: 1.0,
+            quantization: 1.0,
+        }
+    }
+}
+
+impl Default for SensorSpec {
+    /// The ideal channel.
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// A stateful sensor combining a [`SensorSpec`] with its own noise
+/// stream.
+///
+/// Each sensor owns a forked RNG so adding or removing one sensor never
+/// changes the noise another sensor sees — a requirement for
+/// reproducible experiments.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::SimRng;
+/// use leakctl_telemetry::{Sensor, SensorSpec};
+///
+/// let mut rng = SimRng::seed(1);
+/// let mut sensor = Sensor::new(SensorSpec::cpu_thermal_diode(), rng.fork("cpu0"));
+/// let reading = sensor.measure(70.0);
+/// assert!((reading - 70.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    spec: SensorSpec,
+    rng: SimRng,
+}
+
+impl Sensor {
+    /// Creates a sensor with its own noise stream.
+    #[must_use]
+    pub fn new(spec: SensorSpec, rng: SimRng) -> Self {
+        Self { spec, rng }
+    }
+
+    /// An ideal pass-through sensor.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(SensorSpec::ideal(), SimRng::seed(0))
+    }
+
+    /// Produces a measurement of `true_value`.
+    pub fn measure(&mut self, true_value: f64) -> f64 {
+        let spec = self.spec;
+        let mut v = spec.gain * true_value + spec.offset;
+        if spec.noise_sigma > 0.0 {
+            v += spec.noise_sigma * self.rng.next_gaussian();
+        }
+        if spec.quantization > 0.0 {
+            v = (v / spec.quantization).round() * spec.quantization;
+        }
+        v
+    }
+
+    /// The sensor's error characteristics.
+    #[must_use]
+    pub fn spec(&self) -> SensorSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_identity() {
+        let mut s = Sensor::ideal();
+        for v in [-10.0, 0.0, 55.5, 100.0] {
+            assert_eq!(s.measure(v), v);
+        }
+    }
+
+    #[test]
+    fn gain_and_offset_applied() {
+        let spec = SensorSpec {
+            gain: 1.02,
+            offset: -0.5,
+            noise_sigma: 0.0,
+            quantization: 0.0,
+        };
+        let mut s = Sensor::new(spec, SimRng::seed(0));
+        assert!((s.measure(100.0) - 101.5).abs() < 1e-12);
+        assert_eq!(s.spec(), spec);
+    }
+
+    #[test]
+    fn quantization_steps() {
+        let spec = SensorSpec {
+            quantization: 0.5,
+            ..SensorSpec::ideal()
+        };
+        let mut s = Sensor::new(spec, SimRng::seed(0));
+        assert_eq!(s.measure(70.26), 70.5);
+        assert_eq!(s.measure(70.24), 70.0);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let spec = SensorSpec {
+            noise_sigma: 0.25,
+            ..SensorSpec::ideal()
+        };
+        let mut s = Sensor::new(spec, SimRng::seed(42));
+        let n = 20_000;
+        let readings: Vec<f64> = (0..n).map(|_| s.measure(50.0)).collect();
+        let mean = readings.iter().sum::<f64>() / f64::from(n);
+        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!((mean - 50.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.25).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn independent_noise_streams() {
+        let mut rng = SimRng::seed(9);
+        let mut a = Sensor::new(SensorSpec::cpu_thermal_diode(), rng.fork("a"));
+        let mut b = Sensor::new(SensorSpec::cpu_thermal_diode(), rng.fork("b"));
+        let ra: Vec<f64> = (0..32).map(|_| a.measure(60.0)).collect();
+        let rb: Vec<f64> = (0..32).map(|_| b.measure(60.0)).collect();
+        assert_ne!(ra, rb, "distinct sensors must have distinct noise");
+    }
+
+    #[test]
+    fn preset_specs_are_sane() {
+        for spec in [
+            SensorSpec::cpu_thermal_diode(),
+            SensorSpec::dimm_thermal(),
+            SensorSpec::system_power_meter(),
+        ] {
+            assert!(spec.gain > 0.9 && spec.gain < 1.1);
+            assert!(spec.noise_sigma >= 0.0);
+            assert!(spec.quantization >= 0.0);
+        }
+        assert_eq!(SensorSpec::default(), SensorSpec::ideal());
+    }
+}

@@ -1,0 +1,312 @@
+//! Append-only timestamped sample series.
+
+use leakctl_units::{SimDuration, SimInstant};
+
+/// An append-only series of `(time, value)` samples with summary
+/// statistics — the storage behind every CSTH channel.
+///
+/// Samples must be appended in non-decreasing time order, which is how
+/// pollers operate and keeps windowed queries `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_telemetry::TimeSeries;
+/// use leakctl_units::SimInstant;
+///
+/// let mut s = TimeSeries::new();
+/// s.push(SimInstant::from_millis(0), 50.0).unwrap();
+/// s.push(SimInstant::from_millis(10_000), 60.0).unwrap();
+/// assert_eq!(s.mean(), Some(55.0));
+/// assert_eq!(s.max(), Some(60.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimInstant>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `at` precedes the last sample or the
+    /// value is non-finite.
+    pub fn push(&mut self, at: SimInstant, value: f64) -> Result<(), String> {
+        if let Some(&last) = self.times.last() {
+            if at < last {
+                return Err(format!("sample at {at} precedes last sample at {last}"));
+            }
+        }
+        if !value.is_finite() {
+            return Err(format!("sample value at {at} is not finite"));
+        }
+        self.times.push(at);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample timestamps.
+    #[must_use]
+    pub fn times(&self) -> &[SimInstant] {
+        &self.times
+    }
+
+    /// Sample values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimInstant, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The most recent sample.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimInstant, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Arithmetic mean of all values.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Largest value.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Smallest value.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Linear-interpolation percentile (`p ∈ [0, 100]`) of the values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Samples with `from <= time < to`.
+    #[must_use]
+    pub fn window(&self, from: SimInstant, to: SimInstant) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < from);
+        let end = self.times.partition_point(|&t| t < to);
+        TimeSeries {
+            times: self.times[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// The value at or immediately before `at` (sample-and-hold read).
+    #[must_use]
+    pub fn at_or_before(&self, at: SimInstant) -> Option<f64> {
+        let idx = self.times.partition_point(|&t| t <= at);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    /// Time-weighted average over the sampled span (trapezoidal), or the
+    /// plain mean when fewer than two samples exist.
+    #[must_use]
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.values.len() < 2 {
+            return self.mean();
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for i in 1..self.values.len() {
+            let dt = (self.times[i] - self.times[i - 1]).as_secs_f64();
+            area += 0.5 * (self.values[i] + self.values[i - 1]) * dt;
+            span += dt;
+        }
+        if span > 0.0 {
+            Some(area / span)
+        } else {
+            self.mean()
+        }
+    }
+
+    /// Resamples onto a regular grid (`period` apart, starting at the
+    /// first sample) using sample-and-hold semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero period.
+    #[must_use]
+    pub fn resample(&self, period: SimDuration) -> TimeSeries {
+        assert!(!period.is_zero(), "resample period must be non-zero");
+        let mut out = TimeSeries::new();
+        let (Some(&first), Some(&last)) = (self.times.first(), self.times.last()) else {
+            return out;
+        };
+        let mut t = first;
+        while t <= last {
+            if let Some(v) = self.at_or_before(t) {
+                out.push(t, v).expect("grid times are monotone");
+            }
+            t += period;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::from_millis(s * 1_000)
+    }
+
+    fn series(values: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in values {
+            s.push(at(t), v).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let s = series(&[(0, 50.0), (10, 70.0), (20, 60.0)]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.mean(), Some(60.0));
+        assert_eq!(s.max(), Some(70.0));
+        assert_eq!(s.min(), Some(50.0));
+        assert_eq!(s.last(), Some((at(20), 60.0)));
+        assert_eq!(s.times().len(), 3);
+        assert_eq!(s.values(), &[50.0, 70.0, 60.0]);
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.time_weighted_mean(), None);
+        assert_eq!(s.at_or_before(at(5)), None);
+    }
+
+    #[test]
+    fn rejects_time_regression_and_nan() {
+        let mut s = series(&[(10, 1.0)]);
+        assert!(s.push(at(5), 2.0).is_err());
+        assert!(s.push(at(10), 2.0).is_ok(), "equal timestamps allowed");
+        assert!(s.push(at(11), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = series(&[(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0), (4, 50.0)]);
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(50.0), Some(30.0));
+        assert_eq!(s.percentile(100.0), Some(50.0));
+        assert_eq!(s.percentile(25.0), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = series(&[(0, 1.0)]).percentile(150.0);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = series(&[(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)]);
+        let w = s.window(at(10), at(30));
+        assert_eq!(w.values(), &[2.0, 3.0]);
+        assert!(s.window(at(31), at(40)).is_empty());
+    }
+
+    #[test]
+    fn sample_and_hold_read() {
+        let s = series(&[(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.at_or_before(at(9)), None);
+        assert_eq!(s.at_or_before(at(10)), Some(1.0));
+        assert_eq!(s.at_or_before(at(15)), Some(1.0));
+        assert_eq!(s.at_or_before(at(25)), Some(2.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_long_holds() {
+        // 0 °C for 90 s then 10 °C for 10 s: TW mean must sit near the
+        // long-held value, the plain mean at the midpoint.
+        let s = series(&[(0, 0.0), (90, 0.0), (90, 10.0), (100, 10.0)]);
+        let tw = s.time_weighted_mean().unwrap();
+        assert!((tw - 1.0).abs() < 1e-9, "expected 1.0, got {tw}");
+        assert_eq!(s.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn resample_holds_values() {
+        let s = series(&[(0, 1.0), (25, 2.0), (50, 3.0)]);
+        let r = s.resample(SimDuration::from_secs(10));
+        assert_eq!(r.len(), 6); // t = 0, 10, 20, 30, 40, 50.
+        assert_eq!(r.values(), &[1.0, 1.0, 1.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let s = series(&[(0, 1.0), (10, 2.0)]);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(at(0), 1.0), (at(10), 2.0)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for telemetry storage and sensors.
+
+use leakctl_sim::SimRng;
+use leakctl_telemetry::{Csth, Sensor, SensorSpec, TimeSeries, CSTH_POLL_PERIOD};
+use leakctl_units::SimInstant;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Series statistics are consistent: min ≤ mean ≤ max, percentiles
+    /// ordered.
+    #[test]
+    fn series_statistics_consistent(
+        values in prop::collection::vec(-100.0..1000.0f64, 1..50),
+    ) {
+        let mut s = TimeSeries::new();
+        for (i, v) in values.iter().enumerate() {
+            s.push(SimInstant::from_millis(i as u64 * 1_000), *v).expect("push");
+        }
+        let (min, mean, max) = (
+            s.min().expect("non-empty"),
+            s.mean().expect("non-empty"),
+            s.max().expect("non-empty"),
+        );
+        prop_assert!(min <= mean + 1e-12 && mean <= max + 1e-12);
+        let p25 = s.percentile(25.0).expect("non-empty");
+        let p75 = s.percentile(75.0).expect("non-empty");
+        prop_assert!(p25 <= p75);
+        prop_assert!(min <= p25 && p75 <= max);
+    }
+
+    /// Windowing partitions the series: every sample lands in exactly
+    /// one of two adjacent windows.
+    #[test]
+    fn windows_partition(
+        n in 1usize..60,
+        split_ms in 0u64..60_000,
+    ) {
+        let mut s = TimeSeries::new();
+        for i in 0..n {
+            s.push(SimInstant::from_millis(i as u64 * 1_000), i as f64).expect("push");
+        }
+        let end = SimInstant::from_millis(10_000_000);
+        let mid = SimInstant::from_millis(split_ms);
+        let left = s.window(SimInstant::ZERO, mid);
+        let right = s.window(mid, end);
+        prop_assert_eq!(left.len() + right.len(), n);
+    }
+
+    /// Quantized sensors always report multiples of the step.
+    #[test]
+    fn sensor_quantization_exact(
+        value in -50.0..150.0f64,
+        quant in 0.1..2.0f64,
+        seed in 0u64..100,
+    ) {
+        let spec = SensorSpec {
+            gain: 1.0,
+            offset: 0.0,
+            noise_sigma: 0.3,
+            quantization: quant,
+        };
+        let mut sensor = Sensor::new(spec, SimRng::seed(seed));
+        let reading = sensor.measure(value);
+        let steps = reading / quant;
+        prop_assert!((steps - steps.round()).abs() < 1e-9, "reading {reading} not on the {quant} grid");
+    }
+
+    /// CSV round trip preserves any harness content with clean names.
+    #[test]
+    fn csv_round_trip(
+        channels in prop::collection::vec("[a-z][a-z0-9_]{0,12}", 1..5),
+        samples in 1usize..20,
+    ) {
+        let mut names = channels;
+        names.dedup();
+        let mut csth = Csth::new(CSTH_POLL_PERIOD);
+        for (c, name) in names.iter().enumerate() {
+            let ch = csth.add_channel(name, "W");
+            for i in 0..samples {
+                csth.record(
+                    ch,
+                    SimInstant::from_millis(i as u64 * 10_000),
+                    (c * 100 + i) as f64,
+                )
+                .expect("record");
+            }
+        }
+        let csv = csth.to_csv().expect("export");
+        let parsed = Csth::from_csv(&csv, CSTH_POLL_PERIOD).expect("parse");
+        prop_assert_eq!(parsed.channel_count(), csth.channel_count());
+        prop_assert_eq!(parsed.sample_count(), csth.sample_count());
+        for name in &names {
+            let a = csth.channel_by_name(name).expect("channel");
+            let b = parsed.channel_by_name(name).expect("channel");
+            prop_assert_eq!(csth.series(a).values(), parsed.series(b).values());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Forced-convection conductance model.
+
+use leakctl_units::{AirFlow, ThermalConductance};
+
+/// Conductance of a surface-to-air convection path as a function of the
+/// air flow over the surface.
+///
+/// Uses the standard forced-convection correlation for turbulent internal
+/// flow, `h ∝ Q^n` with `n ≈ 0.8`, anchored at a reference point, plus a
+/// natural-convection floor that keeps the model sane at zero flow:
+///
+/// ```text
+/// g(Q) = g_min + g_ref · (Q / Q_ref)^n
+/// ```
+///
+/// This is the lever through which fan speed influences CPU temperature:
+/// the fan law gives `Q ∝ RPM`, and this model converts flow into the
+/// sink-to-air conductance of the RC network.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_thermal::ConvectionModel;
+/// use leakctl_units::{AirFlow, ThermalConductance};
+///
+/// let m = ConvectionModel::new(
+///     ThermalConductance::new(4.0),
+///     AirFlow::from_cfm(300.0),
+///     0.8,
+///     ThermalConductance::new(0.3),
+/// );
+/// let g_ref = m.conductance(AirFlow::from_cfm(300.0));
+/// assert!((g_ref.value() - 4.3).abs() < 1e-9);
+/// let g_half = m.conductance(AirFlow::from_cfm(150.0));
+/// assert!(g_half < g_ref);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConvectionModel {
+    g_ref: ThermalConductance,
+    flow_ref: AirFlow,
+    exponent: f64,
+    g_min: ThermalConductance,
+}
+
+impl ConvectionModel {
+    /// Creates a model anchored at conductance `g_ref` for flow
+    /// `flow_ref`, scaling with `(Q/Q_ref)^exponent`, with floor `g_min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g_ref` or `flow_ref` are non-positive, when
+    /// `exponent` is outside `(0, 2]`, or when `g_min` is negative —
+    /// these would silently produce a nonphysical network.
+    #[must_use]
+    pub fn new(
+        g_ref: ThermalConductance,
+        flow_ref: AirFlow,
+        exponent: f64,
+        g_min: ThermalConductance,
+    ) -> Self {
+        assert!(
+            g_ref.value() > 0.0 && g_ref.is_finite(),
+            "reference conductance must be positive"
+        );
+        assert!(
+            flow_ref.value() > 0.0 && flow_ref.is_finite(),
+            "reference flow must be positive"
+        );
+        assert!(
+            exponent > 0.0 && exponent <= 2.0,
+            "convection exponent must be in (0, 2]"
+        );
+        assert!(g_min.value() >= 0.0, "minimum conductance must be >= 0");
+        Self {
+            g_ref,
+            flow_ref,
+            exponent,
+            g_min,
+        }
+    }
+
+    /// A model with the standard turbulent exponent (0.8) and a floor of
+    /// 5 % of the reference conductance.
+    #[must_use]
+    pub fn turbulent(g_ref: ThermalConductance, flow_ref: AirFlow) -> Self {
+        Self::new(g_ref, flow_ref, 0.8, g_ref * 0.05)
+    }
+
+    /// Conductance at the given flow; negative flow is treated as zero.
+    #[must_use]
+    pub fn conductance(&self, flow: AirFlow) -> ThermalConductance {
+        let q = flow.value().max(0.0);
+        let ratio = q / self.flow_ref.value();
+        self.g_min + self.g_ref * ratio.powf(self.exponent)
+    }
+
+    /// The reference conductance (at the reference flow, excluding the
+    /// floor).
+    #[must_use]
+    pub fn g_ref(&self) -> ThermalConductance {
+        self.g_ref
+    }
+
+    /// The reference flow.
+    #[must_use]
+    pub fn flow_ref(&self) -> AirFlow {
+        self.flow_ref
+    }
+
+    /// The flow exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The natural-convection floor.
+    #[must_use]
+    pub fn g_min(&self) -> ThermalConductance {
+        self.g_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ConvectionModel {
+        ConvectionModel::new(
+            ThermalConductance::new(4.0),
+            AirFlow::from_cfm(300.0),
+            0.8,
+            ThermalConductance::new(0.2),
+        )
+    }
+
+    #[test]
+    fn reference_point_reproduced() {
+        let m = model();
+        let g = m.conductance(AirFlow::from_cfm(300.0));
+        assert!((g.value() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_flow_hits_floor() {
+        let m = model();
+        assert!((m.conductance(AirFlow::ZERO).value() - 0.2).abs() < 1e-12);
+        // Negative flow clamps to the floor too.
+        assert!((m.conductance(AirFlow::new(-1.0)).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_flow() {
+        let m = model();
+        let mut prev = m.conductance(AirFlow::ZERO);
+        for cfm in [50.0, 100.0, 200.0, 400.0, 800.0] {
+            let g = m.conductance(AirFlow::from_cfm(cfm));
+            assert!(g > prev, "conductance must grow with flow");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn sublinear_exponent_saturates() {
+        let m = model();
+        let g1 = m.conductance(AirFlow::from_cfm(300.0));
+        let g2 = m.conductance(AirFlow::from_cfm(600.0));
+        // Doubling flow must give less than double (g - g_min).
+        let gain = (g2.value() - 0.2) / (g1.value() - 0.2);
+        assert!(gain < 2.0);
+        assert!(gain > 1.5);
+    }
+
+    #[test]
+    fn turbulent_constructor_defaults() {
+        let m = ConvectionModel::turbulent(ThermalConductance::new(2.0), AirFlow::from_cfm(100.0));
+        assert_eq!(m.exponent(), 0.8);
+        assert!((m.g_min().value() - 0.1).abs() < 1e-12);
+        assert_eq!(m.g_ref().value(), 2.0);
+        assert!((m.flow_ref().as_cfm() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_reference() {
+        let _ = ConvectionModel::new(
+            ThermalConductance::ZERO,
+            AirFlow::from_cfm(100.0),
+            0.8,
+            ThermalConductance::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_bad_exponent() {
+        let _ = ConvectionModel::new(
+            ThermalConductance::new(1.0),
+            AirFlow::from_cfm(100.0),
+            0.0,
+            ThermalConductance::ZERO,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! RC thermal-network simulation for server digital twins.
+//!
+//! This crate models a server enclosure as a lumped *thermal RC network*:
+//! capacitive nodes (CPU dies, heat sinks, DIMMs, air volumes) exchange
+//! heat through couplings, with fixed-temperature boundary nodes for the
+//! ambient. Three coupling kinds cover everything the `leakctl` platform
+//! needs:
+//!
+//! - **Conductance** — a fixed conduction path (die → heat sink).
+//! - **Convective** — a surface-to-air path whose conductance scales with
+//!   the air flow in a named channel (`g = g_min + g_ref·(Q/Q_ref)^n`),
+//!   which is how fan speed reaches the thermal model.
+//! - **Advective** — a *directed* path modelling bulk air transport
+//!   (`g = ṁ·c_p`): the downstream air volume is heated toward the
+//!   upstream temperature, reproducing the paper's airflow order where
+//!   inlet air crosses the DIMMs before it reaches the CPUs.
+//!
+//! Transients integrate with a choice of [`Integrator`]s; the air nodes
+//! make the system stiff, so the default is the unconditionally stable
+//! backward-Euler method. Steady states solve directly through the
+//! bundled dense [`linalg`] module.
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_thermal::{Coupling, Integrator, ThermalNetworkBuilder};
+//! use leakctl_units::{
+//!     Celsius, SimDuration, ThermalCapacitance, ThermalConductance, Watts,
+//! };
+//!
+//! # fn main() -> Result<(), leakctl_thermal::ThermalError> {
+//! let mut b = ThermalNetworkBuilder::new();
+//! let die = b.add_node("die", ThermalCapacitance::new(120.0));
+//! let ambient = b.add_boundary("ambient", Celsius::new(24.0));
+//! b.connect(die, ambient, Coupling::Conductance(ThermalConductance::new(2.0)));
+//! let mut net = b.build()?;
+//!
+//! net.set_power(die, Watts::new(100.0));
+//! let mut state = net.uniform_state(Celsius::new(24.0));
+//! for _ in 0..600 {
+//!     net.step(&mut state, SimDuration::from_secs(1), Integrator::BackwardEuler)?;
+//! }
+//! // Steady state: 24 °C + 100 W / 2 W/K = 74 °C.
+//! assert!((net.temperature(&state, die).degrees() - 74.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod convection;
+mod error;
+pub mod linalg;
+mod network;
+mod solver;
+
+pub use convection::ConvectionModel;
+pub use error::ThermalError;
+pub use network::{
+    Coupling, FlowChannelId, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
+};
+pub use solver::Integrator;
+
+/// Specific heat capacity of air at constant pressure, J/(kg·K).
+pub const AIR_SPECIFIC_HEAT: f64 = 1006.0;
+
+/// Density of air at ~25 °C sea level, kg/m³.
+pub const AIR_DENSITY: f64 = 1.184;

@@ -1,0 +1,384 @@
+//! Minimal dense linear algebra for thermal-network solving.
+//!
+//! Thermal compact models are small (tens of nodes), so a straightforward
+//! row-major dense matrix with LU decomposition (partial pivoting) is both
+//! simple and fast enough — the whole Table I reproduction performs a few
+//! hundred thousand 15×15 solves in well under a second.
+
+use core::fmt;
+
+/// Error produced by linear solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions did not match the operation.
+    DimensionMismatch,
+    /// The matrix is singular to working precision.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch => write!(f, "matrix dimension mismatch"),
+            Self::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_thermal::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let x = a.solve(&[6.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![3.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when rows have unequal
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let c = rows[0].len();
+        if c == 0 || rows.iter().any(|row| row.len() != c) {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Adds `value` to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let y = (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect();
+        Ok(y)
+    }
+
+    /// Factors the matrix as `P·A = L·U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input
+    /// and [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn lu(&self) -> Result<LuFactors, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Find pivot.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Solves `A·x = b` through LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from factoring, and returns
+    /// [`LinalgError::DimensionMismatch`] when `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.lu()?.solve(b)
+    }
+}
+
+/// The result of LU-factoring a square matrix; reusable across multiple
+/// right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs
+    /// from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.n;
+        // Apply permutation: y = P·b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for r in 1..n {
+            for c in 0..r {
+                x[r] -= self.lu[r * n + c] * x[c];
+            }
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            for c in (r + 1)..n {
+                x[r] -= self.lu[r * n + c] * x[c];
+            }
+            x[r] /= self.lu[r * n + r];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        // x = [1, 2, 3]
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]])
+            .unwrap();
+        let b = [7.0, 13.0, 1.0];
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.lu().unwrap_err(), LinalgError::DimensionMismatch);
+        let sq = Matrix::identity(3);
+        assert_eq!(
+            sq.solve(&[1.0, 2.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+        assert_eq!(
+            sq.mul_vec(&[1.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        let empty_row: &[f64] = &[];
+        assert!(Matrix::from_rows(&[empty_row]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_solve_round_trip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -1.0, 0.5],
+            &[-1.0, 5.0, -2.0],
+            &[0.5, -2.0, 6.0],
+        ])
+        .unwrap();
+        let x_true = [0.3, -1.2, 2.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_factors_reusable() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let lu = a.lu().unwrap();
+        let x1 = lu.solve(&[5.0, 5.0]).unwrap();
+        let x2 = lu.solve(&[4.0, 3.0]).unwrap();
+        assert!((x1[0] - 1.0).abs() < 1e-12 && (x1[1] - 2.0).abs() < 1e-12);
+        assert!((x2[0] - 1.0).abs() < 1e-12 && (x2[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = Matrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn random_spd_systems_solve_accurately() {
+        // Deterministic pseudo-random SPD matrices: A = Mᵀ·M + n·I.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [2usize, 5, 9, 14] {
+            let mut m = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set(r, c, next());
+                }
+            }
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    let mut dot = 0.0;
+                    for k in 0..n {
+                        dot += m.get(k, r) * m.get(k, c);
+                    }
+                    a.set(r, c, dot + if r == c { n as f64 } else { 0.0 });
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let b = a.mul_vec(&x_true).unwrap();
+            let x = a.solve(&b).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-8, "n={n}: {xs} vs {xt}");
+            }
+        }
+    }
+}

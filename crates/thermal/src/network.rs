@@ -1,0 +1,755 @@
+//! Thermal network construction and state.
+
+use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
+
+use crate::convection::ConvectionModel;
+use crate::error::ThermalError;
+use crate::linalg::Matrix;
+use crate::{AIR_DENSITY, AIR_SPECIFIC_HEAT};
+
+/// Identifier of a node inside a [`ThermalNetwork`].
+///
+/// Only meaningful for the network whose builder produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifier of an air-flow channel inside a [`ThermalNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FlowChannelId(pub(crate) usize);
+
+/// A heat-exchange path between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Coupling {
+    /// Fixed conduction path with the given conductance (W/K).
+    Conductance(ThermalConductance),
+    /// Surface-to-air convection whose conductance follows the flow in
+    /// `channel` through `model`.
+    Convective {
+        /// The air-flow channel whose flow drives the conductance.
+        channel: FlowChannelId,
+        /// Flow-to-conductance correlation.
+        model: ConvectionModel,
+    },
+    /// Bulk air transport (directed only): conductance `fraction·ṁ·c_p`
+    /// where `ṁ` is the mass flow in `channel`. The downstream node is
+    /// pulled toward the upstream temperature; the upstream node is
+    /// unaffected, as the air it lost is replaced from further upstream.
+    Advective {
+        /// The air-flow channel carrying the stream.
+        channel: FlowChannelId,
+        /// Fraction of the channel's flow passing through this edge.
+        fraction: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Capacitive { capacitance: f64, slot: usize },
+    Boundary { temp: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    name: String,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    a: usize,
+    b: usize,
+    coupling: Coupling,
+    directed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    #[allow(dead_code)] // retained for diagnostics / future reporting
+    name: String,
+    flow: f64, // m³/s
+}
+
+/// Incrementally builds a [`ThermalNetwork`].
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Default)]
+pub struct ThermalNetworkBuilder {
+    nodes: Vec<NodeData>,
+    edges: Vec<Edge>,
+    channels: Vec<Channel>,
+    slots: usize,
+}
+
+impl ThermalNetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a capacitive (state-carrying) node.
+    pub fn add_node(&mut self, name: &str, capacitance: ThermalCapacitance) -> NodeId {
+        let slot = self.slots;
+        self.slots += 1;
+        self.nodes.push(NodeData {
+            name: name.to_owned(),
+            kind: NodeKind::Capacitive {
+                capacitance: capacitance.value(),
+                slot,
+            },
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a fixed-temperature boundary node (e.g. the ambient).
+    pub fn add_boundary(&mut self, name: &str, temp: Celsius) -> NodeId {
+        self.nodes.push(NodeData {
+            name: name.to_owned(),
+            kind: NodeKind::Boundary {
+                temp: temp.degrees(),
+            },
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares an air-flow channel; its flow is set at runtime through
+    /// [`ThermalNetwork::set_flow`].
+    pub fn add_flow_channel(&mut self, name: &str) -> FlowChannelId {
+        self.channels.push(Channel {
+            name: name.to_owned(),
+            flow: 0.0,
+        });
+        FlowChannelId(self.channels.len() - 1)
+    }
+
+    /// Connects two nodes with a *symmetric* coupling (heat lost by one
+    /// side is gained by the other).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidCoupling`] for an [`Coupling::Advective`]
+    /// coupling (inherently directed — use [`Self::connect_directed`]),
+    /// for non-positive conductances, and for node/channel ids that do
+    /// not belong to this builder.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, coupling: Coupling) -> Result<(), ThermalError> {
+        if matches!(coupling, Coupling::Advective { .. }) {
+            return Err(ThermalError::InvalidCoupling {
+                what: "advective couplings are directed; use connect_directed",
+            });
+        }
+        self.validate_edge(a, b, &coupling)?;
+        self.edges.push(Edge {
+            a: a.0,
+            b: b.0,
+            coupling,
+            directed: false,
+        });
+        Ok(())
+    }
+
+    /// Connects `from → to` with a *directed* coupling: only `to` is
+    /// affected. Intended for [`Coupling::Advective`] air-transport
+    /// edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidCoupling`] when `to` is a boundary
+    /// node (a directed edge into a boundary does nothing) or for invalid
+    /// parameters, and [`ThermalError::UnknownNode`]/[`ThermalError::UnknownChannel`]
+    /// for foreign ids.
+    pub fn connect_directed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        coupling: Coupling,
+    ) -> Result<(), ThermalError> {
+        self.validate_edge(from, to, &coupling)?;
+        let to_node = &self.nodes[to.0];
+        if matches!(to_node.kind, NodeKind::Boundary { .. }) {
+            return Err(ThermalError::InvalidCoupling {
+                what: "directed edge into a boundary node has no effect",
+            });
+        }
+        self.edges.push(Edge {
+            a: from.0,
+            b: to.0,
+            coupling,
+            directed: true,
+        });
+        Ok(())
+    }
+
+    fn validate_edge(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        coupling: &Coupling,
+    ) -> Result<(), ThermalError> {
+        for id in [a, b] {
+            if id.0 >= self.nodes.len() {
+                return Err(ThermalError::UnknownNode { index: id.0 });
+            }
+        }
+        if a.0 == b.0 {
+            return Err(ThermalError::InvalidCoupling {
+                what: "self-loop edges are not allowed",
+            });
+        }
+        match coupling {
+            Coupling::Conductance(g) => {
+                if !(g.value() > 0.0 && g.is_finite()) {
+                    return Err(ThermalError::InvalidCoupling {
+                        what: "conductance must be positive and finite",
+                    });
+                }
+            }
+            Coupling::Convective { channel, .. } => {
+                if channel.0 >= self.channels.len() {
+                    return Err(ThermalError::UnknownChannel { index: channel.0 });
+                }
+            }
+            Coupling::Advective { channel, fraction } => {
+                if channel.0 >= self.channels.len() {
+                    return Err(ThermalError::UnknownChannel { index: channel.0 });
+                }
+                if !(*fraction > 0.0 && fraction.is_finite() && *fraction <= 1.0) {
+                    return Err(ThermalError::InvalidCoupling {
+                        what: "advective fraction must be in (0, 1]",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NoCapacitiveNodes`] when the network holds
+    /// no state, or [`ThermalError::InvalidCapacitance`] when a node has
+    /// a non-positive heat capacity.
+    pub fn build(self) -> Result<ThermalNetwork, ThermalError> {
+        if self.slots == 0 {
+            return Err(ThermalError::NoCapacitiveNodes);
+        }
+        let mut slot_to_node = vec![0usize; self.slots];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Capacitive { capacitance, slot } = node.kind {
+                if !(capacitance > 0.0 && capacitance.is_finite()) {
+                    return Err(ThermalError::InvalidCapacitance {
+                        name: node.name.clone(),
+                    });
+                }
+                slot_to_node[slot] = idx;
+            }
+        }
+        let powers = vec![0.0; self.nodes.len()];
+        Ok(ThermalNetwork {
+            nodes: self.nodes,
+            edges: self.edges,
+            channels: self.channels,
+            powers,
+            slot_to_node,
+        })
+    }
+}
+
+/// The temperature state of a network's capacitive nodes.
+///
+/// Obtained from [`ThermalNetwork::uniform_state`] or
+/// [`ThermalNetwork::steady_state`]; read through
+/// [`ThermalNetwork::temperature`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalState {
+    pub(crate) temps: Vec<f64>,
+}
+
+impl ThermalState {
+    /// Number of capacitive nodes in the state.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// `true` when the state is empty (never the case for a built
+    /// network).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.temps.is_empty()
+    }
+
+    /// The hottest capacitive node temperature.
+    #[must_use]
+    pub fn max_temperature(&self) -> Celsius {
+        Celsius::new(self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// `true` when every temperature is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.temps.iter().all(|t| t.is_finite())
+    }
+}
+
+/// A lumped RC thermal network with runtime-settable power injections,
+/// boundary temperatures and channel air flows.
+#[derive(Debug, Clone)]
+pub struct ThermalNetwork {
+    nodes: Vec<NodeData>,
+    edges: Vec<Edge>,
+    channels: Vec<Channel>,
+    powers: Vec<f64>,
+    slot_to_node: Vec<usize>,
+}
+
+impl ThermalNetwork {
+    /// Number of nodes (capacitive + boundary).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of capacitive (state-carrying) nodes.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.slot_to_node.len()
+    }
+
+    /// The name given to `node` at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign node id.
+    #[must_use]
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// `true` when `node` is a fixed-temperature boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign node id.
+    #[must_use]
+    pub fn is_boundary(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.0].kind, NodeKind::Boundary { .. })
+    }
+
+    /// Sets the heat injected into a capacitive node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for foreign ids and
+    /// [`ThermalError::InvalidCoupling`] when targeting a boundary node.
+    pub fn set_power(&mut self, node: NodeId, power: Watts) -> Result<(), ThermalError> {
+        let data = self
+            .nodes
+            .get(node.0)
+            .ok_or(ThermalError::UnknownNode { index: node.0 })?;
+        if matches!(data.kind, NodeKind::Boundary { .. }) {
+            return Err(ThermalError::InvalidCoupling {
+                what: "cannot inject power into a boundary node",
+            });
+        }
+        self.powers[node.0] = power.value();
+        Ok(())
+    }
+
+    /// The heat currently injected into `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign node id.
+    #[must_use]
+    pub fn power(&self, node: NodeId) -> Watts {
+        Watts::new(self.powers[node.0])
+    }
+
+    /// Total heat injected across all nodes.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        Watts::new(self.powers.iter().sum())
+    }
+
+    /// Re-pins a boundary node's temperature (e.g. ambient drift).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for foreign ids and
+    /// [`ThermalError::InvalidCoupling`] when `node` is capacitive.
+    pub fn set_boundary(&mut self, node: NodeId, temp: Celsius) -> Result<(), ThermalError> {
+        let data = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(ThermalError::UnknownNode { index: node.0 })?;
+        match &mut data.kind {
+            NodeKind::Boundary { temp: t } => {
+                *t = temp.degrees();
+                Ok(())
+            }
+            NodeKind::Capacitive { .. } => Err(ThermalError::InvalidCoupling {
+                what: "cannot pin the temperature of a capacitive node",
+            }),
+        }
+    }
+
+    /// Sets the volumetric flow of an air channel; negative flows clamp
+    /// to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownChannel`] for foreign ids.
+    pub fn set_flow(&mut self, channel: FlowChannelId, flow: AirFlow) -> Result<(), ThermalError> {
+        let ch = self
+            .channels
+            .get_mut(channel.0)
+            .ok_or(ThermalError::UnknownChannel { index: channel.0 })?;
+        ch.flow = flow.value().max(0.0);
+        Ok(())
+    }
+
+    /// The current flow of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign channel id.
+    #[must_use]
+    pub fn flow(&self, channel: FlowChannelId) -> AirFlow {
+        AirFlow::new(self.channels[channel.0].flow)
+    }
+
+    /// A state with every capacitive node at `temp` — the paper's
+    /// "cold start after a long idle soak".
+    #[must_use]
+    pub fn uniform_state(&self, temp: Celsius) -> ThermalState {
+        ThermalState {
+            temps: vec![temp.degrees(); self.slot_to_node.len()],
+        }
+    }
+
+    /// Reads the temperature of `node` (state value for capacitive
+    /// nodes, pinned value for boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign node id or a state from another network.
+    #[must_use]
+    pub fn temperature(&self, state: &ThermalState, node: NodeId) -> Celsius {
+        match self.nodes[node.0].kind {
+            NodeKind::Capacitive { slot, .. } => Celsius::new(state.temps[slot]),
+            NodeKind::Boundary { temp } => Celsius::new(temp),
+        }
+    }
+
+    /// The effective conductance of an edge given current channel flows.
+    fn edge_conductance(&self, edge: &Edge) -> f64 {
+        match edge.coupling {
+            Coupling::Conductance(g) => g.value(),
+            Coupling::Convective { channel, model } => {
+                model.conductance(AirFlow::new(self.channels[channel.0].flow)).value()
+            }
+            Coupling::Advective { channel, fraction } => {
+                let q = self.channels[channel.0].flow;
+                fraction * q * AIR_DENSITY * AIR_SPECIFIC_HEAT
+            }
+        }
+    }
+
+    /// Assembles the linear system `C·dT/dt = −G·T + s` for the current
+    /// inputs. Returns `(G, s, c)` with `c` the per-slot capacitances.
+    pub(crate) fn assemble(&self) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let n = self.slot_to_node.len();
+        let mut g_mat = Matrix::zeros(n, n);
+        let mut s = vec![0.0; n];
+        let mut c = vec![0.0; n];
+
+        for (&node_idx, slot) in self.slot_to_node.iter().zip(0..) {
+            if let NodeKind::Capacitive { capacitance, .. } = self.nodes[node_idx].kind {
+                c[slot] = capacitance;
+            }
+            s[slot] += self.powers[node_idx];
+        }
+
+        for edge in &self.edges {
+            let g = self.edge_conductance(edge);
+            if g <= 0.0 {
+                continue;
+            }
+            let ends = [(edge.a, edge.b), (edge.b, edge.a)];
+            // For a directed edge only the second endpoint (edge.b)
+            // receives heat, i.e. only the (b, a) orientation applies.
+            let orientations: &[(usize, usize)] = if edge.directed {
+                &ends[1..]
+            } else {
+                &ends[..]
+            };
+            for &(receiver, other) in orientations {
+                if let NodeKind::Capacitive { slot: rs, .. } = self.nodes[receiver].kind {
+                    g_mat.add_to(rs, rs, g);
+                    match self.nodes[other].kind {
+                        NodeKind::Capacitive { slot: os, .. } => {
+                            g_mat.add_to(rs, os, -g);
+                        }
+                        NodeKind::Boundary { temp } => {
+                            s[rs] += g * temp;
+                        }
+                    }
+                }
+            }
+        }
+        (g_mat, s, c)
+    }
+
+    /// Directly solves for the steady-state temperatures under the
+    /// current powers, boundary temperatures and flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] when some capacitive node
+    /// has no path to a boundary.
+    pub fn steady_state(&self) -> Result<ThermalState, ThermalError> {
+        let (g_mat, s, _) = self.assemble();
+        let temps = g_mat.solve(&s).map_err(|_| ThermalError::SingularSystem)?;
+        Ok(ThermalState { temps })
+    }
+
+    /// Looks up the slot-to-node mapping (used by the solver for error
+    /// reporting).
+    pub(crate) fn slot_name(&self, slot: usize) -> &str {
+        &self.nodes[self.slot_to_node[slot]].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> (ThermalNetwork, NodeId, NodeId) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance::new(100.0));
+        let amb = b.add_boundary("ambient", Celsius::new(24.0));
+        b.connect(die, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
+            .unwrap();
+        (b.build().unwrap(), die, amb)
+    }
+
+    #[test]
+    fn steady_state_single_rc() {
+        let (mut net, die, _) = simple();
+        net.set_power(die, Watts::new(100.0)).unwrap();
+        let ss = net.steady_state().unwrap();
+        assert!((net.temperature(&ss, die).degrees() - 74.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_temperature_shifts_steady_state() {
+        let (mut net, die, amb) = simple();
+        net.set_power(die, Watts::new(50.0)).unwrap();
+        net.set_boundary(amb, Celsius::new(30.0)).unwrap();
+        let ss = net.steady_state().unwrap();
+        assert!((net.temperature(&ss, die).degrees() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_node_chain_analytic() {
+        // die --g1=4-- sink --g2=2-- ambient(20), P=40 W into die.
+        // T_sink = 20 + 40/2 = 40; T_die = 40 + 40/4 = 50.
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance::new(50.0));
+        let sink = b.add_node("sink", ThermalCapacitance::new(400.0));
+        let amb = b.add_boundary("ambient", Celsius::new(20.0));
+        b.connect(die, sink, Coupling::Conductance(ThermalConductance::new(4.0)))
+            .unwrap();
+        b.connect(sink, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
+            .unwrap();
+        let mut net = b.build().unwrap();
+        net.set_power(die, Watts::new(40.0)).unwrap();
+        let ss = net.steady_state().unwrap();
+        assert!((net.temperature(&ss, sink).degrees() - 40.0).abs() < 1e-9);
+        assert!((net.temperature(&ss, die).degrees() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convective_edge_responds_to_flow() {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance::new(100.0));
+        let amb = b.add_boundary("ambient", Celsius::new(24.0));
+        let ch = b.add_flow_channel("main");
+        let model = ConvectionModel::turbulent(
+            ThermalConductance::new(4.0),
+            AirFlow::from_cfm(300.0),
+        );
+        b.connect(die, amb, Coupling::Convective { channel: ch, model })
+            .unwrap();
+        let mut net = b.build().unwrap();
+        net.set_power(die, Watts::new(80.0)).unwrap();
+
+        net.set_flow(ch, AirFlow::from_cfm(150.0)).unwrap();
+        let slow = net.steady_state().unwrap();
+        net.set_flow(ch, AirFlow::from_cfm(600.0)).unwrap();
+        let fast = net.steady_state().unwrap();
+        assert!(
+            net.temperature(&fast, die) < net.temperature(&slow, die),
+            "more flow must cool the die"
+        );
+    }
+
+    #[test]
+    fn advection_heats_downstream_node() {
+        // ambient →(adv) air1 →(adv) air2 ; heater convects into air1.
+        let mut b = ThermalNetworkBuilder::new();
+        let air1 = b.add_node("air1", ThermalCapacitance::new(10.0));
+        let air2 = b.add_node("air2", ThermalCapacitance::new(10.0));
+        let amb = b.add_boundary("ambient", Celsius::new(24.0));
+        let ch = b.add_flow_channel("duct");
+        b.connect_directed(amb, air1, Coupling::Advective { channel: ch, fraction: 1.0 })
+            .unwrap();
+        b.connect_directed(air1, air2, Coupling::Advective { channel: ch, fraction: 1.0 })
+            .unwrap();
+        let mut net = b.build().unwrap();
+        net.set_flow(ch, AirFlow::new(0.05)).unwrap();
+        net.set_power(air1, Watts::new(200.0)).unwrap();
+        let ss = net.steady_state().unwrap();
+        let t1 = net.temperature(&ss, air1);
+        let t2 = net.temperature(&ss, air2);
+        // air1 rise = P / (ṁ·cp) = 200 / (0.05·1.184·1006) ≈ 3.36 °C.
+        assert!((t1.degrees() - 24.0 - 200.0 / (0.05 * 1.184 * 1006.0)).abs() < 1e-6);
+        // Downstream air arrives at air1 temperature and gains nothing.
+        assert!((t2.degrees() - t1.degrees()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_symmetric_advection() {
+        let mut b = ThermalNetworkBuilder::new();
+        let a = b.add_node("a", ThermalCapacitance::new(1.0));
+        let c = b.add_node("c", ThermalCapacitance::new(1.0));
+        let ch = b.add_flow_channel("x");
+        let err = b
+            .connect(a, c, Coupling::Advective { channel: ch, fraction: 1.0 })
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::InvalidCoupling { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_self_loops_and_bad_values() {
+        let mut b = ThermalNetworkBuilder::new();
+        let a = b.add_node("a", ThermalCapacitance::new(1.0));
+        let amb = b.add_boundary("amb", Celsius::new(24.0));
+        assert!(b
+            .connect(a, a, Coupling::Conductance(ThermalConductance::new(1.0)))
+            .is_err());
+        assert!(b
+            .connect(a, amb, Coupling::Conductance(ThermalConductance::ZERO))
+            .is_err());
+        let ch = b.add_flow_channel("x");
+        assert!(b
+            .connect_directed(a, amb, Coupling::Advective { channel: ch, fraction: 1.0 })
+            .is_err(), "directed into boundary is rejected");
+        assert!(b
+            .connect_directed(amb, a, Coupling::Advective { channel: ch, fraction: 0.0 })
+            .is_err(), "zero fraction rejected");
+        assert!(b
+            .connect_directed(amb, a, Coupling::Advective { channel: ch, fraction: 1.5 })
+            .is_err(), "fraction > 1 rejected");
+    }
+
+    #[test]
+    fn builder_rejects_foreign_ids() {
+        let mut other = ThermalNetworkBuilder::new();
+        let foreign = other.add_node("x", ThermalCapacitance::new(1.0));
+        let foreign_far = {
+            let mut big = ThermalNetworkBuilder::new();
+            for i in 0..10 {
+                big.add_node(&format!("n{i}"), ThermalCapacitance::new(1.0));
+            }
+            NodeId(9)
+        };
+        let mut b = ThermalNetworkBuilder::new();
+        let a = b.add_node("a", ThermalCapacitance::new(1.0));
+        assert!(b
+            .connect(a, foreign_far, Coupling::Conductance(ThermalConductance::new(1.0)))
+            .is_err());
+        let _ = foreign;
+    }
+
+    #[test]
+    fn build_requires_capacitive_node() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.add_boundary("amb", Celsius::new(24.0));
+        assert!(matches!(
+            b.build(),
+            Err(ThermalError::NoCapacitiveNodes)
+        ));
+    }
+
+    #[test]
+    fn build_rejects_nonpositive_capacitance() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.add_node("bad", ThermalCapacitance::ZERO);
+        assert!(matches!(
+            b.build(),
+            Err(ThermalError::InvalidCapacitance { .. })
+        ));
+    }
+
+    #[test]
+    fn isolated_node_is_singular() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.add_node("floating", ThermalCapacitance::new(1.0));
+        let net = b.build().unwrap();
+        assert!(matches!(
+            net.steady_state(),
+            Err(ThermalError::SingularSystem)
+        ));
+    }
+
+    #[test]
+    fn power_bookkeeping() {
+        let (mut net, die, amb) = simple();
+        assert_eq!(net.power(die), Watts::ZERO);
+        net.set_power(die, Watts::new(55.0)).unwrap();
+        assert_eq!(net.power(die), Watts::new(55.0));
+        assert_eq!(net.total_power(), Watts::new(55.0));
+        assert!(net.set_power(amb, Watts::new(1.0)).is_err());
+        assert!(net.set_power(NodeId(99), Watts::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn node_metadata() {
+        let (net, die, amb) = simple();
+        assert_eq!(net.name(die), "die");
+        assert!(!net.is_boundary(die));
+        assert!(net.is_boundary(amb));
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.state_count(), 1);
+    }
+
+    #[test]
+    fn uniform_state_reads_back() {
+        let (net, die, _) = simple();
+        let st = net.uniform_state(Celsius::new(24.0));
+        assert_eq!(net.temperature(&st, die), Celsius::new(24.0));
+        assert_eq!(st.len(), 1);
+        assert!(!st.is_empty());
+        assert!(st.is_finite());
+        assert_eq!(st.max_temperature(), Celsius::new(24.0));
+    }
+
+    #[test]
+    fn set_boundary_rejects_capacitive() {
+        let (mut net, die, _) = simple();
+        assert!(net.set_boundary(die, Celsius::new(30.0)).is_err());
+    }
+
+    #[test]
+    fn negative_flow_clamps_to_zero() {
+        let mut b = ThermalNetworkBuilder::new();
+        let _ = b.add_node("n", ThermalCapacitance::new(1.0));
+        let ch = b.add_flow_channel("duct");
+        let mut net = b.build().unwrap();
+        net.set_flow(ch, AirFlow::new(-5.0)).unwrap();
+        assert_eq!(net.flow(ch), AirFlow::ZERO);
+        assert!(net.set_flow(FlowChannelId(4), AirFlow::ZERO).is_err());
+    }
+}

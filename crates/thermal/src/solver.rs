@@ -1,0 +1,308 @@
+//! Transient integration of the thermal ODE `C·dT/dt = −G·T + s`.
+
+use leakctl_units::SimDuration;
+
+use crate::error::ThermalError;
+use crate::linalg::Matrix;
+use crate::network::{ThermalNetwork, ThermalState};
+
+/// Time-integration method for [`ThermalNetwork::step`].
+///
+/// The server model mixes slow solid nodes (minutes) with fast air nodes
+/// (sub-second), making the ODE stiff. Guidance:
+///
+/// - [`Integrator::BackwardEuler`] (default) — implicit, unconditionally
+///   stable; accurate at the 0.1–1 s steps the platform uses.
+/// - [`Integrator::ExponentialEuler`] — per-node exact diagonal decay
+///   with frozen couplings; stable and cheap, small splitting error.
+/// - [`Integrator::Rk4`] — classic 4th order; accurate but requires
+///   steps below the fastest time constant.
+/// - [`Integrator::ForwardEuler`] — reference method; diverges for
+///   steps above twice the fastest time constant. Kept for the solver
+///   ablation benchmark.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum Integrator {
+    /// Explicit first-order Euler.
+    ForwardEuler,
+    /// Classic explicit fourth-order Runge–Kutta.
+    Rk4,
+    /// Per-node exponential decay toward a frozen local equilibrium.
+    ExponentialEuler,
+    /// Implicit first-order Euler (LU solve per step).
+    #[default]
+    BackwardEuler,
+}
+
+impl ThermalNetwork {
+    /// Advances `state` by `dt` with the chosen integrator, holding
+    /// powers, boundary temperatures and flows constant over the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Diverged`] when the step produced a
+    /// non-finite temperature (explicit method with too large a step)
+    /// and [`ThermalError::SingularSystem`] when the implicit solve
+    /// fails.
+    pub fn step(
+        &self,
+        state: &mut ThermalState,
+        dt: SimDuration,
+        method: Integrator,
+    ) -> Result<(), ThermalError> {
+        if dt.is_zero() {
+            return Ok(());
+        }
+        let (g_mat, s, c) = self.assemble();
+        let h = dt.as_secs_f64();
+        match method {
+            Integrator::ForwardEuler => {
+                let dtemp = derivative(&g_mat, &s, &c, &state.temps);
+                for (t, d) in state.temps.iter_mut().zip(&dtemp) {
+                    *t += h * d;
+                }
+            }
+            Integrator::Rk4 => {
+                let n = state.temps.len();
+                let k1 = derivative(&g_mat, &s, &c, &state.temps);
+                let mut tmp = vec![0.0; n];
+                for i in 0..n {
+                    tmp[i] = state.temps[i] + 0.5 * h * k1[i];
+                }
+                let k2 = derivative(&g_mat, &s, &c, &tmp);
+                for i in 0..n {
+                    tmp[i] = state.temps[i] + 0.5 * h * k2[i];
+                }
+                let k3 = derivative(&g_mat, &s, &c, &tmp);
+                for i in 0..n {
+                    tmp[i] = state.temps[i] + h * k3[i];
+                }
+                let k4 = derivative(&g_mat, &s, &c, &tmp);
+                for i in 0..n {
+                    state.temps[i] +=
+                        h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                }
+            }
+            Integrator::ExponentialEuler => {
+                let n = state.temps.len();
+                let mut next = vec![0.0; n];
+                for i in 0..n {
+                    let a = g_mat.get(i, i) / c[i];
+                    // Off-diagonal inflow frozen at start-of-step values.
+                    let mut inflow = s[i];
+                    for j in 0..n {
+                        if j != i {
+                            inflow -= g_mat.get(i, j) * state.temps[j];
+                        }
+                    }
+                    let r = inflow / c[i];
+                    next[i] = if a.abs() < 1e-300 {
+                        state.temps[i] + r * h
+                    } else {
+                        let t_inf = r / a;
+                        t_inf + (state.temps[i] - t_inf) * (-a * h).exp()
+                    };
+                }
+                state.temps = next;
+            }
+            Integrator::BackwardEuler => {
+                // (C + h·G)·T' = C·T + h·s
+                let n = state.temps.len();
+                let mut m = Matrix::zeros(n, n);
+                let mut rhs = vec![0.0; n];
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut v = h * g_mat.get(i, j);
+                        if i == j {
+                            v += c[i];
+                        }
+                        m.set(i, j, v);
+                    }
+                    rhs[i] = c[i] * state.temps[i] + h * s[i];
+                }
+                state.temps = m.solve(&rhs).map_err(|_| ThermalError::SingularSystem)?;
+            }
+        }
+        if let Some(bad) = state.temps.iter().position(|t| !t.is_finite()) {
+            return Err(ThermalError::Diverged {
+                name: self.slot_name(bad).to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Advances `state` by `total`, internally substepping at `max_dt`.
+    ///
+    /// Convenience wrapper used by characterization sweeps where inputs
+    /// are constant for long stretches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ThermalNetwork::step`].
+    pub fn run(
+        &self,
+        state: &mut ThermalState,
+        total: SimDuration,
+        max_dt: SimDuration,
+        method: Integrator,
+    ) -> Result<(), ThermalError> {
+        assert!(!max_dt.is_zero(), "max_dt must be non-zero");
+        let mut remaining = total;
+        while !remaining.is_zero() {
+            let dt = remaining.min(max_dt);
+            self.step(state, dt, method)?;
+            remaining = remaining.saturating_sub(dt);
+        }
+        Ok(())
+    }
+}
+
+/// `dT/dt = C⁻¹·(s − G·T)`.
+fn derivative(g_mat: &Matrix, s: &[f64], c: &[f64], temps: &[f64]) -> Vec<f64> {
+    let gt = g_mat
+        .mul_vec(temps)
+        .expect("assemble produces consistent dimensions");
+    s.iter()
+        .zip(&gt)
+        .zip(c)
+        .map(|((si, gti), ci)| (si - gti) / ci)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Coupling, ThermalNetworkBuilder};
+    use leakctl_units::{Celsius, ThermalCapacitance, ThermalConductance, Watts};
+
+    /// Single RC: C = 200 J/K, g = 2 W/K → τ = 100 s; P = 100 W,
+    /// ambient 24 °C → final 74 °C.
+    fn single_rc() -> (crate::ThermalNetwork, crate::NodeId) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance::new(200.0));
+        let amb = b.add_boundary("amb", Celsius::new(24.0));
+        b.connect(die, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
+            .unwrap();
+        let mut net = b.build().unwrap();
+        net.set_power(die, Watts::new(100.0)).unwrap();
+        (net, die)
+    }
+
+    fn analytic(t: f64) -> f64 {
+        74.0 + (24.0 - 74.0) * (-t / 100.0).exp()
+    }
+
+    #[test]
+    fn all_methods_match_analytic_solution() {
+        for method in [
+            Integrator::ForwardEuler,
+            Integrator::Rk4,
+            Integrator::ExponentialEuler,
+            Integrator::BackwardEuler,
+        ] {
+            let (net, die) = single_rc();
+            let mut st = net.uniform_state(Celsius::new(24.0));
+            let dt = SimDuration::from_millis(500);
+            for _ in 0..600 {
+                net.step(&mut st, dt, method).unwrap();
+            }
+            let expect = analytic(300.0);
+            let got = net.temperature(&st, die).degrees();
+            assert!(
+                (got - expect).abs() < 0.5,
+                "{method:?}: {got} vs analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_than_euler() {
+        let dt = SimDuration::from_secs(5);
+        let mut errs = vec![];
+        for method in [Integrator::ForwardEuler, Integrator::Rk4] {
+            let (net, die) = single_rc();
+            let mut st = net.uniform_state(Celsius::new(24.0));
+            for _ in 0..60 {
+                net.step(&mut st, dt, method).unwrap();
+            }
+            errs.push((net.temperature(&st, die).degrees() - analytic(300.0)).abs());
+        }
+        assert!(errs[1] < errs[0] / 10.0, "RK4 {errs:?} not \u{226a} Euler");
+    }
+
+    #[test]
+    fn implicit_methods_stable_at_huge_steps() {
+        for method in [Integrator::BackwardEuler, Integrator::ExponentialEuler] {
+            let (net, die) = single_rc();
+            let mut st = net.uniform_state(Celsius::new(24.0));
+            // dt = 10·τ — forward Euler would explode.
+            for _ in 0..20 {
+                net.step(&mut st, SimDuration::from_secs(1_000), method).unwrap();
+            }
+            let got = net.temperature(&st, die).degrees();
+            assert!((got - 74.0).abs() < 0.5, "{method:?} settled at {got}");
+        }
+    }
+
+    #[test]
+    fn forward_euler_diverges_beyond_stability_limit() {
+        let (net, _) = single_rc();
+        let mut st = net.uniform_state(Celsius::new(24.0));
+        // Stability limit is dt < 2τ = 200 s; push way past it. The
+        // amplification factor is ~3.5 per step, so ~600 steps overflow
+        // f64 and trip the non-finite check.
+        let mut diverged = false;
+        for _ in 0..1_000 {
+            if net
+                .step(&mut st, SimDuration::from_secs(450), Integrator::ForwardEuler)
+                .is_err()
+            {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "expected divergence error");
+    }
+
+    #[test]
+    fn zero_step_is_noop() {
+        let (net, die) = single_rc();
+        let mut st = net.uniform_state(Celsius::new(24.0));
+        net.step(&mut st, SimDuration::ZERO, Integrator::BackwardEuler)
+            .unwrap();
+        assert_eq!(net.temperature(&st, die), Celsius::new(24.0));
+    }
+
+    #[test]
+    fn run_substeps_to_target() {
+        let (net, die) = single_rc();
+        let mut st = net.uniform_state(Celsius::new(24.0));
+        net.run(
+            &mut st,
+            SimDuration::from_secs(300),
+            SimDuration::from_secs(1),
+            Integrator::BackwardEuler,
+        )
+        .unwrap();
+        assert!((net.temperature(&st, die).degrees() - analytic(300.0)).abs() < 0.3);
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let (net, die) = single_rc();
+        let ss = net.steady_state().unwrap();
+        let mut st = net.uniform_state(Celsius::new(24.0));
+        net.run(
+            &mut st,
+            SimDuration::from_secs(2_000),
+            SimDuration::from_secs(1),
+            Integrator::BackwardEuler,
+        )
+        .unwrap();
+        let diff = (net.temperature(&st, die).degrees()
+            - net.temperature(&ss, die).degrees())
+        .abs();
+        assert!(diff < 1e-3, "transient end {diff} K from steady state");
+    }
+}

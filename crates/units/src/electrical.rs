@@ -1,0 +1,80 @@
+//! Electrical quantities: [`Volts`] and [`Amps`].
+//!
+//! The paper's telemetry harness reports per-core voltage and current;
+//! their product is dissipated power in [`Watts`](crate::Watts).
+
+use crate::Watts;
+
+quantity! {
+    /// Electrical potential in volts.
+    ///
+    /// ```
+    /// use leakctl_units::{Amps, Volts};
+    ///
+    /// let p = Volts::new(1.05) * Amps::new(10.0);
+    /// assert!((p.value() - 10.5).abs() < 1e-12);
+    /// ```
+    Volts, "V"
+}
+
+quantity! {
+    /// Electrical current in amperes.
+    ///
+    /// ```
+    /// use leakctl_units::{Amps, Volts};
+    ///
+    /// let p = Amps::new(2.0) * Volts::new(12.0);
+    /// assert_eq!(p.value(), 24.0);
+    /// ```
+    Amps, "A"
+}
+
+impl core::ops::Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Watts {
+    /// The current drawn at the given voltage to dissipate this power.
+    ///
+    /// Returns [`Amps::ZERO`] when the voltage is zero.
+    #[inline]
+    #[must_use]
+    pub fn current_at(self, v: Volts) -> Amps {
+        if v.value() == 0.0 {
+            Amps::ZERO
+        } else {
+            Amps::new(self.value() / v.value())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_products() {
+        assert_eq!(Volts::new(12.0) * Amps::new(0.5), Watts::new(6.0));
+        assert_eq!(Amps::new(0.5) * Volts::new(12.0), Watts::new(6.0));
+    }
+
+    #[test]
+    fn current_back_out() {
+        let p = Watts::new(54.0);
+        let i = p.current_at(Volts::new(12.0));
+        assert!((i.value() - 4.5).abs() < 1e-12);
+        assert_eq!(p.current_at(Volts::ZERO), Amps::ZERO);
+    }
+}

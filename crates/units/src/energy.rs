@@ -1,0 +1,107 @@
+//! Electrical energy: [`Joules`] and the display-oriented
+//! [`KilowattHours`] wrapper used when reporting Table I rows.
+
+use crate::{SimDuration, Watts};
+
+quantity! {
+    /// Energy in joules.
+    ///
+    /// ```
+    /// use leakctl_units::Joules;
+    ///
+    /// let e = Joules::new(3_600_000.0);
+    /// assert_eq!(e.as_kwh().value(), 1.0);
+    /// ```
+    Joules, "J"
+}
+
+quantity! {
+    /// Energy in kilowatt-hours, the unit the paper's Table I reports.
+    ///
+    /// ```
+    /// use leakctl_units::KilowattHours;
+    ///
+    /// let e = KilowattHours::new(0.6695);
+    /// assert_eq!(e.as_joules().value(), 0.6695 * 3.6e6);
+    /// ```
+    KilowattHours, "kWh"
+}
+
+/// Joules per kilowatt-hour.
+const JOULES_PER_KWH: f64 = 3.6e6;
+
+impl Joules {
+    /// Converts to kilowatt-hours.
+    #[inline]
+    #[must_use]
+    pub fn as_kwh(self) -> KilowattHours {
+        KilowattHours::new(self.value() / JOULES_PER_KWH)
+    }
+
+    /// The constant average power that delivers this energy over `dt`.
+    ///
+    /// Returns [`Watts::ZERO`] for a zero-length interval.
+    #[inline]
+    #[must_use]
+    pub fn average_power(self, dt: SimDuration) -> Watts {
+        if dt.is_zero() {
+            Watts::ZERO
+        } else {
+            Watts::new(self.value() / dt.as_secs_f64())
+        }
+    }
+}
+
+impl KilowattHours {
+    /// Converts to joules.
+    #[inline]
+    #[must_use]
+    pub fn as_joules(self) -> Joules {
+        Joules::new(self.value() * JOULES_PER_KWH)
+    }
+}
+
+impl From<Joules> for KilowattHours {
+    #[inline]
+    fn from(j: Joules) -> Self {
+        j.as_kwh()
+    }
+}
+
+impl From<KilowattHours> for Joules {
+    #[inline]
+    fn from(k: KilowattHours) -> Self {
+        k.as_joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kwh_round_trip() {
+        let e = Joules::new(1.23e7);
+        let k = e.as_kwh();
+        assert!((k.as_joules().value() - 1.23e7).abs() < 1e-6);
+        assert_eq!(KilowattHours::from(e), k);
+        assert_eq!(Joules::from(k), k.as_joules());
+    }
+
+    #[test]
+    fn average_power() {
+        let e = Watts::new(500.0) * SimDuration::from_mins(10);
+        let p = e.average_power(SimDuration::from_mins(10));
+        assert!((p.value() - 500.0).abs() < 1e-9);
+        assert_eq!(Joules::new(42.0).average_power(SimDuration::ZERO), Watts::ZERO);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut total = Joules::ZERO;
+        for _ in 0..60 {
+            total += Watts::new(700.0) * SimDuration::from_secs(60);
+        }
+        assert!((total.as_kwh().value() - 0.7).abs() < 1e-12);
+    }
+}

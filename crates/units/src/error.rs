@@ -1,0 +1,54 @@
+//! Error type shared by validating constructors in this crate.
+
+use core::fmt;
+
+/// Error returned by validating quantity constructors.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::{QuantityError, Utilization};
+///
+/// let err = Utilization::from_fraction(1.5).unwrap_err();
+/// assert!(matches!(err, QuantityError::OutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantityError {
+    /// The supplied value was NaN or infinite.
+    NonFinite {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+    },
+    /// The supplied value fell outside the quantity's valid range.
+    OutOfRange {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound of the valid range.
+        min: f64,
+        /// Inclusive upper bound of the valid range.
+        max: f64,
+    },
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFinite { quantity } => {
+                write!(f, "{quantity} must be finite")
+            }
+            Self::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{quantity} value {value} outside valid range [{min}, {max}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantityError {}

@@ -1,0 +1,66 @@
+//! Volumetric air flow: [`AirFlow`].
+
+quantity! {
+    /// Volumetric air flow in cubic metres per second.
+    ///
+    /// Server and fan datasheets usually quote CFM (cubic feet per
+    /// minute); conversions are provided both ways.
+    ///
+    /// ```
+    /// use leakctl_units::AirFlow;
+    ///
+    /// let q = AirFlow::from_cfm(100.0);
+    /// assert!((q.as_cfm() - 100.0).abs() < 1e-9);
+    /// ```
+    AirFlow, "m³/s"
+}
+
+/// Cubic metres per second in one CFM.
+const M3S_PER_CFM: f64 = 0.000_471_947_443;
+
+impl AirFlow {
+    /// Constructs a flow from cubic feet per minute.
+    #[inline]
+    #[must_use]
+    pub fn from_cfm(cfm: f64) -> Self {
+        Self::new(cfm * M3S_PER_CFM)
+    }
+
+    /// Flow in cubic feet per minute.
+    #[inline]
+    #[must_use]
+    pub fn as_cfm(self) -> f64 {
+        self.value() / M3S_PER_CFM
+    }
+
+    /// Mass flow in kg/s, given air density in kg/m³.
+    #[inline]
+    #[must_use]
+    pub fn mass_flow(self, density_kg_m3: f64) -> f64 {
+        self.value() * density_kg_m3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfm_round_trip() {
+        let q = AirFlow::from_cfm(250.0);
+        assert!((q.as_cfm() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_flow_at_standard_density() {
+        let q = AirFlow::new(0.1);
+        assert!((q.mass_flow(1.184) - 0.1184).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_across_parallel_fans() {
+        let one = AirFlow::from_cfm(60.0);
+        let total: AirFlow = std::iter::repeat_n(one, 6).sum();
+        assert!((total.as_cfm() - 360.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Strongly typed physical quantities for the `leakctl` server energy
+//! simulator.
+//!
+//! Every quantity that crosses a module boundary in the workspace —
+//! temperatures, powers, energies, fan speeds, air flows, thermal network
+//! elements, utilization levels and simulated time — is wrapped in a
+//! dedicated newtype so the compiler rules out unit confusion (watts added
+//! to joules, Celsius used as Kelvin, RPM used as a fraction, …).
+//!
+//! The types are thin `f64` (or `u64` for time) wrappers with the
+//! arithmetic that is physically meaningful and nothing more: you can add
+//! two [`Watts`], scale them by a plain number, and multiply them by a
+//! [`SimDuration`] to obtain [`Joules`], but you cannot add [`Watts`] to
+//! [`Celsius`].
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_units::{Celsius, Rpm, SimDuration, Utilization, Watts};
+//!
+//! # fn main() -> Result<(), leakctl_units::QuantityError> {
+//! let load = Utilization::from_percent(75.0)?;
+//! let fan = Rpm::new(2400.0);
+//! let power = Watts::new(0.4452) * load.as_percent();
+//! let energy = power * SimDuration::from_mins(30);
+//! assert!(energy.as_kwh().value() > 0.0);
+//! let t = Celsius::new(70.0);
+//! assert!(t.as_kelvin().kelvin() > 343.0);
+//! # let _ = fan;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[macro_use]
+mod macros;
+
+mod electrical;
+mod energy;
+mod error;
+mod flow;
+mod power;
+mod rpm;
+mod temperature;
+mod thermal;
+mod time;
+mod utilization;
+
+pub use electrical::{Amps, Volts};
+pub use energy::{Joules, KilowattHours};
+pub use error::QuantityError;
+pub use flow::AirFlow;
+pub use power::Watts;
+pub use rpm::Rpm;
+pub use temperature::{Celsius, Kelvin, TempDelta};
+pub use thermal::{ThermalCapacitance, ThermalConductance, ThermalResistance};
+pub use time::{SimDuration, SimInstant};
+pub use utilization::Utilization;

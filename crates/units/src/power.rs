@@ -1,0 +1,87 @@
+//! Electrical power: [`Watts`].
+
+use crate::{Joules, SimDuration};
+
+quantity! {
+    /// Electrical power in watts.
+    ///
+    /// Multiplying power by a [`SimDuration`] yields energy in [`Joules`]:
+    ///
+    /// ```
+    /// use leakctl_units::{SimDuration, Watts};
+    ///
+    /// let e = Watts::new(100.0) * SimDuration::from_mins(1);
+    /// assert_eq!(e.value(), 6_000.0);
+    /// ```
+    Watts, "W"
+}
+
+impl core::ops::Mul<SimDuration> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules::new(self.value() * rhs.as_secs_f64())
+    }
+}
+
+impl core::ops::Mul<Watts> for SimDuration {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Watts::new(30.0);
+        let b = Watts::new(12.0);
+        assert_eq!((a + b).value(), 42.0);
+        assert_eq!((a - b).value(), 18.0);
+        assert_eq!((a * 2.0).value(), 60.0);
+        assert_eq!((2.0 * a).value(), 60.0);
+        assert_eq!((a / 3.0).value(), 10.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).value(), -30.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)];
+        let total: Watts = parts.iter().sum();
+        assert_eq!(total, Watts::new(6.0));
+        let owned: Watts = parts.into_iter().sum();
+        assert_eq!(owned, Watts::new(6.0));
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(710.0) * SimDuration::from_hours(1);
+        assert!((e.as_kwh().value() - 0.710).abs() < 1e-12);
+        let e2 = SimDuration::from_hours(1) * Watts::new(710.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", Watts::new(30.25)), "30.2W");
+        assert_eq!(format!("{}", Watts::new(5.0)), "5W");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(Watts::new(-3.0).abs(), Watts::new(3.0));
+        assert_eq!(Watts::new(5.0).min(Watts::new(2.0)), Watts::new(2.0));
+        assert_eq!(Watts::new(5.0).max(Watts::new(2.0)), Watts::new(5.0));
+        assert_eq!(
+            Watts::new(9.0).clamp(Watts::ZERO, Watts::new(5.0)),
+            Watts::new(5.0)
+        );
+        assert!(Watts::new(1.0).is_finite());
+        assert!(!Watts::new(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,70 @@
+//! Fan rotational speed: [`Rpm`].
+
+quantity! {
+    /// Fan rotational speed in revolutions per minute.
+    ///
+    /// Stored as `f64` because fans slew continuously between integer
+    /// setpoints; controller outputs are typically multiples of 600 RPM
+    /// as in the paper (1800, 2400, 3000, 3600, 4200).
+    ///
+    /// ```
+    /// use leakctl_units::Rpm;
+    ///
+    /// let setpoint = Rpm::new(2400.0);
+    /// assert!(setpoint > Rpm::new(1800.0));
+    /// assert_eq!(setpoint.as_rps(), 40.0);
+    /// ```
+    Rpm, "RPM"
+}
+
+impl Rpm {
+    /// Revolutions per second.
+    #[inline]
+    #[must_use]
+    pub fn as_rps(self) -> f64 {
+        self.value() / 60.0
+    }
+
+    /// The ratio `self / reference`, the form in which fan affinity laws
+    /// are applied (flow ∝ ratio, power ∝ ratio³).
+    ///
+    /// Returns `0.0` when `reference` is zero.
+    #[inline]
+    #[must_use]
+    pub fn ratio_to(self, reference: Rpm) -> f64 {
+        if reference.value() == 0.0 {
+            0.0
+        } else {
+            self.value() / reference.value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r = Rpm::new(3600.0);
+        assert_eq!(r.as_rps(), 60.0);
+        assert_eq!(r.ratio_to(Rpm::new(1800.0)), 2.0);
+        assert_eq!(r.ratio_to(Rpm::ZERO), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        assert_eq!(Rpm::new(1800.0) + Rpm::new(600.0), Rpm::new(2400.0));
+        assert_eq!(Rpm::new(4200.0) - Rpm::new(600.0), Rpm::new(3600.0));
+        assert!(Rpm::new(4200.0) > Rpm::new(3600.0));
+        assert_eq!(
+            Rpm::new(5000.0).clamp(Rpm::new(1800.0), Rpm::new(4200.0)),
+            Rpm::new(4200.0)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.0}", Rpm::new(3300.4)), "3300RPM");
+    }
+}

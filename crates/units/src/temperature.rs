@@ -1,0 +1,386 @@
+//! Temperature quantities: [`Celsius`], [`Kelvin`] and the difference type
+//! [`TempDelta`].
+//!
+//! Absolute temperatures deliberately do **not** implement `Add<Self>` —
+//! adding two absolute temperatures is physically meaningless. Subtracting
+//! two absolute temperatures yields a [`TempDelta`], and a delta can be
+//! added back to an absolute temperature.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Offset between the Celsius and Kelvin scales.
+pub const KELVIN_OFFSET: f64 = 273.15;
+
+/// An absolute temperature on the Celsius scale.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::{Celsius, TempDelta};
+///
+/// let die = Celsius::new(70.0);
+/// let ambient = Celsius::new(24.0);
+/// let rise: TempDelta = die - ambient;
+/// assert_eq!(rise.degrees(), 46.0);
+/// assert_eq!(ambient + rise, die);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Constructs a temperature from degrees Celsius.
+    #[inline]
+    #[must_use]
+    pub const fn new(degrees: f64) -> Self {
+        Self(degrees)
+    }
+
+    /// Degrees Celsius as a raw `f64`.
+    #[inline]
+    #[must_use]
+    pub const fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Kelvin scale.
+    #[inline]
+    #[must_use]
+    pub fn as_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + KELVIN_OFFSET)
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two temperatures.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`.
+    #[inline]
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `true` when the underlying value is finite.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TempDelta;
+    #[inline]
+    fn sub(self, rhs: Self) -> TempDelta {
+        TempDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<TempDelta> for Celsius {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: TempDelta) -> Self {
+        Self(self.0 + rhs.degrees())
+    }
+}
+
+impl AddAssign<TempDelta> for Celsius {
+    #[inline]
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.degrees();
+    }
+}
+
+impl Sub<TempDelta> for Celsius {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: TempDelta) -> Self {
+        Self(self.0 - rhs.degrees())
+    }
+}
+
+impl SubAssign<TempDelta> for Celsius {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TempDelta) {
+        self.0 -= rhs.degrees();
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    #[inline]
+    fn from(k: Kelvin) -> Self {
+        k.as_celsius()
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}°C", prec, self.0)
+        } else {
+            write!(f, "{}°C", self.0)
+        }
+    }
+}
+
+/// An absolute temperature on the Kelvin scale.
+///
+/// Used by the physics-grounded leakage model, which needs absolute
+/// temperatures for its exponential terms.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::{Celsius, Kelvin};
+///
+/// let t = Celsius::new(26.85).as_kelvin();
+/// assert!((t.kelvin() - 300.0).abs() < 1e-9);
+/// assert!((t.as_celsius().degrees() - 26.85).abs() < 1e-9);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Constructs a temperature from kelvins.
+    #[inline]
+    #[must_use]
+    pub const fn new(kelvin: f64) -> Self {
+        Self(kelvin)
+    }
+
+    /// Kelvins as a raw `f64`.
+    #[inline]
+    #[must_use]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the Celsius scale.
+    #[inline]
+    #[must_use]
+    pub fn as_celsius(self) -> Celsius {
+        Celsius::new(self.0 - KELVIN_OFFSET)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    #[inline]
+    fn from(c: Celsius) -> Self {
+        c.as_kelvin()
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}K", prec, self.0)
+        } else {
+            write!(f, "{}K", self.0)
+        }
+    }
+}
+
+/// A temperature *difference* in degrees (identical on the Celsius and
+/// Kelvin scales).
+///
+/// Unlike absolute temperatures, deltas form a vector space: they can be
+/// added, subtracted, negated and scaled.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::TempDelta;
+///
+/// let d = TempDelta::new(5.0) + TempDelta::new(3.0);
+/// assert_eq!((d * 2.0).degrees(), 16.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct TempDelta(f64);
+
+impl TempDelta {
+    /// The zero difference.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Constructs a difference from degrees.
+    #[inline]
+    #[must_use]
+    pub const fn new(degrees: f64) -> Self {
+        Self(degrees)
+    }
+
+    /// Degrees as a raw `f64`.
+    #[inline]
+    #[must_use]
+    pub const fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value of the difference.
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+}
+
+impl Add for TempDelta {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TempDelta {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TempDelta {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for TempDelta {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<TempDelta> for f64 {
+    type Output = TempDelta;
+    #[inline]
+    fn mul(self, rhs: TempDelta) -> TempDelta {
+        TempDelta(self * rhs.0)
+    }
+}
+
+impl Div<f64> for TempDelta {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Neg for TempDelta {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl fmt::Display for TempDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}Δ°C", prec, self.0)
+        } else {
+            write!(f, "{}Δ°C", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius::new(70.0);
+        let k = c.as_kelvin();
+        assert!((k.kelvin() - 343.15).abs() < 1e-12);
+        assert!((k.as_celsius().degrees() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_impls_match_methods() {
+        let c = Celsius::new(24.0);
+        assert_eq!(Kelvin::from(c), c.as_kelvin());
+        let k = Kelvin::new(300.0);
+        assert_eq!(Celsius::from(k), k.as_celsius());
+    }
+
+    #[test]
+    fn subtraction_yields_delta() {
+        let d = Celsius::new(75.0) - Celsius::new(65.0);
+        assert_eq!(d, TempDelta::new(10.0));
+    }
+
+    #[test]
+    fn delta_add_back() {
+        let mut t = Celsius::new(24.0);
+        t += TempDelta::new(6.0);
+        assert_eq!(t, Celsius::new(30.0));
+        t -= TempDelta::new(1.0);
+        assert_eq!(t, Celsius::new(29.0));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = TempDelta::new(5.0);
+        assert_eq!((-d).degrees(), -5.0);
+        assert_eq!((d * 3.0).degrees(), 15.0);
+        assert_eq!((3.0 * d).degrees(), 15.0);
+        assert_eq!((d / 2.0).degrees(), 2.5);
+        assert_eq!((d - TempDelta::new(1.0)).degrees(), 4.0);
+        assert_eq!(TempDelta::new(-2.0).abs().degrees(), 2.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Celsius::new(75.0) > Celsius::new(65.0));
+        assert_eq!(
+            Celsius::new(80.0).clamp(Celsius::new(0.0), Celsius::new(75.0)),
+            Celsius::new(75.0)
+        );
+        assert_eq!(
+            Celsius::new(60.0).max(Celsius::new(70.0)),
+            Celsius::new(70.0)
+        );
+        assert_eq!(
+            Celsius::new(60.0).min(Celsius::new(70.0)),
+            Celsius::new(60.0)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:.1}", Celsius::new(70.25)), "70.2°C");
+        assert_eq!(format!("{}", Kelvin::new(300.0)), "300K");
+        assert_eq!(format!("{:.0}", TempDelta::new(5.4)), "5Δ°C");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Celsius::new(1.0).is_finite());
+        assert!(!Celsius::new(f64::NAN).is_finite());
+    }
+}

@@ -1,0 +1,144 @@
+//! Lumped thermal-network element values: [`ThermalResistance`],
+//! [`ThermalConductance`] and [`ThermalCapacitance`].
+//!
+//! In the electro-thermal analogy used by the RC network simulator,
+//! temperature difference plays the role of voltage and heat flow the
+//! role of current: `ΔT = P · R_th`, `τ = R_th · C_th`.
+
+use crate::{SimDuration, TempDelta, Watts};
+
+quantity! {
+    /// Thermal resistance in kelvin per watt (K/W).
+    ///
+    /// ```
+    /// use leakctl_units::{ThermalResistance, Watts};
+    ///
+    /// let r = ThermalResistance::new(0.25);
+    /// let dt = r * Watts::new(100.0);
+    /// assert_eq!(dt.degrees(), 25.0);
+    /// ```
+    ThermalResistance, "K/W"
+}
+
+quantity! {
+    /// Thermal conductance in watts per kelvin (W/K), the reciprocal of
+    /// [`ThermalResistance`].
+    ///
+    /// ```
+    /// use leakctl_units::{TempDelta, ThermalConductance};
+    ///
+    /// let g = ThermalConductance::new(4.0);
+    /// let p = g * TempDelta::new(10.0);
+    /// assert_eq!(p.value(), 40.0);
+    /// ```
+    ThermalConductance, "W/K"
+}
+
+quantity! {
+    /// Thermal capacitance in joules per kelvin (J/K).
+    ///
+    /// ```
+    /// use leakctl_units::{ThermalCapacitance, ThermalResistance};
+    ///
+    /// let tau = ThermalResistance::new(0.5) * ThermalCapacitance::new(600.0);
+    /// assert_eq!(tau.as_secs_f64(), 300.0);
+    /// ```
+    ThermalCapacitance, "J/K"
+}
+
+impl ThermalResistance {
+    /// The reciprocal conductance.
+    ///
+    /// Returns an infinite conductance for a zero resistance.
+    #[inline]
+    #[must_use]
+    pub fn as_conductance(self) -> ThermalConductance {
+        ThermalConductance::new(1.0 / self.value())
+    }
+}
+
+impl ThermalConductance {
+    /// The reciprocal resistance.
+    ///
+    /// Returns an infinite resistance for a zero conductance.
+    #[inline]
+    #[must_use]
+    pub fn as_resistance(self) -> ThermalResistance {
+        ThermalResistance::new(1.0 / self.value())
+    }
+}
+
+impl core::ops::Mul<Watts> for ThermalResistance {
+    type Output = TempDelta;
+    #[inline]
+    fn mul(self, rhs: Watts) -> TempDelta {
+        TempDelta::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<ThermalResistance> for Watts {
+    type Output = TempDelta;
+    #[inline]
+    fn mul(self, rhs: ThermalResistance) -> TempDelta {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<TempDelta> for ThermalConductance {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: TempDelta) -> Watts {
+        Watts::new(self.value() * rhs.degrees())
+    }
+}
+
+impl core::ops::Mul<ThermalCapacitance> for ThermalResistance {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: ThermalCapacitance) -> SimDuration {
+        SimDuration::from_secs_f64(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<ThermalResistance> for ThermalCapacitance {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: ThermalResistance) -> SimDuration {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_conductance_reciprocal() {
+        let r = ThermalResistance::new(0.2);
+        let g = r.as_conductance();
+        assert!((g.value() - 5.0).abs() < 1e-12);
+        assert!((g.as_resistance().value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_rise() {
+        let dt = ThermalResistance::new(0.3) * Watts::new(150.0);
+        assert!((dt.degrees() - 45.0).abs() < 1e-12);
+        let dt2 = Watts::new(150.0) * ThermalResistance::new(0.3);
+        assert_eq!(dt, dt2);
+    }
+
+    #[test]
+    fn heat_flow_from_conductance() {
+        let p = ThermalConductance::new(2.5) * TempDelta::new(8.0);
+        assert!((p.value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_constant() {
+        let tau = ThermalResistance::new(0.5) * ThermalCapacitance::new(1200.0);
+        assert_eq!(tau, SimDuration::from_mins(10));
+        let tau2 = ThermalCapacitance::new(1200.0) * ThermalResistance::new(0.5);
+        assert_eq!(tau, tau2);
+    }
+}

@@ -1,0 +1,244 @@
+//! CPU utilization level: [`Utilization`], a validated fraction in
+//! `[0, 1]`.
+
+use core::fmt;
+
+use crate::QuantityError;
+
+/// A CPU utilization level, stored as a fraction in `[0, 1]`.
+///
+/// The paper expresses utilization in percent (its `P_active = k1 · U`
+/// model uses percent, as `k1 = 0.4452 W/%`); [`Utilization::as_percent`]
+/// provides that view, while the internal representation stays a fraction
+/// to keep duty-cycle math simple.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::Utilization;
+///
+/// # fn main() -> Result<(), leakctl_units::QuantityError> {
+/// let u = Utilization::from_percent(75.0)?;
+/// assert_eq!(u.as_fraction(), 0.75);
+/// assert_eq!(u.as_percent(), 75.0);
+/// assert!(u > Utilization::from_fraction(0.5)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// The idle level (0 %).
+    pub const IDLE: Self = Self(0.0);
+
+    /// The fully loaded level (100 %).
+    pub const FULL: Self = Self(1.0);
+
+    /// Constructs a utilization from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NonFinite`] for NaN/∞ and
+    /// [`QuantityError::OutOfRange`] for values outside `[0, 1]`.
+    pub fn from_fraction(fraction: f64) -> Result<Self, QuantityError> {
+        if !fraction.is_finite() {
+            return Err(QuantityError::NonFinite {
+                quantity: "utilization",
+            });
+        }
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(QuantityError::OutOfRange {
+                quantity: "utilization",
+                value: fraction,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(fraction))
+    }
+
+    /// Constructs a utilization from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NonFinite`] for NaN/∞ and
+    /// [`QuantityError::OutOfRange`] for values outside `[0, 100]`.
+    pub fn from_percent(percent: f64) -> Result<Self, QuantityError> {
+        if !percent.is_finite() {
+            return Err(QuantityError::NonFinite {
+                quantity: "utilization",
+            });
+        }
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(QuantityError::OutOfRange {
+                quantity: "utilization",
+                value: percent,
+                min: 0.0,
+                max: 100.0,
+            });
+        }
+        Ok(Self(percent / 100.0))
+    }
+
+    /// Constructs a utilization by clamping an arbitrary fraction into
+    /// `[0, 1]`; NaN maps to idle.
+    #[inline]
+    #[must_use]
+    pub fn saturating_from_fraction(fraction: f64) -> Self {
+        if fraction.is_nan() {
+            Self::IDLE
+        } else {
+            Self(fraction.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The level as a fraction in `[0, 1]`.
+    #[inline]
+    #[must_use]
+    pub const fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The level as a percentage in `[0, 100]`.
+    #[inline]
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// `true` when exactly idle.
+    #[inline]
+    #[must_use]
+    pub fn is_idle(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// `true` when exactly fully loaded.
+    #[inline]
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self.0 == 1.0
+    }
+
+    /// The smaller of two levels.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of two levels.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Linear interpolation between `self` and `other` at parameter
+    /// `t ∈ [0, 1]` (clamped).
+    #[inline]
+    #[must_use]
+    pub fn lerp(self, other: Self, t: f64) -> Self {
+        let t = t.clamp(0.0, 1.0);
+        Self(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}%", prec, self.as_percent())
+        } else {
+            write!(f, "{}%", self.as_percent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_constructors() {
+        assert_eq!(Utilization::from_fraction(0.5).unwrap().as_percent(), 50.0);
+        assert_eq!(
+            Utilization::from_percent(90.0).unwrap().as_fraction(),
+            0.90
+        );
+        assert!(Utilization::IDLE.is_idle());
+        assert!(Utilization::FULL.is_full());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(matches!(
+            Utilization::from_fraction(1.5),
+            Err(QuantityError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            Utilization::from_fraction(-0.1),
+            Err(QuantityError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            Utilization::from_fraction(f64::NAN),
+            Err(QuantityError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Utilization::from_percent(101.0),
+            Err(QuantityError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            Utilization::from_percent(f64::INFINITY),
+            Err(QuantityError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn saturating_constructor() {
+        assert_eq!(
+            Utilization::saturating_from_fraction(2.0),
+            Utilization::FULL
+        );
+        assert_eq!(
+            Utilization::saturating_from_fraction(-1.0),
+            Utilization::IDLE
+        );
+        assert_eq!(
+            Utilization::saturating_from_fraction(f64::NAN),
+            Utilization::IDLE
+        );
+        assert_eq!(
+            Utilization::saturating_from_fraction(0.3).as_fraction(),
+            0.3
+        );
+    }
+
+    #[test]
+    fn lerp_is_clamped() {
+        let a = Utilization::IDLE;
+        let b = Utilization::FULL;
+        assert_eq!(a.lerp(b, 0.25).as_fraction(), 0.25);
+        assert_eq!(a.lerp(b, -1.0), a);
+        assert_eq!(a.lerp(b, 2.0), b);
+    }
+
+    #[test]
+    fn display() {
+        let u = Utilization::from_percent(62.5).unwrap();
+        assert_eq!(format!("{u:.1}"), "62.5%");
+    }
+
+    #[test]
+    fn error_display() {
+        let err = Utilization::from_percent(150.0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("150"));
+        assert!(msg.contains("utilization"));
+        let err = Utilization::from_fraction(f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+}

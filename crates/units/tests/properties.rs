@@ -1,0 +1,117 @@
+//! Property-based tests for the quantity newtypes.
+
+use leakctl_units::{
+    AirFlow, Celsius, Joules, Rpm, SimDuration, SimInstant, TempDelta, ThermalCapacitance,
+    ThermalResistance, Utilization, Watts,
+};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1.0e-3..1.0e6
+}
+
+proptest! {
+    #[test]
+    fn watts_addition_commutes(a in finite(), b in finite()) {
+        let (x, y) = (Watts::new(a), Watts::new(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn watts_addition_associates(a in finite(), b in finite(), c in finite()) {
+        let (x, y, z) = (Watts::new(a), Watts::new(b), Watts::new(c));
+        let lhs = ((x + y) + z).value();
+        let rhs = (x + (y + z)).value();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip(t in finite()) {
+        let c = Celsius::new(t);
+        let back = c.as_kelvin().as_celsius();
+        prop_assert!((back.degrees() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temp_delta_restores_difference(a in finite(), b in finite()) {
+        let (x, y) = (Celsius::new(a), Celsius::new(b));
+        let d: TempDelta = x - y;
+        let restored = y + d;
+        prop_assert!((restored.degrees() - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time(p in positive(), secs in 1u64..100_000) {
+        let e1 = Watts::new(p) * SimDuration::from_secs(secs);
+        let e2 = Watts::new(p) * SimDuration::from_secs(secs * 2);
+        prop_assert!((e2.value() - 2.0 * e1.value()).abs() < 1e-6 * e2.value().abs().max(1.0));
+    }
+
+    #[test]
+    fn kwh_round_trip(j in positive()) {
+        let e = Joules::new(j);
+        prop_assert!((e.as_kwh().as_joules().value() - j).abs() < 1e-9 * j.max(1.0));
+    }
+
+    #[test]
+    fn utilization_fraction_percent_agree(f in 0.0..=1.0f64) {
+        let u = Utilization::from_fraction(f).unwrap();
+        prop_assert!((u.as_percent() - f * 100.0).abs() < 1e-12);
+        let via_percent = Utilization::from_percent(u.as_percent()).unwrap();
+        prop_assert!((via_percent.as_fraction() - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_saturating_always_valid(f in -10.0..10.0f64) {
+        let u = Utilization::saturating_from_fraction(f);
+        prop_assert!((0.0..=1.0).contains(&u.as_fraction()));
+    }
+
+    #[test]
+    fn instant_ordering_consistent_with_offsets(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (ta, tb) = (SimInstant::from_millis(a), SimInstant::from_millis(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.since(tb).as_millis(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn duration_sum_matches_integer_sum(parts in prop::collection::vec(0u64..1_000_000, 0..20)) {
+        let total: u64 = parts.iter().sum();
+        let d = parts
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &ms| acc + SimDuration::from_millis(ms));
+        prop_assert_eq!(d.as_millis(), total);
+    }
+
+    #[test]
+    fn time_constant_positive(r in positive(), c in positive()) {
+        let tau = ThermalResistance::new(r) * ThermalCapacitance::new(c);
+        // saturation to zero only when r*c is below 0.5 ms
+        if r * c > 1.0e-3 {
+            prop_assert!(tau > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn conductance_inverts_resistance(r in positive()) {
+        let g = ThermalResistance::new(r).as_conductance();
+        prop_assert!((g.as_resistance().value() - r).abs() < 1e-9 * r.max(1.0));
+    }
+
+    #[test]
+    fn airflow_cfm_round_trip(cfm in positive()) {
+        let q = AirFlow::from_cfm(cfm);
+        prop_assert!((q.as_cfm() - cfm).abs() < 1e-9 * cfm.max(1.0));
+    }
+
+    #[test]
+    fn rpm_ratio_scales(r in positive(), k in 0.1..10.0f64) {
+        let base = Rpm::new(r);
+        let scaled = Rpm::new(r * k);
+        prop_assert!((scaled.ratio_to(base) - k).abs() < 1e-9 * k.max(1.0));
+    }
+}

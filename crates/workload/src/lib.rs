@@ -1,0 +1,44 @@
+//! Workload synthesis for the `leakctl` server simulator.
+//!
+//! Reproduces the paper's load-generation stack:
+//!
+//! - [`Profile`] — piecewise target-utilization profiles (holds and
+//!   ramps) with a builder, plus sampled-trace import,
+//! - [`LoadGen`] — the dynamic load-synthesis tool: it realizes a target
+//!   utilization by *duty-cycling between 100 % and idle* (PWM), evenly
+//!   spread across cores, exactly as the paper describes — this is what
+//!   produces the fast thermal oscillations of Fig. 1(b),
+//! - [`suite`] — the four 80-minute benchmark profiles of Table I,
+//! - [`MmcQueue`] — a Poisson-arrival / exponential-service multi-server
+//!   queue (the stochastic model behind Test-4's "shell workload",
+//!   after Meisner & Wenisch's stochastic queueing simulation).
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl_units::{SimDuration, SimInstant};
+//! use leakctl_workload::{LoadGen, Profile, PwmConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profile = Profile::builder()
+//!     .hold_percent(50.0, SimDuration::from_mins(10))?
+//!     .ramp_percent(50.0, 100.0, SimDuration::from_mins(5))?
+//!     .build();
+//! let gen = LoadGen::new(profile, PwmConfig::default());
+//! let mid = SimInstant::ZERO + SimDuration::from_mins(5);
+//! assert!((gen.target(mid).as_percent() - 50.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod loadgen;
+mod profile;
+mod queueing;
+pub mod suite;
+
+pub use loadgen::{LoadGen, PwmConfig};
+pub use profile::{Profile, ProfileBuilder, ProfileError, Segment};
+pub use queueing::{MmcQueue, QueueStats};

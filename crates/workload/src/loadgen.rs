@@ -1,0 +1,270 @@
+//! `LoadGen`: dynamic load synthesis by PWM duty-cycling.
+
+use leakctl_units::{SimDuration, SimInstant, Utilization};
+
+use crate::profile::Profile;
+
+/// Configuration of `LoadGen`'s pulse-width modulation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PwmConfig {
+    /// PWM window length. Within each window the load is *on* (100 %)
+    /// for `target × period` and idle for the rest, matching the paper's
+    /// duty-cycling "at a fine granularity".
+    pub period: SimDuration,
+    /// Activity factor while *on*: 1.0 corresponds to the paper's core
+    /// algorithm that "maximally stuffs the instruction pipes". Lower
+    /// values model less switching-intensive code.
+    pub intensity: f64,
+}
+
+impl PwmConfig {
+    /// Creates a config after validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero period or an intensity outside `(0, 1]`.
+    #[must_use]
+    pub fn new(period: SimDuration, intensity: f64) -> Self {
+        assert!(!period.is_zero(), "PWM period must be non-zero");
+        assert!(
+            intensity > 0.0 && intensity <= 1.0,
+            "intensity must be in (0, 1]"
+        );
+        Self { period, intensity }
+    }
+}
+
+impl Default for PwmConfig {
+    /// 40 s window at full intensity — fast enough to track the paper's
+    /// 1-second utilization polling, slow enough that the die's fast
+    /// thermal mode (tens of seconds) shows the 5–8 °C oscillations of
+    /// Fig. 1(b).
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(40), 1.0)
+    }
+}
+
+/// The paper's customized dynamic load-synthesis tool.
+///
+/// `LoadGen` realizes a [`Profile`]'s target utilization by duty-cycling
+/// every hardware thread between full load and idle inside fixed PWM
+/// windows, evenly spreading work across cores. Platform code samples
+/// [`LoadGen::instantaneous`] for the switching activity that drives
+/// dynamic power, and [`LoadGen::target`] for what `sar`/`mpstat`-style
+/// utilization polling reports when averaged.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::{SimDuration, SimInstant, Utilization};
+/// use leakctl_workload::{LoadGen, Profile, PwmConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profile = Profile::constant(
+///     Utilization::from_percent(25.0)?,
+///     SimDuration::from_mins(30),
+/// )?;
+/// let gen = LoadGen::new(profile, PwmConfig::default());
+/// // First quarter of each 40 s window is on, the rest idle.
+/// let t_on = SimInstant::ZERO + SimDuration::from_secs(5);
+/// let t_off = SimInstant::ZERO + SimDuration::from_secs(20);
+/// assert!(gen.instantaneous(t_on).is_full());
+/// assert!(gen.instantaneous(t_off).is_idle());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadGen {
+    profile: Profile,
+    pwm: PwmConfig,
+}
+
+impl LoadGen {
+    /// Wraps a target profile with a PWM realization.
+    #[must_use]
+    pub fn new(profile: Profile, pwm: PwmConfig) -> Self {
+        Self { profile, pwm }
+    }
+
+    /// The target (average) utilization at `at`.
+    #[must_use]
+    pub fn target(&self, at: SimInstant) -> Utilization {
+        self.profile.target(at)
+    }
+
+    /// The instantaneous switching level at `at`: the duty-cycled on/off
+    /// value scaled by the configured intensity.
+    #[must_use]
+    pub fn instantaneous(&self, at: SimInstant) -> Utilization {
+        let target = self.profile.target(at);
+        let period_ms = self.pwm.period.as_millis();
+        let phase_ms = at.as_millis() % period_ms;
+        let on_ms = (target.as_fraction() * period_ms as f64).round() as u64;
+        if phase_ms < on_ms {
+            Utilization::saturating_from_fraction(self.pwm.intensity)
+        } else {
+            Utilization::IDLE
+        }
+    }
+
+    /// Average of [`Self::instantaneous`] over `[from, from + window)`,
+    /// sampled at millisecond-exact PWM edges. This is what a
+    /// `sar`-style poller reports for the window.
+    #[must_use]
+    pub fn average_over(&self, from: SimInstant, window: SimDuration) -> Utilization {
+        if window.is_zero() {
+            return self.instantaneous(from);
+        }
+        // Integrate exactly over PWM windows by stepping through edges.
+        let period_ms = self.pwm.period.as_millis();
+        let start = from.as_millis();
+        let end = start + window.as_millis();
+        let mut on_time = 0u64;
+        let mut t = start;
+        while t < end {
+            let window_start = (t / period_ms) * period_ms;
+            let target = self
+                .profile
+                .target(SimInstant::from_millis(window_start));
+            let on_ms = (target.as_fraction() * period_ms as f64).round() as u64;
+            let on_end = window_start + on_ms;
+            let window_end = window_start + period_ms;
+            let seg_end = end.min(window_end);
+            if t < on_end {
+                on_time += on_end.min(seg_end) - t;
+            }
+            t = seg_end;
+        }
+        Utilization::saturating_from_fraction(
+            self.pwm.intensity * on_time as f64 / window.as_millis() as f64,
+        )
+    }
+
+    /// The wrapped profile.
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The PWM configuration.
+    #[must_use]
+    pub fn pwm(&self) -> PwmConfig {
+        self.pwm
+    }
+
+    /// Total duration of the wrapped profile.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.profile.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_gen(percent: f64) -> LoadGen {
+        LoadGen::new(
+            Profile::constant(
+                Utilization::from_percent(percent).unwrap(),
+                SimDuration::from_hours(2),
+            )
+            .unwrap(),
+            PwmConfig::default(),
+        )
+    }
+
+    #[test]
+    fn duty_cycle_partitions_window() {
+        let gen = constant_gen(50.0);
+        let period = gen.pwm().period.as_millis();
+        let mut on = 0u64;
+        for ms in (0..period).step_by(100) {
+            if gen.instantaneous(SimInstant::from_millis(ms)).is_full() {
+                on += 100;
+            }
+        }
+        assert_eq!(on, period / 2);
+    }
+
+    #[test]
+    fn average_matches_target_over_full_windows() {
+        for pct in [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0] {
+            let gen = constant_gen(pct);
+            let avg = gen.average_over(SimInstant::ZERO, SimDuration::from_mins(10));
+            assert!(
+                (avg.as_percent() - pct).abs() < 0.5,
+                "target {pct}%, averaged {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_over_partial_window() {
+        let gen = constant_gen(50.0);
+        // First 20 s of a 40 s window at 50 % duty: fully on.
+        let avg = gen.average_over(SimInstant::ZERO, SimDuration::from_secs(20));
+        assert!(avg.is_full(), "got {avg}");
+        // Second half: fully off.
+        let avg2 = gen.average_over(
+            SimInstant::ZERO + SimDuration::from_secs(20),
+            SimDuration::from_secs(20),
+        );
+        assert!(avg2.is_idle(), "got {avg2}");
+    }
+
+    #[test]
+    fn idle_and_full_have_no_switching() {
+        let idle = constant_gen(0.0);
+        let full = constant_gen(100.0);
+        for s in 0..120 {
+            let at = SimInstant::ZERO + SimDuration::from_secs(s);
+            assert!(idle.instantaneous(at).is_idle());
+            assert!(full.instantaneous(at).is_full());
+        }
+    }
+
+    #[test]
+    fn intensity_scales_on_level() {
+        let gen = LoadGen::new(
+            Profile::constant(Utilization::FULL, SimDuration::from_mins(1)).unwrap(),
+            PwmConfig::new(SimDuration::from_secs(40), 0.7),
+        );
+        let level = gen.instantaneous(SimInstant::ZERO);
+        assert!((level.as_fraction() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_average_is_instantaneous() {
+        let gen = constant_gen(50.0);
+        let at = SimInstant::from_millis(1_000);
+        assert_eq!(gen.average_over(at, SimDuration::ZERO), gen.instantaneous(at));
+    }
+
+    #[test]
+    fn target_tracks_profile() {
+        let profile = Profile::builder()
+            .hold_percent(20.0, SimDuration::from_mins(5))
+            .unwrap()
+            .hold_percent(80.0, SimDuration::from_mins(5))
+            .unwrap()
+            .build();
+        let gen = LoadGen::new(profile, PwmConfig::default());
+        assert!((gen.target(SimInstant::ZERO).as_percent() - 20.0).abs() < 1e-9);
+        let later = SimInstant::ZERO + SimDuration::from_mins(7);
+        assert!((gen.target(later).as_percent() - 80.0).abs() < 1e-9);
+        assert_eq!(gen.duration(), SimDuration::from_mins(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_rejected() {
+        let _ = PwmConfig::new(SimDuration::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn bad_intensity_rejected() {
+        let _ = PwmConfig::new(SimDuration::from_secs(1), 0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Piecewise target-utilization profiles.
+
+use core::fmt;
+
+use leakctl_units::{QuantityError, SimDuration, SimInstant, Utilization};
+
+/// Error produced while building a [`Profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// A utilization level was invalid.
+    Level(QuantityError),
+    /// A segment had zero duration.
+    ZeroDuration,
+    /// The profile has no segments.
+    Empty,
+    /// Sample import had fewer than one sample or a zero sample period.
+    BadSamples,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Level(e) => write!(f, "invalid utilization level: {e}"),
+            Self::ZeroDuration => write!(f, "profile segments must have non-zero duration"),
+            Self::Empty => write!(f, "profile must contain at least one segment"),
+            Self::BadSamples => write!(f, "sample import needs ≥1 sample and a non-zero period"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<QuantityError> for ProfileError {
+    fn from(e: QuantityError) -> Self {
+        Self::Level(e)
+    }
+}
+
+/// One piece of a [`Profile`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Segment {
+    /// Hold a constant level for a duration.
+    Hold {
+        /// Target level.
+        level: Utilization,
+        /// Segment length.
+        duration: SimDuration,
+    },
+    /// Linearly ramp between two levels over a duration.
+    Ramp {
+        /// Starting level.
+        from: Utilization,
+        /// Ending level.
+        to: Utilization,
+        /// Segment length.
+        duration: SimDuration,
+    },
+}
+
+impl Segment {
+    fn duration(&self) -> SimDuration {
+        match self {
+            Self::Hold { duration, .. } | Self::Ramp { duration, .. } => *duration,
+        }
+    }
+
+    fn level_at(&self, offset: SimDuration) -> Utilization {
+        match self {
+            Self::Hold { level, .. } => *level,
+            Self::Ramp { from, to, duration } => {
+                let t = offset.as_secs_f64() / duration.as_secs_f64();
+                from.lerp(*to, t)
+            }
+        }
+    }
+}
+
+/// A piecewise target-utilization profile.
+///
+/// Profiles describe the *target* (average) utilization the workload
+/// should present over time; [`LoadGen`](crate::LoadGen) turns a target
+/// into the instantaneous on/off pattern the platform executes.
+///
+/// Time past the end of the profile holds the final level, so an
+/// experiment harness can safely run cool-down phases longer than the
+/// profile itself.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_units::{SimDuration, SimInstant};
+/// use leakctl_workload::Profile;
+///
+/// # fn main() -> Result<(), leakctl_workload::ProfileError> {
+/// let p = Profile::builder()
+///     .hold_percent(25.0, SimDuration::from_mins(30))?
+///     .hold_percent(100.0, SimDuration::from_mins(30))?
+///     .build();
+/// assert_eq!(p.duration(), SimDuration::from_mins(60));
+/// let at = SimInstant::ZERO + SimDuration::from_mins(45);
+/// assert!((p.target(at).as_percent() - 100.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Profile {
+    segments: Vec<Segment>,
+    duration: SimDuration,
+}
+
+impl Profile {
+    /// Starts a [`ProfileBuilder`].
+    #[must_use]
+    pub fn builder() -> ProfileBuilder {
+        ProfileBuilder::default()
+    }
+
+    /// A constant-level profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn constant(level: Utilization, duration: SimDuration) -> Result<Self, ProfileError> {
+        Self::builder().hold(level, duration)?.build_checked()
+    }
+
+    /// An idle profile (0 % for `duration`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn idle(duration: SimDuration) -> Result<Self, ProfileError> {
+        Self::constant(Utilization::IDLE, duration)
+    }
+
+    /// Imports a profile from equally spaced samples (`period` apart);
+    /// each sample holds until the next. Used to wrap queueing-model
+    /// output and recorded traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::BadSamples`] for an empty sample list or
+    /// zero period.
+    pub fn from_samples(
+        samples: &[Utilization],
+        period: SimDuration,
+    ) -> Result<Self, ProfileError> {
+        if samples.is_empty() || period.is_zero() {
+            return Err(ProfileError::BadSamples);
+        }
+        let mut b = Self::builder();
+        for &s in samples {
+            b = b.hold(s, period)?;
+        }
+        b.build_checked()
+    }
+
+    /// Total profile duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// The target level at `at`; times beyond the end hold the final
+    /// level.
+    #[must_use]
+    pub fn target(&self, at: SimInstant) -> Utilization {
+        let mut offset = SimDuration::from_millis(at.as_millis());
+        for seg in &self.segments {
+            if offset < seg.duration() {
+                return seg.level_at(offset);
+            }
+            offset = offset.saturating_sub(seg.duration());
+        }
+        match self.segments.last() {
+            Some(Segment::Hold { level, .. }) => *level,
+            Some(Segment::Ramp { to, .. }) => *to,
+            None => Utilization::IDLE,
+        }
+    }
+
+    /// The time-weighted mean target over the whole profile, computed
+    /// analytically from the segments.
+    #[must_use]
+    pub fn mean_target(&self) -> Utilization {
+        if self.duration.is_zero() {
+            return Utilization::IDLE;
+        }
+        let weighted: f64 = self
+            .segments
+            .iter()
+            .map(|seg| {
+                let d = seg.duration().as_secs_f64();
+                match seg {
+                    Segment::Hold { level, .. } => level.as_fraction() * d,
+                    Segment::Ramp { from, to, .. } => {
+                        0.5 * (from.as_fraction() + to.as_fraction()) * d
+                    }
+                }
+            })
+            .sum();
+        Utilization::saturating_from_fraction(weighted / self.duration.as_secs_f64())
+    }
+
+    /// The maximum target level reached anywhere in the profile.
+    #[must_use]
+    pub fn max_target(&self) -> Utilization {
+        self.segments
+            .iter()
+            .map(|seg| match seg {
+                Segment::Hold { level, .. } => *level,
+                Segment::Ramp { from, to, .. } => from.max(*to),
+            })
+            .fold(Utilization::IDLE, Utilization::max)
+    }
+
+    /// The segments making up the profile.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Appends another profile after this one.
+    #[must_use]
+    pub fn then(mut self, other: Profile) -> Profile {
+        self.segments.extend(other.segments);
+        self.duration += other.duration;
+        self
+    }
+}
+
+/// Builder for [`Profile`].
+#[derive(Debug, Default)]
+pub struct ProfileBuilder {
+    segments: Vec<Segment>,
+    duration: SimDuration,
+}
+
+impl ProfileBuilder {
+    /// Appends a constant-level segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn hold(mut self, level: Utilization, duration: SimDuration) -> Result<Self, ProfileError> {
+        if duration.is_zero() {
+            return Err(ProfileError::ZeroDuration);
+        }
+        self.segments.push(Segment::Hold { level, duration });
+        self.duration += duration;
+        Ok(self)
+    }
+
+    /// Appends a constant-level segment given in percent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Level`] for an out-of-range percentage
+    /// and [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn hold_percent(self, percent: f64, duration: SimDuration) -> Result<Self, ProfileError> {
+        let level = Utilization::from_percent(percent)?;
+        self.hold(level, duration)
+    }
+
+    /// Appends a linear ramp segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn ramp(
+        mut self,
+        from: Utilization,
+        to: Utilization,
+        duration: SimDuration,
+    ) -> Result<Self, ProfileError> {
+        if duration.is_zero() {
+            return Err(ProfileError::ZeroDuration);
+        }
+        self.segments.push(Segment::Ramp { from, to, duration });
+        self.duration += duration;
+        Ok(self)
+    }
+
+    /// Appends a linear ramp given in percent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Level`] for out-of-range percentages and
+    /// [`ProfileError::ZeroDuration`] for an empty duration.
+    pub fn ramp_percent(
+        self,
+        from_percent: f64,
+        to_percent: f64,
+        duration: SimDuration,
+    ) -> Result<Self, ProfileError> {
+        let from = Utilization::from_percent(from_percent)?;
+        let to = Utilization::from_percent(to_percent)?;
+        self.ramp(from, to, duration)
+    }
+
+    /// Finalizes the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no segment was added; use [`Self::build_checked`] to
+    /// get a `Result` instead.
+    #[must_use]
+    pub fn build(self) -> Profile {
+        self.build_checked().expect("profile must not be empty")
+    }
+
+    /// Finalizes the profile, returning an error for an empty builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Empty`] when no segment was added.
+    pub fn build_checked(self) -> Result<Profile, ProfileError> {
+        if self.segments.is_empty() {
+            return Err(ProfileError::Empty);
+        }
+        Ok(Profile {
+            segments: self.segments,
+            duration: self.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(mins: f64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs_f64(mins * 60.0)
+    }
+
+    #[test]
+    fn hold_levels() {
+        let p = Profile::builder()
+            .hold_percent(10.0, SimDuration::from_mins(10))
+            .unwrap()
+            .hold_percent(90.0, SimDuration::from_mins(10))
+            .unwrap()
+            .build();
+        assert!((p.target(at(5.0)).as_percent() - 10.0).abs() < 1e-9);
+        assert!((p.target(at(15.0)).as_percent() - 90.0).abs() < 1e-9);
+        assert_eq!(p.duration(), SimDuration::from_mins(20));
+        assert_eq!(p.segments().len(), 2);
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let p = Profile::builder()
+            .ramp_percent(0.0, 100.0, SimDuration::from_mins(10))
+            .unwrap()
+            .build();
+        assert!((p.target(at(2.5)).as_percent() - 25.0).abs() < 1e-9);
+        assert!((p.target(at(7.5)).as_percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn past_end_holds_final_level() {
+        let hold = Profile::constant(
+            Utilization::from_percent(30.0).unwrap(),
+            SimDuration::from_mins(5),
+        )
+        .unwrap();
+        assert!((hold.target(at(60.0)).as_percent() - 30.0).abs() < 1e-9);
+        let ramp = Profile::builder()
+            .ramp_percent(0.0, 80.0, SimDuration::from_mins(5))
+            .unwrap()
+            .build();
+        assert!((ramp.target(at(60.0)).as_percent() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_max_targets() {
+        let p = Profile::builder()
+            .hold_percent(0.0, SimDuration::from_mins(10))
+            .unwrap()
+            .hold_percent(100.0, SimDuration::from_mins(10))
+            .unwrap()
+            .ramp_percent(100.0, 0.0, SimDuration::from_mins(20))
+            .unwrap()
+            .build();
+        // (0·10 + 100·10 + 50·20) / 40 = 50 %.
+        assert!((p.mean_target().as_percent() - 50.0).abs() < 1e-9);
+        assert!(p.max_target().is_full());
+    }
+
+    #[test]
+    fn from_samples_round_trip() {
+        let samples: Vec<Utilization> = [0.1, 0.5, 0.9]
+            .iter()
+            .map(|&f| Utilization::from_fraction(f).unwrap())
+            .collect();
+        let p = Profile::from_samples(&samples, SimDuration::from_secs(1)).unwrap();
+        assert_eq!(p.duration(), SimDuration::from_secs(3));
+        assert!((p.target(SimInstant::from_millis(1_500)).as_fraction() - 0.5).abs() < 1e-9);
+        assert!(Profile::from_samples(&[], SimDuration::from_secs(1)).is_err());
+        assert!(Profile::from_samples(&samples, SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Profile::constant(Utilization::FULL, SimDuration::from_mins(1)).unwrap();
+        let b = Profile::idle(SimDuration::from_mins(2)).unwrap();
+        let c = a.then(b);
+        assert_eq!(c.duration(), SimDuration::from_mins(3));
+        assert!(c.target(at(0.5)).is_full());
+        assert!(c.target(at(2.0)).is_idle());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            Profile::builder().hold_percent(120.0, SimDuration::from_secs(1)),
+            Err(ProfileError::Level(_))
+        ));
+        assert!(matches!(
+            Profile::builder().hold_percent(50.0, SimDuration::ZERO),
+            Err(ProfileError::ZeroDuration)
+        ));
+        assert!(matches!(
+            Profile::builder().build_checked(),
+            Err(ProfileError::Empty)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn build_empty_panics() {
+        let _ = Profile::builder().build();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProfileError::Empty.to_string().contains("at least one"));
+        assert!(ProfileError::ZeroDuration.to_string().contains("non-zero"));
+        assert!(ProfileError::BadSamples.to_string().contains("sample"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Poisson-arrival / exponential-service multi-server queue.
+//!
+//! Test-4 of the paper "follows a statistical distribution of Poisson
+//! arrival times and exponential service times that emulates a shell
+//! workload", citing Meisner & Wenisch's stochastic queueing simulation.
+//! This module implements that generative model directly: an M/M/c queue
+//! simulated event-by-event, with server occupancy sampled on a fixed
+//! grid to produce a utilization trace.
+
+use leakctl_sim::{EventQueue, SimRng};
+use leakctl_units::{SimDuration, SimInstant, Utilization};
+
+use crate::profile::{Profile, ProfileError};
+
+/// An M/M/c queueing workload generator.
+///
+/// # Example
+///
+/// ```
+/// use leakctl_sim::SimRng;
+/// use leakctl_units::SimDuration;
+/// use leakctl_workload::MmcQueue;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 64 service slots, offered load ρ = 0.45.
+/// let queue = MmcQueue::new(64, 28.8, 1.0)?;
+/// let mut rng = SimRng::seed(7);
+/// let (profile, stats) = queue.generate(
+///     SimDuration::from_mins(80),
+///     SimDuration::from_secs(1),
+///     &mut rng,
+/// )?;
+/// assert_eq!(profile.duration(), SimDuration::from_mins(80));
+/// assert!((stats.mean_utilization.as_fraction() - 0.45).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmcQueue {
+    servers: u32,
+    arrival_rate: f64,
+    service_rate: f64,
+}
+
+/// Summary statistics of a generated queueing trace.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueueStats {
+    /// Jobs that arrived during the horizon.
+    pub arrivals: u64,
+    /// Jobs completed during the horizon.
+    pub completions: u64,
+    /// Largest queue length (waiting jobs, excluding in-service).
+    pub max_queue_len: usize,
+    /// Time-average utilization over the horizon.
+    pub mean_utilization: Utilization,
+    /// Peak sampled utilization.
+    pub peak_utilization: Utilization,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueEvent {
+    Arrival,
+    Departure,
+}
+
+impl MmcQueue {
+    /// Creates a queue with `servers` service slots, Poisson arrivals at
+    /// `arrival_rate` jobs/s and exponential service at `service_rate`
+    /// jobs/s per busy server.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when `servers == 0`, a rate is not
+    /// strictly positive, or the offered load `λ/(c·μ)` is ≥ 1 (an
+    /// unstable queue would saturate at 100 % and stop being a useful
+    /// utilization generator).
+    pub fn new(servers: u32, arrival_rate: f64, service_rate: f64) -> Result<Self, String> {
+        if servers == 0 {
+            return Err("server count must be positive".to_owned());
+        }
+        if !(arrival_rate > 0.0 && arrival_rate.is_finite()) {
+            return Err("arrival rate must be positive and finite".to_owned());
+        }
+        if !(service_rate > 0.0 && service_rate.is_finite()) {
+            return Err("service rate must be positive and finite".to_owned());
+        }
+        let rho = arrival_rate / (f64::from(servers) * service_rate);
+        if rho >= 1.0 {
+            return Err(format!("offered load {rho:.3} must be < 1 for stability"));
+        }
+        Ok(Self {
+            servers,
+            arrival_rate,
+            service_rate,
+        })
+    }
+
+    /// Builds a queue targeting a given mean utilization with the given
+    /// number of servers and mean service time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation rules of [`MmcQueue::new`].
+    pub fn for_target_utilization(
+        servers: u32,
+        target: Utilization,
+        mean_service: SimDuration,
+    ) -> Result<Self, String> {
+        if mean_service.is_zero() {
+            return Err("mean service time must be non-zero".to_owned());
+        }
+        let mu = 1.0 / mean_service.as_secs_f64();
+        let lambda = target.as_fraction() * f64::from(servers) * mu;
+        if lambda <= 0.0 {
+            return Err("target utilization must be positive".to_owned());
+        }
+        Self::new(servers, lambda, mu)
+    }
+
+    /// The offered load `ρ = λ/(c·μ)`.
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / (f64::from(self.servers) * self.service_rate)
+    }
+
+    /// Simulates the queue for `horizon`, sampling busy-server
+    /// occupancy every `sample_period` into a [`Profile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::BadSamples`] when the horizon is shorter
+    /// than one sample period.
+    pub fn generate(
+        &self,
+        horizon: SimDuration,
+        sample_period: SimDuration,
+        rng: &mut SimRng,
+    ) -> Result<(Profile, QueueStats), ProfileError> {
+        let mut events: EventQueue<QueueEvent> = EventQueue::new();
+        let first = SimInstant::ZERO
+            + SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
+        events.push(first, QueueEvent::Arrival);
+
+        let end = SimInstant::ZERO + horizon;
+        let mut busy: u32 = 0;
+        let mut waiting: usize = 0;
+        let mut arrivals = 0u64;
+        let mut completions = 0u64;
+        let mut max_queue_len = 0usize;
+
+        let mut samples: Vec<Utilization> = Vec::new();
+        let mut next_sample = SimInstant::ZERO;
+
+        while let Some(event_time) = events.peek_time() {
+            if event_time > end {
+                break;
+            }
+            // Record samples for every grid point before this event.
+            while next_sample < event_time && next_sample < end {
+                samples.push(self.occupancy(busy));
+                next_sample += sample_period;
+            }
+            let (now, event) = events.pop().expect("peeked event exists");
+            match event {
+                QueueEvent::Arrival => {
+                    arrivals += 1;
+                    if busy < self.servers {
+                        busy += 1;
+                        let svc =
+                            SimDuration::from_secs_f64(rng.next_exponential(self.service_rate));
+                        events.push(now + svc, QueueEvent::Departure);
+                    } else {
+                        waiting += 1;
+                        max_queue_len = max_queue_len.max(waiting);
+                    }
+                    let gap =
+                        SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
+                    events.push(now + gap, QueueEvent::Arrival);
+                }
+                QueueEvent::Departure => {
+                    completions += 1;
+                    if waiting > 0 {
+                        waiting -= 1;
+                        let svc =
+                            SimDuration::from_secs_f64(rng.next_exponential(self.service_rate));
+                        events.push(now + svc, QueueEvent::Departure);
+                    } else {
+                        busy = busy.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        // Fill the remaining grid with the final occupancy.
+        while next_sample < end {
+            samples.push(self.occupancy(busy));
+            next_sample += sample_period;
+        }
+
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|u| u.as_fraction()).sum::<f64>() / n.max(1.0);
+        let peak = samples
+            .iter()
+            .copied()
+            .fold(Utilization::IDLE, Utilization::max);
+        let profile = Profile::from_samples(&samples, sample_period)?;
+        Ok((
+            profile,
+            QueueStats {
+                arrivals,
+                completions,
+                max_queue_len,
+                mean_utilization: Utilization::saturating_from_fraction(mean),
+                peak_utilization: peak,
+            },
+        ))
+    }
+
+    fn occupancy(&self, busy: u32) -> Utilization {
+        Utilization::saturating_from_fraction(f64::from(busy) / f64::from(self.servers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_utilization_tracks_offered_load() {
+        for rho in [0.2, 0.45, 0.7] {
+            let q = MmcQueue::new(64, rho * 64.0, 1.0).unwrap();
+            let mut rng = SimRng::seed(11);
+            let (_, stats) = q
+                .generate(
+                    SimDuration::from_mins(120),
+                    SimDuration::from_secs(1),
+                    &mut rng,
+                )
+                .unwrap();
+            assert!(
+                (stats.mean_utilization.as_fraction() - rho).abs() < 0.05,
+                "ρ = {rho}: measured {}",
+                stats.mean_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let q = MmcQueue::new(32, 16.0, 1.0).unwrap();
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed(seed);
+            q.generate(SimDuration::from_mins(10), SimDuration::from_secs(1), &mut rng)
+                .unwrap()
+        };
+        let (p1, s1) = run(5);
+        let (p2, s2) = run(5);
+        assert_eq!(s1, s2);
+        assert_eq!(p1, p2);
+        let (_, s3) = run(6);
+        assert_ne!(s1.arrivals, s3.arrivals);
+    }
+
+    #[test]
+    fn profile_has_expected_duration_and_bounds() {
+        let q = MmcQueue::new(16, 8.0, 1.0).unwrap();
+        let mut rng = SimRng::seed(3);
+        let horizon = SimDuration::from_mins(5);
+        let (profile, stats) = q
+            .generate(horizon, SimDuration::from_secs(1), &mut rng)
+            .unwrap();
+        assert_eq!(profile.duration(), horizon);
+        assert!(stats.peak_utilization.as_fraction() <= 1.0);
+        assert!(stats.completions <= stats.arrivals);
+    }
+
+    #[test]
+    fn for_target_utilization_constructor() {
+        let q = MmcQueue::for_target_utilization(
+            64,
+            Utilization::from_percent(45.0).unwrap(),
+            SimDuration::from_secs(1),
+        )
+        .unwrap();
+        assert!((q.offered_load() - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(MmcQueue::new(0, 1.0, 1.0).is_err());
+        assert!(MmcQueue::new(4, 0.0, 1.0).is_err());
+        assert!(MmcQueue::new(4, 1.0, 0.0).is_err());
+        assert!(MmcQueue::new(4, 8.0, 1.0).is_err(), "unstable queue");
+        assert!(MmcQueue::for_target_utilization(
+            4,
+            Utilization::IDLE,
+            SimDuration::from_secs(1)
+        )
+        .is_err());
+        assert!(MmcQueue::for_target_utilization(
+            4,
+            Utilization::FULL,
+            SimDuration::from_secs(1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn utilization_varies_over_time() {
+        let q = MmcQueue::new(16, 6.0, 0.5).unwrap();
+        let mut rng = SimRng::seed(17);
+        let (profile, _) = q
+            .generate(SimDuration::from_mins(20), SimDuration::from_secs(1), &mut rng)
+            .unwrap();
+        let levels: std::collections::BTreeSet<u64> = (0..1200)
+            .map(|s| {
+                let at = SimInstant::ZERO + SimDuration::from_secs(s);
+                (profile.target(at).as_fraction() * 16.0).round() as u64
+            })
+            .collect();
+        assert!(levels.len() > 3, "occupancy should fluctuate, saw {levels:?}");
+    }
+}

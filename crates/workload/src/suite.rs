@@ -1,0 +1,181 @@
+//! The paper's four 80-minute controller test workloads (Table I).
+
+use leakctl_sim::SimRng;
+use leakctl_units::{SimDuration, Utilization};
+
+use crate::profile::Profile;
+use crate::queueing::{MmcQueue, QueueStats};
+
+/// Duration of every benchmark in the suite.
+pub const TEST_DURATION: SimDuration = SimDuration::from_mins(80);
+
+/// High plateau used by Test-2 (percent).
+pub const TEST2_HIGH: f64 = 90.0;
+
+/// Low plateau used by Test-2 (percent).
+pub const TEST2_LOW: f64 = 10.0;
+
+/// **Test-1** — "ramps up and down from 0 % to 100 % utilization to test
+/// how the controller reacts to gradual changes": a 40-minute linear
+/// rise followed by a 40-minute linear fall.
+#[must_use]
+pub fn test1() -> Profile {
+    Profile::builder()
+        .ramp_percent(0.0, 100.0, SimDuration::from_mins(40))
+        .expect("static profile is valid")
+        .ramp_percent(100.0, 0.0, SimDuration::from_mins(40))
+        .expect("static profile is valid")
+        .build()
+}
+
+/// **Test-2** — "different periods (5, 10 and 15 minutes) between high
+/// and low utilization values to test controller reaction against sudden
+/// changes": plateaus alternating between 90 % and 10 % with period
+/// lengths 5 → 10 → 15 → 5 → 10 minutes, starting high.
+#[must_use]
+pub fn test2() -> Profile {
+    let mut b = Profile::builder();
+    let mut high = true;
+    // 5+5+10+10+15+15+5+5+10 = 80 minutes.
+    for mins in [5u64, 5, 10, 10, 15, 15, 5, 5, 10] {
+        let level = if high { TEST2_HIGH } else { TEST2_LOW };
+        b = b
+            .hold_percent(level, SimDuration::from_mins(mins))
+            .expect("static profile is valid");
+        high = !high;
+    }
+    b.build()
+}
+
+/// **Test-3** — "changes utilization values every 5 minutes to test
+/// reaction against sudden and frequent changes": sixteen 5-minute
+/// plateaus at a fixed pseudo-random sequence of levels spanning the
+/// full range.
+#[must_use]
+pub fn test3() -> Profile {
+    const LEVELS: [f64; 16] = [
+        10.0, 75.0, 30.0, 100.0, 20.0, 60.0, 90.0, 40.0, 5.0, 85.0, 50.0, 25.0, 95.0, 15.0,
+        70.0, 45.0,
+    ];
+    let mut b = Profile::builder();
+    for pct in LEVELS {
+        b = b
+            .hold_percent(pct, SimDuration::from_mins(5))
+            .expect("static profile is valid");
+    }
+    b.build()
+}
+
+/// **Test-4** — "utilization value follows a statistical distribution of
+/// Poisson arrival times and exponential service times that emulates a
+/// shell workload": an M/M/64 queue at ≈45 % offered load with 1-second
+/// mean service time, sampled every second.
+///
+/// Deterministic for a given `seed`.
+#[must_use]
+pub fn test4(seed: u64) -> (Profile, QueueStats) {
+    let queue = MmcQueue::for_target_utilization(
+        64,
+        Utilization::from_percent(45.0).expect("static level is valid"),
+        SimDuration::from_secs(1),
+    )
+    .expect("static queue parameters are valid");
+    let mut rng = SimRng::seed(seed);
+    queue
+        .generate(TEST_DURATION, SimDuration::from_secs(1), &mut rng)
+        .expect("static generation parameters are valid")
+}
+
+/// All four tests, labeled as in Table I. `seed` feeds Test-4's
+/// stochastic generator.
+#[must_use]
+pub fn all(seed: u64) -> Vec<(&'static str, Profile)> {
+    vec![
+        ("Test-1", test1()),
+        ("Test-2", test2()),
+        ("Test-3", test3()),
+        ("Test-4", test4(seed).0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakctl_units::SimInstant;
+
+    fn at(mins: f64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs_f64(mins * 60.0)
+    }
+
+    #[test]
+    fn all_tests_last_80_minutes() {
+        for (name, profile) in all(42) {
+            assert_eq!(
+                profile.duration(),
+                TEST_DURATION,
+                "{name} must be 80 minutes"
+            );
+        }
+    }
+
+    #[test]
+    fn test1_peaks_in_the_middle() {
+        let p = test1();
+        assert!(p.target(at(0.0)).is_idle());
+        assert!(p.target(at(40.0)).is_full());
+        assert!((p.target(at(20.0)).as_percent() - 50.0).abs() < 1e-6);
+        assert!((p.target(at(60.0)).as_percent() - 50.0).abs() < 1e-6);
+        assert!((p.target(at(79.99)).as_percent()) < 1.0);
+    }
+
+    #[test]
+    fn test2_alternates_with_growing_periods() {
+        let p = test2();
+        assert!((p.target(at(2.0)).as_percent() - TEST2_HIGH).abs() < 1e-9);
+        assert!((p.target(at(7.0)).as_percent() - TEST2_LOW).abs() < 1e-9);
+        assert!((p.target(at(15.0)).as_percent() - TEST2_HIGH).abs() < 1e-9);
+        assert!((p.target(at(25.0)).as_percent() - TEST2_LOW).abs() < 1e-9);
+        assert!((p.target(at(35.0)).as_percent() - TEST2_HIGH).abs() < 1e-9);
+        assert!((p.target(at(50.0)).as_percent() - TEST2_LOW).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test3_changes_every_five_minutes() {
+        let p = test3();
+        let mut changes = 0;
+        let mut prev = p.target(at(0.0));
+        for k in 1..16 {
+            let cur = p.target(at(f64::from(k) * 5.0 + 0.1));
+            if (cur.as_percent() - prev.as_percent()).abs() > 1e-9 {
+                changes += 1;
+            }
+            prev = cur;
+        }
+        assert_eq!(changes, 15, "every 5-minute boundary changes the level");
+    }
+
+    #[test]
+    fn test4_reproducible_and_near_target() {
+        let (p1, s1) = test4(7);
+        let (p2, s2) = test4(7);
+        assert_eq!(s1, s2);
+        assert_eq!(p1, p2);
+        assert!(
+            (s1.mean_utilization.as_fraction() - 0.45).abs() < 0.08,
+            "mean {} should be near the 45 % target",
+            s1.mean_utilization
+        );
+    }
+
+    #[test]
+    fn suite_mean_levels_are_moderate() {
+        // Table I's energy spread implies mid-range average utilization.
+        for (name, profile) in all(42) {
+            let mean = profile.mean_target().as_percent();
+            assert!(
+                (25.0..=65.0).contains(&mean),
+                "{name}: mean target {mean}%"
+            );
+        }
+    }
+}

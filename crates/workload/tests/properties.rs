@@ -1,0 +1,117 @@
+//! Property-based tests for workload synthesis.
+
+use leakctl_sim::SimRng;
+use leakctl_units::{SimDuration, SimInstant, Utilization};
+use leakctl_workload::{LoadGen, MmcQueue, Profile, PwmConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A profile's target always stays within [0, 1] at any time,
+    /// including far past its end.
+    #[test]
+    fn profile_target_always_valid(
+        levels in prop::collection::vec(0.0..=1.0f64, 1..8),
+        query_min in 0.0..500.0f64,
+    ) {
+        let mut b = Profile::builder();
+        for level in &levels {
+            b = b
+                .hold(
+                    Utilization::from_fraction(*level).expect("valid"),
+                    SimDuration::from_mins(5),
+                )
+                .expect("valid");
+        }
+        let p = b.build();
+        let at = SimInstant::ZERO + SimDuration::from_secs_f64(query_min * 60.0);
+        let u = p.target(at);
+        prop_assert!((0.0..=1.0).contains(&u.as_fraction()));
+    }
+
+    /// The analytic mean of a hold-only profile equals the weighted
+    /// average of its levels.
+    #[test]
+    fn profile_mean_matches_weights(
+        segments in prop::collection::vec((0.0..=1.0f64, 1u64..30), 1..6),
+    ) {
+        let mut b = Profile::builder();
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (level, mins) in &segments {
+            b = b
+                .hold(
+                    Utilization::from_fraction(*level).expect("valid"),
+                    SimDuration::from_mins(*mins),
+                )
+                .expect("valid");
+            weighted += level * (*mins as f64);
+            total += *mins as f64;
+        }
+        let p = b.build();
+        prop_assert!((p.mean_target().as_fraction() - weighted / total).abs() < 1e-9);
+    }
+
+    /// LoadGen's duty-cycled average over whole PWM windows converges to
+    /// the target level.
+    #[test]
+    fn loadgen_average_matches_target(level in 0.0..=1.0f64) {
+        let target = Utilization::from_fraction(level).expect("valid");
+        let gen = LoadGen::new(
+            Profile::constant(target, SimDuration::from_hours(1)).expect("valid"),
+            PwmConfig::default(),
+        );
+        // Average over 30 whole windows.
+        let window = SimDuration::from_secs(40 * 30);
+        let avg = gen.average_over(SimInstant::ZERO, window);
+        prop_assert!(
+            (avg.as_fraction() - level).abs() < 0.03,
+            "target {level}, averaged {avg}"
+        );
+    }
+
+    /// Instantaneous LoadGen output is always either idle or the
+    /// configured intensity.
+    #[test]
+    fn loadgen_instantaneous_is_binary(
+        level in 0.0..=1.0f64,
+        intensity in 0.2..=1.0f64,
+        at_secs in 0u64..7200,
+    ) {
+        let gen = LoadGen::new(
+            Profile::constant(
+                Utilization::from_fraction(level).expect("valid"),
+                SimDuration::from_hours(2),
+            )
+            .expect("valid"),
+            PwmConfig::new(SimDuration::from_secs(40), intensity),
+        );
+        let inst = gen
+            .instantaneous(SimInstant::ZERO + SimDuration::from_secs(at_secs))
+            .as_fraction();
+        prop_assert!(
+            inst == 0.0 || (inst - intensity).abs() < 1e-12,
+            "instantaneous {inst} neither idle nor intensity {intensity}"
+        );
+    }
+
+    /// M/M/c occupancy traces never exceed 100 % and track the offered
+    /// load loosely.
+    #[test]
+    fn queueing_occupancy_bounded(rho in 0.1..0.8f64, seed in 0u64..50) {
+        let queue = MmcQueue::new(32, rho * 32.0, 1.0).expect("stable queue");
+        let mut rng = SimRng::seed(seed);
+        let (profile, stats) = queue
+            .generate(SimDuration::from_mins(30), SimDuration::from_secs(1), &mut rng)
+            .expect("generates");
+        prop_assert!(stats.peak_utilization.as_fraction() <= 1.0);
+        prop_assert!(stats.completions <= stats.arrivals);
+        prop_assert!(
+            (stats.mean_utilization.as_fraction() - rho).abs() < 0.15,
+            "offered {rho}, measured {}",
+            stats.mean_utilization
+        );
+        prop_assert_eq!(profile.duration(), SimDuration::from_mins(30));
+    }
+}

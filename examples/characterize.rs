@@ -1,0 +1,69 @@
+//! Characterization and model fitting, end to end: sweep utilization ×
+//! fan speed on the digital twin, fit the paper's leakage model, and
+//! compare the recovered constants against both the paper's fit and the
+//! twin's ground truth.
+//!
+//! ```text
+//! cargo run --release -p leakctl --example characterize
+//! ```
+
+use leakctl::prelude::*;
+use leakctl::report::ascii_table;
+use leakctl::{build_lut_from_characterization, paper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("running the paper's full characterization protocol");
+    println!("(8 utilization levels x 5 fan speeds, 45 minutes each)...");
+    let data = characterize(&CharacterizeOptions::paper(), 42)?;
+
+    // Show the measured grid at 100 % utilization — the basis of
+    // Fig. 2(a).
+    let full: Vec<_> = data.at_utilization(Utilization::FULL);
+    let rows: Vec<Vec<String>> = full
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.rpm.value()),
+                format!("{:.1}", p.avg_cpu_temp.degrees()),
+                format!("{:.1}", p.max_cpu_temp.degrees()),
+                format!("{:.1}", p.system_power.value()),
+                format!("{:.1}", p.fan_power.value()),
+            ]
+        })
+        .collect();
+    println!(
+        "\nmeasured steady points at 100% utilization:\n{}",
+        ascii_table(
+            &["RPM", "T avg (C)", "T max (C)", "P sys (W)", "P fan (W)"],
+            &rows
+        )
+    );
+
+    let fitted = fit_models(&data)?;
+    println!("model fit (this reproduction vs the paper):");
+    println!("  k1 = {:.4} W/%   (paper {:.4})", fitted.k1, paper::K1);
+    println!("  k2 = {:.4} W     (paper {:.4})", fitted.k2, paper::K2);
+    println!("  k3 = {:.5} 1/C   (paper {:.5})", fitted.k3, paper::K3);
+    println!(
+        "  rmse = {:.3} W    (paper {:.3}),  accuracy = {:.1}% (paper {:.0}%)",
+        fitted.goodness.rmse,
+        paper::FIT_RMSE_W,
+        fitted.goodness.accuracy_percent,
+        paper::FIT_ACCURACY_PCT
+    );
+
+    let lut = build_lut_from_characterization(&data, &fitted)?;
+    println!("\ngenerated LUT:");
+    for (u, rpm) in lut.entries() {
+        println!("  <= {:>5.1}% -> {:>4.0} RPM", u.as_percent(), rpm.value());
+    }
+    println!(
+        "\nfull-load optimum: {:.0} RPM (paper: {:.0} RPM at ~{:.0} C)",
+        lut.lookup(Utilization::FULL).value(),
+        paper::OPTIMUM_RPM,
+        paper::OPTIMUM_TEMP_C
+    );
+
+    println!("\nfull dataset CSV:\n{}", data.to_csv());
+    Ok(())
+}

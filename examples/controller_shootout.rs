@@ -1,0 +1,52 @@
+//! Controller shootout: reproduce the paper's Table I and also evaluate
+//! the PID extension controller on the same four workloads.
+//!
+//! ```text
+//! cargo run --release -p leakctl --example controller_shootout
+//! ```
+
+use leakctl::prelude::*;
+use leakctl::{generate_table1, RunOptions, Table1Options};
+use leakctl_workload::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building the LUT from a quick characterization...");
+    let data = characterize(&CharacterizeOptions::quick(), 42)?;
+    let fitted = fit_models(&data)?;
+    let lut = build_lut_from_characterization(&data, &fitted)?;
+
+    println!("running Table I (4 tests x 3 controllers, 80 min each)...");
+    let run = RunOptions {
+        record: false,
+        ..RunOptions::default()
+    };
+    let options = Table1Options {
+        run: run.clone(),
+        seed: 42,
+        lut: lut.clone(),
+    };
+    let table = generate_table1(&options)?;
+    println!("\n{}", table.render());
+
+    // Extension: the PID controller on the same tests.
+    println!("extension: PID controller (not part of the paper's Table I):");
+    for (name, profile) in suite::all(42) {
+        let mut pid = PidController::paper_tuned();
+        let outcome = leakctl::run_experiment(&run, profile, &mut pid, 42)?;
+        let m = outcome.metrics;
+        let base = table
+            .row(name, "Default")
+            .expect("default row exists")
+            .energy
+            .value();
+        let lut_e = table.row(name, "LUT").expect("LUT row exists").energy.value();
+        println!(
+            "  {name}: {:.4} kWh (Default {base:.4}, LUT {lut_e:.4}), max {:.1} C, {} changes, avg {:.0} RPM",
+            m.total_energy.as_kwh().value(),
+            m.max_temp.degrees(),
+            m.fan_changes,
+            m.avg_rpm.value()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build the digital-twin server, run the LUT controller on
+//! a simple workload, and compare its energy against the vendor-default
+//! cooling.
+//!
+//! ```text
+//! cargo run --release -p leakctl --example quickstart
+//! ```
+
+use leakctl::prelude::*;
+use leakctl::RunOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Characterize the machine on a reduced grid and identify the
+    //    paper's Eqn. 2 constants from the measurements.
+    println!("characterizing the server (reduced 4x4 grid)...");
+    let data = characterize(&CharacterizeOptions::quick(), 42)?;
+    let fitted = fit_models(&data)?;
+    println!(
+        "fitted: P = {:.1} + {:.4}*U + {:.4}*exp({:.5}*T)  (rmse {:.2} W)",
+        fitted.base, fitted.k1, fitted.k2, fitted.k3, fitted.goodness.rmse
+    );
+
+    // 2. Build the lookup table of energy-optimal fan speeds.
+    let lut = build_lut_from_characterization(&data, &fitted)?;
+    println!("LUT ({} bins):", lut.len());
+    for (u, rpm) in lut.entries() {
+        println!("  <= {:>5.1}% -> {:>4.0} RPM", u.as_percent(), rpm.value());
+    }
+
+    // 3. A simple day-in-the-life profile: idle-ish morning, busy
+    //    afternoon, wind-down.
+    let profile = Profile::builder()
+        .hold_percent(20.0, SimDuration::from_mins(15))?
+        .ramp_percent(20.0, 90.0, SimDuration::from_mins(10))?
+        .hold_percent(90.0, SimDuration::from_mins(20))?
+        .ramp_percent(90.0, 10.0, SimDuration::from_mins(15))?
+        .build();
+
+    // 4. Run it under the default cooling and under the LUT controller.
+    let options = RunOptions::default();
+    let mut default = FixedSpeedController::paper_default();
+    let base = leakctl::run_experiment(&options, profile.clone(), &mut default, 42)?;
+    let mut lut_ctl = LutController::paper_default(lut);
+    let ours = leakctl::run_experiment(&options, profile, &mut lut_ctl, 42)?;
+
+    let b = &base.metrics;
+    let o = &ours.metrics;
+    println!("\n              {:>12} {:>12}", "Default", "LUT");
+    println!(
+        "energy (kWh)  {:>12.4} {:>12.4}",
+        b.total_energy.as_kwh().value(),
+        o.total_energy.as_kwh().value()
+    );
+    println!(
+        "peak power    {:>11.0}W {:>11.0}W",
+        b.peak_power.value(),
+        o.peak_power.value()
+    );
+    println!(
+        "max temp      {:>11.1}C {:>11.1}C",
+        b.max_temp.degrees(),
+        o.max_temp.degrees()
+    );
+    println!(
+        "avg fan       {:>9.0}RPM {:>9.0}RPM",
+        b.avg_rpm.value(),
+        o.avg_rpm.value()
+    );
+    println!("fan changes   {:>12} {:>12}", b.fan_changes, o.fan_changes);
+
+    let saved =
+        (b.total_energy.value() - o.total_energy.value()) / b.total_energy.value() * 100.0;
+    println!("\ntotal energy saved by the LUT controller: {saved:.1}%");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The Test-4 "shell workload": generate Poisson-arrival /
+//! exponential-service utilization traces with the M/M/c queueing
+//! model, inspect their statistics, and run the LUT controller on them
+//! at several offered loads.
+//!
+//! ```text
+//! cargo run --release -p leakctl --example shell_workload
+//! ```
+
+use leakctl::prelude::*;
+use leakctl::RunOptions;
+use leakctl_sim::SimRng;
+use leakctl_workload::MmcQueue;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building the LUT from a quick characterization...");
+    let data = characterize(&CharacterizeOptions::quick(), 42)?;
+    let fitted = fit_models(&data)?;
+    let lut = build_lut_from_characterization(&data, &fitted)?;
+
+    let run = RunOptions {
+        record: false,
+        ..RunOptions::default()
+    };
+
+    for target_pct in [25.0, 45.0, 70.0] {
+        let target = Utilization::from_percent(target_pct)?;
+        let queue = MmcQueue::for_target_utilization(64, target, SimDuration::from_secs(1))
+            .map_err(|e| format!("queue construction: {e}"))?;
+        let mut rng = SimRng::seed(42);
+        let (profile, stats) = queue.generate(
+            SimDuration::from_mins(80),
+            SimDuration::from_secs(1),
+            &mut rng,
+        )?;
+        println!(
+            "\noffered load {target_pct:.0}%: {} arrivals, {} completions, \
+             mean util {:.1}%, peak {:.1}%, max queue {}",
+            stats.arrivals,
+            stats.completions,
+            stats.mean_utilization.as_percent(),
+            stats.peak_utilization.as_percent(),
+            stats.max_queue_len
+        );
+
+        let mut default = FixedSpeedController::paper_default();
+        let base = leakctl::run_experiment(&run, profile.clone(), &mut default, 42)?;
+        let mut lut_ctl = LutController::paper_default(lut.clone());
+        let ours = leakctl::run_experiment(&run, profile, &mut lut_ctl, 42)?;
+        println!(
+            "  Default: {:.4} kWh, max {:.1} C | LUT: {:.4} kWh, max {:.1} C, avg {:.0} RPM, {} changes",
+            base.metrics.total_energy.as_kwh().value(),
+            base.metrics.max_temp.degrees(),
+            ours.metrics.total_energy.as_kwh().value(),
+            ours.metrics.max_temp.degrees(),
+            ours.metrics.avg_rpm.value(),
+            ours.metrics.fan_changes
+        );
+        let saved = (base.metrics.total_energy.value() - ours.metrics.total_energy.value())
+            / base.metrics.total_energy.value()
+            * 100.0;
+        println!("  LUT saves {saved:.1}% total energy");
+    }
+    Ok(())
+}

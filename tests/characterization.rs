@@ -1,0 +1,122 @@
+//! Integration tests of the characterization stage: the measured grids
+//! must exhibit the physics the paper reports in §IV.
+
+use leakctl::prelude::*;
+use leakctl::{characterize, CharacterizeOptions};
+
+fn data() -> leakctl::CharacterizationData {
+    let options = CharacterizeOptions {
+        utilizations: vec![
+            Utilization::from_percent(25.0).unwrap(),
+            Utilization::from_percent(50.0).unwrap(),
+            Utilization::from_percent(75.0).unwrap(),
+            Utilization::from_percent(100.0).unwrap(),
+        ],
+        fan_speeds: vec![
+            Rpm::new(1800.0),
+            Rpm::new(2400.0),
+            Rpm::new(3000.0),
+            Rpm::new(4200.0),
+        ],
+        warmup: SimDuration::from_mins(3),
+        stabilize: SimDuration::from_mins(2),
+        run: SimDuration::from_mins(20),
+        measure_window: SimDuration::from_mins(5),
+        ..CharacterizeOptions::paper()
+    };
+    characterize(&options, 5).expect("characterization succeeds")
+}
+
+#[test]
+fn temperature_monotone_in_fan_speed_and_load() {
+    let d = data();
+    for u in d.utilization_axis() {
+        let pts = d.at_utilization(u);
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].avg_cpu_temp < pair[0].avg_cpu_temp,
+                "at {u}: temp must fall as RPM rises"
+            );
+        }
+    }
+    for rpm in d.rpm_axis() {
+        let mut prev: Option<f64> = None;
+        for u in d.utilization_axis() {
+            let t = d.point(u, rpm).unwrap().avg_cpu_temp.degrees();
+            if let Some(p) = prev {
+                assert!(t > p, "at {rpm}: temp must rise with load");
+            }
+            prev = Some(t);
+        }
+    }
+}
+
+#[test]
+fn steady_temperatures_match_paper_anchor_points() {
+    // Fig. 1(a) anchors at 100 % utilization (±5 °C tolerance: our
+    // substrate is calibrated, not identical). Values are 4-sensor
+    // averages, a couple of degrees below the hottest-die anchors in
+    // DESIGN.md §5 because the cooler socket pulls the mean down.
+    let d = data();
+    let anchors = [(1800.0, 82.0), (2400.0, 70.0), (3000.0, 63.0), (4200.0, 55.0)];
+    for (rpm, expect) in anchors {
+        let t = d
+            .point(Utilization::FULL, Rpm::new(rpm))
+            .unwrap()
+            .avg_cpu_temp
+            .degrees();
+        assert!(
+            (t - expect).abs() < 5.0,
+            "at {rpm} RPM expected ~{expect} C, measured {t:.1} C"
+        );
+    }
+}
+
+#[test]
+fn fan_power_cubic_in_speed() {
+    let d = data();
+    let at = |rpm: f64| {
+        d.point(Utilization::FULL, Rpm::new(rpm))
+            .unwrap()
+            .fan_power
+            .value()
+    };
+    let (slow, mid, fast) = (at(1800.0), at(3000.0), at(4200.0));
+    assert!(slow < mid && mid < fast);
+    // Cubic growth: P(4200)/P(1800) ≈ (4200/1800)³ ≈ 12.7 (floors and
+    // sensor noise soften it slightly).
+    let ratio = fast / slow;
+    assert!(
+        (7.0..=16.0).contains(&ratio),
+        "fan power ratio {ratio:.1} not cubic-like"
+    );
+}
+
+#[test]
+fn controllable_power_convex_at_full_load() {
+    // Fan + true-leakage cost across fan speeds has an interior
+    // minimum at 100 % load — the existence argument behind the LUT.
+    let d = data();
+    let pts = d.at_utilization(Utilization::FULL);
+    let costs: Vec<f64> = pts
+        .iter()
+        .map(|p| p.fan_power.value() + p.true_leakage.value())
+        .collect();
+    let min_idx = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(
+        min_idx != 0 && min_idx != costs.len() - 1,
+        "interior optimum expected, costs (ascending RPM): {costs:?}"
+    );
+}
+
+#[test]
+fn measurements_reproducible_for_fixed_seed() {
+    let a = data();
+    let b = data();
+    assert_eq!(a, b, "characterization must be deterministic per seed");
+}

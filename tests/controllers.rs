@@ -1,0 +1,151 @@
+//! Integration tests of the three controllers against the live digital
+//! twin (not against mocks): thermal caps, reactivity, and energy
+//! ordering.
+
+use leakctl::prelude::*;
+use leakctl::RunOptions;
+use leakctl_workload::suite;
+
+fn lut() -> LookupTable {
+    let data = characterize(&CharacterizeOptions::quick(), 21).expect("characterize");
+    let fitted = fit_models(&data).expect("fit");
+    leakctl::build_lut_from_characterization(&data, &fitted).expect("LUT")
+}
+
+fn run(
+    controller: &mut dyn FanController,
+    profile: Profile,
+    seed: u64,
+) -> leakctl::RunMetrics {
+    let mut options = RunOptions::fast();
+    options.record = false;
+    leakctl::run_experiment(&options, profile, controller, seed)
+        .expect("run succeeds")
+        .metrics
+}
+
+fn spiky_profile() -> Profile {
+    Profile::builder()
+        .hold_percent(90.0, SimDuration::from_mins(8))
+        .unwrap()
+        .hold_percent(10.0, SimDuration::from_mins(8))
+        .unwrap()
+        .hold_percent(95.0, SimDuration::from_mins(8))
+        .unwrap()
+        .hold_percent(15.0, SimDuration::from_mins(8))
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn energy_ordering_holds_on_spiky_load() {
+    let table = lut();
+    let mut default = FixedSpeedController::paper_default();
+    let mut bang = BangBangController::paper_default();
+    let mut lutc = LutController::paper_default(table);
+
+    let e_default = run(&mut default, spiky_profile(), 9).total_energy;
+    let e_bang = run(&mut bang, spiky_profile(), 9).total_energy;
+    let e_lut = run(&mut lutc, spiky_profile(), 9).total_energy;
+
+    assert!(
+        e_lut < e_default,
+        "LUT {e_lut:?} must beat default {e_default:?}"
+    );
+    assert!(
+        e_bang < e_default,
+        "bang-bang {e_bang:?} must beat default {e_default:?}"
+    );
+    assert!(
+        e_lut <= e_bang * 1.005,
+        "LUT {e_lut:?} should not lose clearly to bang-bang {e_bang:?}"
+    );
+}
+
+#[test]
+fn all_controllers_respect_operational_temperature() {
+    let table = lut();
+    let mut controllers: Vec<Box<dyn FanController>> = vec![
+        Box::new(FixedSpeedController::paper_default()),
+        Box::new(BangBangController::paper_default()),
+        Box::new(LutController::paper_default(table)),
+        Box::new(PidController::paper_tuned()),
+    ];
+    for ctl in &mut controllers {
+        let m = run(ctl.as_mut(), suite::test3(), 13);
+        assert!(
+            m.max_temp.degrees() < 82.0,
+            "{}: max temp {:.1} C exceeds the safety margin",
+            ctl.name(),
+            m.max_temp.degrees()
+        );
+        assert_eq!(
+            m.failsafe_activations,
+            0,
+            "{}: failsafe must never trip under paper workloads",
+            ctl.name()
+        );
+    }
+}
+
+#[test]
+fn lut_rate_limit_bounds_fan_changes() {
+    let table = lut();
+    let mut ctl = LutController::paper_default(table);
+    let m = run(&mut ctl, suite::test3(), 17);
+    // 80 minutes of profile with a 1-minute lockout bounds changes at
+    // ~80; the paper reports ~12 and we expect the same order.
+    assert!(
+        m.fan_changes <= 25,
+        "{} fan changes — rate limiting not effective",
+        m.fan_changes
+    );
+}
+
+#[test]
+fn default_controller_overcools() {
+    // The baseline's defining property: cold temperatures from
+    // permanently high fan speed.
+    let mut default = FixedSpeedController::paper_default();
+    let m = run(&mut default, suite::test1(), 23);
+    assert!(
+        m.max_temp.degrees() < 65.0,
+        "default max temp {:.1} C should stay low (over-cooling)",
+        m.max_temp.degrees()
+    );
+    assert!((3250.0..=3350.0).contains(&m.avg_rpm.value()));
+}
+
+#[test]
+fn bang_bang_lets_temperature_rise_into_band() {
+    let mut bang = BangBangController::paper_default();
+    let m = run(&mut bang, suite::test1(), 23);
+    assert!(
+        m.max_temp.degrees() > 65.0,
+        "bang-bang should let temperature rise into the 65-75 C band, got {:.1} C",
+        m.max_temp.degrees()
+    );
+    assert!(m.avg_rpm < Rpm::new(2600.0), "bang-bang should slow the fans");
+}
+
+#[test]
+fn pid_extension_regulates_near_setpoint() {
+    let mut pid = PidController::paper_tuned();
+    let profile = Profile::constant(Utilization::FULL, SimDuration::from_mins(40)).unwrap();
+    let mut options = RunOptions::fast();
+    options.record = true;
+    let outcome = leakctl::run_experiment(&options, profile, &mut pid, 29).expect("run");
+    // In the second half of the run, measured temperature should hover
+    // near the 70 °C setpoint.
+    let late: Vec<f64> = outcome
+        .samples
+        .iter()
+        .filter(|s| s.minutes > 25.0 && s.minutes < 41.0)
+        .map(|s| s.cpu_temp_measured)
+        .collect();
+    let mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        (66.0..=74.0).contains(&mean),
+        "PID steady temperature {mean:.1} C not near the 70 C setpoint"
+    );
+}

@@ -1,0 +1,97 @@
+//! End-to-end integration: the complete paper pipeline — characterize,
+//! fit, build the LUT, evaluate a controller — on reduced grids that
+//! keep the suite fast while crossing every crate boundary.
+
+use leakctl::prelude::*;
+use leakctl::{build_lut_from_characterization, RunOptions};
+
+fn quick_data() -> (leakctl::CharacterizationData, leakctl::FittedModels) {
+    let data = characterize(&CharacterizeOptions::quick(), 11).expect("characterize");
+    let fitted = fit_models(&data).expect("fit");
+    (data, fitted)
+}
+
+#[test]
+fn pipeline_characterize_fit_build_run() {
+    let (data, fitted) = quick_data();
+
+    // The fit must resemble the paper's constants (same plant family).
+    assert!(
+        (0.3..0.7).contains(&fitted.k1),
+        "k1 = {} far from paper 0.4452",
+        fitted.k1
+    );
+    assert!(
+        (0.02..0.09).contains(&fitted.k3),
+        "k3 = {} far from paper 0.04749",
+        fitted.k3
+    );
+    assert!(fitted.goodness.r_squared > 0.9, "fit quality degraded");
+
+    let lut = build_lut_from_characterization(&data, &fitted).expect("LUT");
+    // Full-load optimum is interior: the paper's central observation.
+    let at_full = lut.lookup(Utilization::FULL);
+    assert!(
+        at_full > Rpm::new(1800.0) && at_full < Rpm::new(4200.0),
+        "full-load optimum {at_full} should be interior"
+    );
+    // Low load never needs more cooling than high load.
+    let at_low = lut.lookup(Utilization::from_percent(10.0).unwrap());
+    assert!(at_low <= at_full);
+
+    // Run the LUT controller end to end on a step profile.
+    let profile = Profile::builder()
+        .hold_percent(20.0, SimDuration::from_mins(10))
+        .unwrap()
+        .hold_percent(95.0, SimDuration::from_mins(10))
+        .unwrap()
+        .build();
+    let mut run = RunOptions::fast();
+    run.record = true;
+    let mut ctl = LutController::paper_default(lut);
+    let outcome = leakctl::run_experiment(&run, profile, &mut ctl, 11).expect("run");
+    assert!(outcome.metrics.max_temp.degrees() < 80.0);
+    assert!(outcome.metrics.total_energy.value() > 0.0);
+    assert_eq!(outcome.metrics.failsafe_activations, 0);
+    assert!(!outcome.samples.is_empty());
+}
+
+#[test]
+fn telemetry_csv_round_trip_through_pipeline() {
+    // A short run's telemetry exports to CSV and parses back intact.
+    let mut server = Server::new(ServerConfig::default(), 3).expect("server");
+    server.command_fan_speed(Rpm::new(2400.0));
+    for _ in 0..120 {
+        server
+            .step(SimDuration::from_secs(1), Utilization::FULL)
+            .expect("step");
+    }
+    let csv = server.csth().to_csv().expect("export");
+    let parsed =
+        leakctl_telemetry::Csth::from_csv(&csv, leakctl_telemetry::CSTH_POLL_PERIOD)
+            .expect("parse");
+    assert_eq!(parsed.channel_count(), server.csth().channel_count());
+    assert_eq!(parsed.sample_count(), server.csth().sample_count());
+    let ch = parsed.channel_by_name("system_power").expect("channel");
+    assert!(parsed.series(ch).mean().expect("samples") > 400.0);
+}
+
+#[test]
+fn fitted_leakage_tracks_ground_truth() {
+    // The fitted k2·e^(k3·T) must track the twin's physical leakage
+    // (up to the inseparable constant) across the measured range.
+    let (data, fitted) = quick_data();
+    let leak = fitted.leakage();
+    for p in &data.points {
+        let predicted = leak.power(p.avg_cpu_temp).value();
+        let truth = p.true_leakage.value();
+        let diff = truth - predicted;
+        // The constant part of the physical model (9 W) is absorbed in
+        // `base`; the *shape* must agree within a few watts.
+        assert!(
+            (5.0..=13.0).contains(&diff),
+            "at {:.1} C: truth {truth:.1} W vs fitted {predicted:.1} W (diff {diff:.1})",
+            p.avg_cpu_temp.degrees()
+        );
+    }
+}
