@@ -38,8 +38,12 @@ fn reference_network() -> (leakctl_thermal::ThermalNetwork, leakctl_thermal::Nod
     let mut b = ThermalNetworkBuilder::new();
     let die = b.add_node("die", ThermalCapacitance::new(200.0));
     let amb = b.add_boundary("amb", Celsius::new(24.0));
-    b.connect(die, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
-        .expect("static network");
+    b.connect(
+        die,
+        amb,
+        Coupling::Conductance(ThermalConductance::new(2.0)),
+    )
+    .expect("static network");
     let mut net = b.build().expect("static network");
     net.set_power(die, Watts::new(100.0)).expect("valid node");
     (net, die)
@@ -98,10 +102,22 @@ fn ablate_solver(c: &mut Criterion) {
 /// wanders across the 50 % breakpoint, so an unlimited controller flaps.
 fn fine_lut() -> LookupTable {
     LookupTable::new(vec![
-        (Utilization::from_percent(10.0).expect("valid"), Rpm::new(1800.0)),
-        (Utilization::from_percent(30.0).expect("valid"), Rpm::new(2000.0)),
-        (Utilization::from_percent(50.0).expect("valid"), Rpm::new(2200.0)),
-        (Utilization::from_percent(100.0).expect("valid"), Rpm::new(2400.0)),
+        (
+            Utilization::from_percent(10.0).expect("valid"),
+            Rpm::new(1800.0),
+        ),
+        (
+            Utilization::from_percent(30.0).expect("valid"),
+            Rpm::new(2000.0),
+        ),
+        (
+            Utilization::from_percent(50.0).expect("valid"),
+            Rpm::new(2200.0),
+        ),
+        (
+            Utilization::from_percent(100.0).expect("valid"),
+            Rpm::new(2400.0),
+        ),
     ])
     .expect("static table valid")
 }
@@ -147,13 +163,13 @@ fn ablate_rate_limit(c: &mut Criterion) {
 
 fn ablate_lut_resolution(c: &mut Criterion) {
     eprintln!("[ablate_lut_resolution] table granularity on Test-3:");
-    let single = LookupTable::new(vec![(
-        Utilization::FULL,
-        Rpm::new(2400.0),
-    )])
-    .expect("valid table");
+    let single =
+        LookupTable::new(vec![(Utilization::FULL, Rpm::new(2400.0))]).expect("valid table");
     let paper_like = LookupTable::new(vec![
-        (Utilization::from_percent(10.0).expect("valid"), Rpm::new(1800.0)),
+        (
+            Utilization::from_percent(10.0).expect("valid"),
+            Rpm::new(1800.0),
+        ),
         (Utilization::FULL, Rpm::new(2400.0)),
     ])
     .expect("valid table");
@@ -191,10 +207,7 @@ fn ablate_poll_period(c: &mut Criterion) {
         fn poll_period(&self) -> SimDuration {
             SimDuration::from_secs(10)
         }
-        fn decide(
-            &mut self,
-            inputs: &leakctl_control::ControlInputs,
-        ) -> Option<Rpm> {
+        fn decide(&mut self, inputs: &leakctl_control::ControlInputs) -> Option<Rpm> {
             self.0.decide(inputs)
         }
         fn reset(&mut self) {

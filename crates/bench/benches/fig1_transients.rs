@@ -12,8 +12,8 @@ use leakctl_control::FixedSpeedController;
 
 /// One full Fig. 1(a)-style protocol run at a fixed fan speed.
 fn transient_run(rpm: f64, seed: u64) -> f64 {
-    let profile = Profile::constant(Utilization::FULL, SimDuration::from_mins(30))
-        .expect("static profile");
+    let profile =
+        Profile::constant(Utilization::FULL, SimDuration::from_mins(30)).expect("static profile");
     let mut controller = FixedSpeedController::new(Rpm::new(rpm));
     let options = RunOptions {
         record: false,

@@ -4,9 +4,7 @@
 //! Run with `cargo bench -p leakctl-bench --bench fig2_fitting`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use leakctl::{
-    build_lut_from_characterization, characterize, fit_models, CharacterizeOptions,
-};
+use leakctl::{build_lut_from_characterization, characterize, fit_models, CharacterizeOptions};
 use leakctl_bench::quick_pipeline;
 use leakctl_power::fit;
 use leakctl_units::{Rpm, SimDuration, Utilization};
@@ -23,7 +21,10 @@ fn bench_fig2(c: &mut Criterion) {
         pipeline.fitted.goodness.accuracy_percent
     );
     let full_lut = pipeline.lut.lookup(Utilization::FULL);
-    eprintln!("[fig2] LUT at 100% -> {:.0} RPM (paper: 2400)", full_lut.value());
+    eprintln!(
+        "[fig2] LUT at 100% -> {:.0} RPM (paper: 2400)",
+        full_lut.value()
+    );
 
     let mut group = c.benchmark_group("fig2_fitting");
     group.sample_size(10);

@@ -15,8 +15,8 @@ fn run_once(controller: &mut dyn FanController, seed: u64) -> f64 {
         record: false,
         ..RunOptions::default()
     };
-    let outcome = leakctl::run_experiment(&options, suite::test3(), controller, seed)
-        .expect("run succeeds");
+    let outcome =
+        leakctl::run_experiment(&options, suite::test3(), controller, seed).expect("run succeeds");
     outcome.metrics.total_energy.as_kwh().value()
 }
 

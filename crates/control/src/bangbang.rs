@@ -36,10 +36,10 @@ pub struct BangBangController {
     min_rpm: Rpm,
     max_rpm: Rpm,
     step: Rpm,
-    low_release: Celsius,  // below: jump to min (action 1)
-    low_band: Celsius,     // below: step down   (action 2)
-    high_band: Celsius,    // above: step up     (action 4)
-    panic_temp: Celsius,   // above: jump to max (action 5)
+    low_release: Celsius, // below: jump to min (action 1)
+    low_band: Celsius,    // below: step down   (action 2)
+    high_band: Celsius,   // above: step up     (action 4)
+    panic_temp: Celsius,  // above: jump to max (action 5)
     current: Rpm,
 }
 

@@ -129,10 +129,7 @@ pub fn build_lut_with_predictors(
     if bins.is_empty() {
         return Err(LutBuildError::NoBins);
     }
-    let max_rpm = candidate_rpms
-        .iter()
-        .copied()
-        .fold(Rpm::ZERO, Rpm::max);
+    let max_rpm = candidate_rpms.iter().copied().fold(Rpm::ZERO, Rpm::max);
 
     let mut entries = Vec::with_capacity(bins.len());
     for &u in bins {
@@ -158,8 +155,8 @@ pub fn build_lut_with_predictors(
 /// [`build_lut`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SteadyTempGrid {
-    utils: Vec<f64>, // percent, ascending
-    rpms: Vec<f64>,  // ascending
+    utils: Vec<f64>,      // percent, ascending
+    rpms: Vec<f64>,       // ascending
     temps: Vec<Vec<f64>>, // [util][rpm], °C
 }
 
@@ -383,7 +380,13 @@ mod tests {
     fn empty_inputs_rejected() {
         let model = ServerPowerModel::paper_fit();
         assert!(matches!(
-            build_lut(&model, |_, _| Celsius::new(50.0), &[], &[pct(100.0)], Celsius::new(75.0)),
+            build_lut(
+                &model,
+                |_, _| Celsius::new(50.0),
+                &[],
+                &[pct(100.0)],
+                Celsius::new(75.0)
+            ),
             Err(LutBuildError::NoCandidates)
         ));
         assert!(matches!(
@@ -411,7 +414,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(LutBuildError::NoCandidates.to_string().contains("candidate"));
+        assert!(LutBuildError::NoCandidates
+            .to_string()
+            .contains("candidate"));
         assert!(LutBuildError::NoBins.to_string().contains("bin"));
         assert!(LutBuildError::BadGrid { what: "x".into() }
             .to_string()

@@ -220,7 +220,10 @@ mod tests {
     fn table() -> LookupTable {
         LookupTable::new(vec![
             (Utilization::from_percent(25.0).unwrap(), Rpm::new(1800.0)),
-            (Utilization::from_percent(50.0).unwrap(), Rpm::new(1800.0) + Rpm::new(0.0)),
+            (
+                Utilization::from_percent(50.0).unwrap(),
+                Rpm::new(1800.0) + Rpm::new(0.0),
+            ),
             (Utilization::from_percent(75.0).unwrap(), Rpm::new(2400.0)),
             (Utilization::from_percent(100.0).unwrap(), Rpm::new(2400.0)),
         ])

@@ -121,9 +121,7 @@ impl FanController for PidController {
         let dt = self.poll_period().as_secs_f64();
         let error = t.degrees() - self.setpoint.degrees();
         self.integral = (self.integral + error * dt).clamp(-2_000.0, 2_000.0);
-        let derivative = self
-            .prev_error
-            .map_or(0.0, |prev| (error - prev) / dt);
+        let derivative = self.prev_error.map_or(0.0, |prev| (error - prev) / dt);
         self.prev_error = Some(error);
 
         let raw = self.base_rpm.value()

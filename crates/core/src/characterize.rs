@@ -322,13 +322,8 @@ mod tests {
         assert_eq!(data.points.len(), 4);
         assert_eq!(data.utilization_axis().len(), 2);
         assert_eq!(data.rpm_axis().len(), 2);
-        assert!(data
-            .point(Utilization::FULL, Rpm::new(1800.0))
-            .is_some());
-        assert_eq!(
-            data.at_utilization(Utilization::FULL).len(),
-            2
-        );
+        assert!(data.point(Utilization::FULL, Rpm::new(1800.0)).is_some());
+        assert_eq!(data.at_utilization(Utilization::FULL).len(), 2);
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub fn derating_sweep(
         });
     }
     let t_cap = Celsius::new(crate::paper::TARGET_MAX_TEMP_C);
-    let candidates: Vec<Rpm> = (0..=4).map(|i| Rpm::new(1800.0 + 600.0 * f64::from(i))).collect();
+    let candidates: Vec<Rpm> = (0..=4)
+        .map(|i| Rpm::new(1800.0 + 600.0 * f64::from(i)))
+        .collect();
     let lut_rpm = lut.lookup(Utilization::FULL);
 
     let mut out = Vec::with_capacity(points.len());

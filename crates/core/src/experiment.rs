@@ -10,9 +10,7 @@
 
 use leakctl_control::{ControlInputs, FanController};
 use leakctl_platform::{Server, ServerConfig};
-use leakctl_units::{
-    Celsius, Joules, Rpm, SimDuration, SimInstant, Utilization, Watts,
-};
+use leakctl_units::{Celsius, Joules, Rpm, SimDuration, SimInstant, Utilization, Watts};
 use leakctl_workload::{LoadGen, Profile, PwmConfig};
 
 use crate::error::CoreError;
@@ -276,12 +274,18 @@ pub fn measure_idle_power(config: &ServerConfig, seed: u64) -> Result<Watts, Cor
     let mut server = Server::new(config.clone(), seed)?;
     server.command_fan_speed(config.default_rpm);
     // Settle, then average over a clean window.
-    run_idle(&mut server, SimDuration::from_secs(1), SimDuration::from_mins(25))?;
+    run_idle(
+        &mut server,
+        SimDuration::from_secs(1),
+        SimDuration::from_mins(25),
+    )?;
     server.reset_accounting();
-    run_idle(&mut server, SimDuration::from_secs(1), SimDuration::from_mins(10))?;
-    Ok(server
-        .total_energy()
-        .average_power(server.accounted_time()))
+    run_idle(
+        &mut server,
+        SimDuration::from_secs(1),
+        SimDuration::from_mins(10),
+    )?;
+    Ok(server.total_energy().average_power(server.accounted_time()))
 }
 
 #[cfg(test)]
@@ -308,13 +312,8 @@ mod tests {
     #[test]
     fn default_controller_runs_and_accounts() {
         let mut ctl = FixedSpeedController::paper_default();
-        let outcome = run_experiment(
-            &RunOptions::fast(),
-            short_profile(100.0, 10),
-            &mut ctl,
-            1,
-        )
-        .unwrap();
+        let outcome =
+            run_experiment(&RunOptions::fast(), short_profile(100.0, 10), &mut ctl, 1).unwrap();
         assert_eq!(outcome.controller, "Default");
         let m = outcome.metrics;
         assert_eq!(m.duration, SimDuration::from_mins(10));
@@ -337,8 +336,7 @@ mod tests {
             .hold_percent(100.0, SimDuration::from_mins(5))
             .unwrap()
             .build();
-        let outcome =
-            run_experiment(&RunOptions::fast(), profile, &mut ctl, 2).unwrap();
+        let outcome = run_experiment(&RunOptions::fast(), profile, &mut ctl, 2).unwrap();
         // The LUT must have switched between its two speeds.
         assert!(outcome.metrics.fan_changes >= 1);
         // Average RPM strictly below the default baseline.
@@ -349,8 +347,7 @@ mod tests {
     fn samples_cover_all_phases() {
         let mut ctl = FixedSpeedController::paper_default();
         let opts = RunOptions::fast();
-        let outcome =
-            run_experiment(&opts, short_profile(50.0, 5), &mut ctl, 3).unwrap();
+        let outcome = run_experiment(&opts, short_profile(50.0, 5), &mut ctl, 3).unwrap();
         let last = outcome.samples.last().unwrap();
         // stabilize (1) + profile (5) + cooldown (1) ≈ 7 minutes.
         assert!(last.minutes >= 6.5, "last sample at {} min", last.minutes);
@@ -371,8 +368,7 @@ mod tests {
         let mut ctl = FixedSpeedController::paper_default();
         let mut opts = RunOptions::fast();
         opts.record = false;
-        let outcome =
-            run_experiment(&opts, short_profile(50.0, 3), &mut ctl, 4).unwrap();
+        let outcome = run_experiment(&opts, short_profile(50.0, 3), &mut ctl, 4).unwrap();
         assert!(outcome.samples.is_empty());
     }
 

@@ -112,14 +112,11 @@ impl Fig2Data {
     #[must_use]
     pub fn optimum_of(&self, group: &str) -> Option<Fig2Point> {
         let (_, points) = self.groups.iter().find(|(l, _)| l == group)?;
-        points
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.fan_plus_leak()
-                    .partial_cmp(&b.fan_plus_leak())
-                    .expect("finite costs")
-            })
+        points.iter().copied().min_by(|a, b| {
+            a.fan_plus_leak()
+                .partial_cmp(&b.fan_plus_leak())
+                .expect("finite costs")
+        })
     }
 }
 
@@ -241,10 +238,7 @@ fn fig2_points(
 ///
 /// Returns [`CoreError::Invalid`] when the dataset lacks a 100 %
 /// utilization sweep.
-pub fn fig2a(
-    data: &CharacterizationData,
-    fitted: &FittedModels,
-) -> Result<Fig2Data, CoreError> {
+pub fn fig2a(data: &CharacterizationData, fitted: &FittedModels) -> Result<Fig2Data, CoreError> {
     let points = fig2_points(data, fitted, Utilization::FULL);
     if points.is_empty() {
         return Err(CoreError::Invalid {
@@ -264,10 +258,7 @@ pub fn fig2a(
 /// # Errors
 ///
 /// Returns [`CoreError::Invalid`] when no eligible levels exist.
-pub fn fig2b(
-    data: &CharacterizationData,
-    fitted: &FittedModels,
-) -> Result<Fig2Data, CoreError> {
+pub fn fig2b(data: &CharacterizationData, fitted: &FittedModels) -> Result<Fig2Data, CoreError> {
     let mut groups = Vec::new();
     for level in data.utilization_axis() {
         if level.as_percent() < 24.9 {
@@ -340,9 +331,7 @@ mod tests {
                     rpm: Rpm::new(rpm),
                     avg_cpu_temp: Celsius::new(t),
                     max_cpu_temp: Celsius::new(t + 1.5),
-                    system_power: Watts::new(
-                        460.0 + 0.4452 * u + 0.3231 * (0.04749 * t).exp(),
-                    ),
+                    system_power: Watts::new(460.0 + 0.4452 * u + 0.3231 * (0.04749 * t).exp()),
                     fan_power: Watts::new(33.0 * (rpm / 4200.0_f64).powi(3)),
                     true_leakage: Watts::new(9.0 + 0.3231 * (0.04749 * t).exp()),
                 });

@@ -112,11 +112,7 @@ pub fn fit_models(data: &CharacterizationData) -> Result<FittedModels, CoreError
         .iter()
         .map(|p| p.utilization.as_percent())
         .collect();
-    let powers: Vec<f64> = data
-        .points
-        .iter()
-        .map(|p| p.system_power.value())
-        .collect();
+    let powers: Vec<f64> = data.points.iter().map(|p| p.system_power.value()).collect();
     let xs: Vec<f64> = (0..data.points.len()).map(|i| i as f64).collect();
     let utils_for_model = utils.clone();
     let temps_for_model = temps.clone();
@@ -180,10 +176,8 @@ mod tests {
         assert!(fit.goodness.rmse < 0.1, "rmse = {}", fit.goodness.rmse);
         assert!(fit.goodness.accuracy_percent > 99.0);
         for p in &data.points {
-            let pred = fit.predict_system_power(
-                p.utilization.as_percent(),
-                p.avg_cpu_temp.degrees(),
-            );
+            let pred =
+                fit.predict_system_power(p.utilization.as_percent(), p.avg_cpu_temp.degrees());
             assert!((pred - p.system_power.value()).abs() < 0.5);
         }
     }
@@ -203,9 +197,6 @@ mod tests {
     fn too_few_points_rejected() {
         let mut data = synthetic(470.0, 0.4, 0.3, 0.05);
         data.points.truncate(4);
-        assert!(matches!(
-            fit_models(&data),
-            Err(CoreError::Invalid { .. })
-        ));
+        assert!(matches!(fit_models(&data), Err(CoreError::Invalid { .. })));
     }
 }

@@ -29,8 +29,7 @@ pub const TARGET_MAX_TEMP_C: f64 = 75.0;
 pub const FAN_SPEEDS_RPM: [f64; 5] = [1800.0, 2400.0, 3000.0, 3600.0, 4200.0];
 
 /// Utilization levels explored in the characterization sweep, percent.
-pub const UTILIZATION_LEVELS_PCT: [f64; 8] =
-    [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0];
+pub const UTILIZATION_LEVELS_PCT: [f64; 8] = [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0];
 
 /// Approximate default (vendor) fan speed, RPM.
 pub const DEFAULT_RPM: f64 = 3300.0;
@@ -65,18 +64,126 @@ pub struct PaperTable1Row {
 
 /// The paper's Table I, verbatim.
 pub const TABLE1: [PaperTable1Row; 12] = [
-    PaperTable1Row { test: 1, scheme: "Default", energy_kwh: 0.6695, net_savings_pct: None, peak_power_w: 710.0, max_temp_c: 61.0, fan_changes: 0, avg_rpm: 3300.0 },
-    PaperTable1Row { test: 1, scheme: "Bang", energy_kwh: 0.6570, net_savings_pct: Some(6.8), peak_power_w: 715.0, max_temp_c: 75.0, fan_changes: 6, avg_rpm: 2089.0 },
-    PaperTable1Row { test: 1, scheme: "LUT", energy_kwh: 0.6556, net_savings_pct: Some(7.7), peak_power_w: 705.0, max_temp_c: 73.0, fan_changes: 6, avg_rpm: 2117.0 },
-    PaperTable1Row { test: 2, scheme: "Default", energy_kwh: 0.6857, net_savings_pct: None, peak_power_w: 720.0, max_temp_c: 61.0, fan_changes: 0, avg_rpm: 3300.0 },
-    PaperTable1Row { test: 2, scheme: "Bang", energy_kwh: 0.6856, net_savings_pct: Some(0.05), peak_power_w: 722.0, max_temp_c: 76.0, fan_changes: 10, avg_rpm: 2173.0 },
-    PaperTable1Row { test: 2, scheme: "LUT", energy_kwh: 0.6685, net_savings_pct: Some(8.7), peak_power_w: 705.0, max_temp_c: 75.0, fan_changes: 8, avg_rpm: 2181.0 },
-    PaperTable1Row { test: 3, scheme: "Default", energy_kwh: 0.6284, net_savings_pct: None, peak_power_w: 720.0, max_temp_c: 60.0, fan_changes: 0, avg_rpm: 3300.0 },
-    PaperTable1Row { test: 3, scheme: "Bang", energy_kwh: 0.6253, net_savings_pct: Some(2.0), peak_power_w: 722.0, max_temp_c: 77.0, fan_changes: 14, avg_rpm: 2042.0 },
-    PaperTable1Row { test: 3, scheme: "LUT", energy_kwh: 0.6226, net_savings_pct: Some(3.9), peak_power_w: 710.0, max_temp_c: 69.0, fan_changes: 12, avg_rpm: 2161.0 },
-    PaperTable1Row { test: 4, scheme: "Default", energy_kwh: 0.6160, net_savings_pct: None, peak_power_w: 720.0, max_temp_c: 62.0, fan_changes: 0, avg_rpm: 3300.0 },
-    PaperTable1Row { test: 4, scheme: "Bang", energy_kwh: 0.6101, net_savings_pct: Some(4.7), peak_power_w: 722.0, max_temp_c: 76.0, fan_changes: 10, avg_rpm: 1936.0 },
-    PaperTable1Row { test: 4, scheme: "LUT", energy_kwh: 0.6071, net_savings_pct: Some(6.9), peak_power_w: 710.0, max_temp_c: 74.0, fan_changes: 12, avg_rpm: 1968.0 },
+    PaperTable1Row {
+        test: 1,
+        scheme: "Default",
+        energy_kwh: 0.6695,
+        net_savings_pct: None,
+        peak_power_w: 710.0,
+        max_temp_c: 61.0,
+        fan_changes: 0,
+        avg_rpm: 3300.0,
+    },
+    PaperTable1Row {
+        test: 1,
+        scheme: "Bang",
+        energy_kwh: 0.6570,
+        net_savings_pct: Some(6.8),
+        peak_power_w: 715.0,
+        max_temp_c: 75.0,
+        fan_changes: 6,
+        avg_rpm: 2089.0,
+    },
+    PaperTable1Row {
+        test: 1,
+        scheme: "LUT",
+        energy_kwh: 0.6556,
+        net_savings_pct: Some(7.7),
+        peak_power_w: 705.0,
+        max_temp_c: 73.0,
+        fan_changes: 6,
+        avg_rpm: 2117.0,
+    },
+    PaperTable1Row {
+        test: 2,
+        scheme: "Default",
+        energy_kwh: 0.6857,
+        net_savings_pct: None,
+        peak_power_w: 720.0,
+        max_temp_c: 61.0,
+        fan_changes: 0,
+        avg_rpm: 3300.0,
+    },
+    PaperTable1Row {
+        test: 2,
+        scheme: "Bang",
+        energy_kwh: 0.6856,
+        net_savings_pct: Some(0.05),
+        peak_power_w: 722.0,
+        max_temp_c: 76.0,
+        fan_changes: 10,
+        avg_rpm: 2173.0,
+    },
+    PaperTable1Row {
+        test: 2,
+        scheme: "LUT",
+        energy_kwh: 0.6685,
+        net_savings_pct: Some(8.7),
+        peak_power_w: 705.0,
+        max_temp_c: 75.0,
+        fan_changes: 8,
+        avg_rpm: 2181.0,
+    },
+    PaperTable1Row {
+        test: 3,
+        scheme: "Default",
+        energy_kwh: 0.6284,
+        net_savings_pct: None,
+        peak_power_w: 720.0,
+        max_temp_c: 60.0,
+        fan_changes: 0,
+        avg_rpm: 3300.0,
+    },
+    PaperTable1Row {
+        test: 3,
+        scheme: "Bang",
+        energy_kwh: 0.6253,
+        net_savings_pct: Some(2.0),
+        peak_power_w: 722.0,
+        max_temp_c: 77.0,
+        fan_changes: 14,
+        avg_rpm: 2042.0,
+    },
+    PaperTable1Row {
+        test: 3,
+        scheme: "LUT",
+        energy_kwh: 0.6226,
+        net_savings_pct: Some(3.9),
+        peak_power_w: 710.0,
+        max_temp_c: 69.0,
+        fan_changes: 12,
+        avg_rpm: 2161.0,
+    },
+    PaperTable1Row {
+        test: 4,
+        scheme: "Default",
+        energy_kwh: 0.6160,
+        net_savings_pct: None,
+        peak_power_w: 720.0,
+        max_temp_c: 62.0,
+        fan_changes: 0,
+        avg_rpm: 3300.0,
+    },
+    PaperTable1Row {
+        test: 4,
+        scheme: "Bang",
+        energy_kwh: 0.6101,
+        net_savings_pct: Some(4.7),
+        peak_power_w: 722.0,
+        max_temp_c: 76.0,
+        fan_changes: 10,
+        avg_rpm: 1936.0,
+    },
+    PaperTable1Row {
+        test: 4,
+        scheme: "LUT",
+        energy_kwh: 0.6071,
+        net_savings_pct: Some(6.9),
+        peak_power_w: 710.0,
+        max_temp_c: 74.0,
+        fan_changes: 12,
+        avg_rpm: 1968.0,
+    },
 ];
 
 #[cfg(test)]

@@ -173,10 +173,7 @@ pub fn generate_table1(options: &Table1Options) -> Result<Table1, CoreError> {
         }
         rows.extend(test_rows);
     }
-    Ok(Table1 {
-        rows,
-        idle_power,
-    })
+    Ok(Table1 { rows, idle_power })
 }
 
 #[cfg(test)]
@@ -230,7 +227,10 @@ mod tests {
     fn mini_table_lut_beats_default() {
         let lut = LookupTable::new(vec![
             (Utilization::from_percent(25.0).unwrap(), Rpm::new(1800.0)),
-            (Utilization::from_percent(50.0).unwrap(), Rpm::new(1800.0) + Rpm::new(200.0)),
+            (
+                Utilization::from_percent(50.0).unwrap(),
+                Rpm::new(1800.0) + Rpm::new(200.0),
+            ),
             (Utilization::from_percent(75.0).unwrap(), Rpm::new(2200.0)),
             (Utilization::from_percent(100.0).unwrap(), Rpm::new(2400.0)),
         ])

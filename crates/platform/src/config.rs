@@ -185,7 +185,11 @@ impl ServerConfig {
         if self.process_sigma.len() != self.sockets {
             return fail("process_sigma length must equal socket count");
         }
-        if self.process_sigma.iter().any(|s| *s <= 0.0 || !s.is_finite()) {
+        if self
+            .process_sigma
+            .iter()
+            .any(|s| *s <= 0.0 || !s.is_finite())
+        {
             return fail("process sigma values must be positive");
         }
         if self.dimm_count == 0 || !self.dimm_count.is_multiple_of(2) {

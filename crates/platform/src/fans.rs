@@ -268,8 +268,7 @@ impl FanBank {
     /// pending.
     #[must_use]
     pub fn is_settled(&self) -> bool {
-        self.fans.iter().all(FanUnit::is_settled)
-            && self.supplies.iter().all(|s| !s.has_pending())
+        self.fans.iter().all(FanUnit::is_settled) && self.supplies.iter().all(|s| !s.has_pending())
     }
 
     /// The supported speed range.

@@ -198,7 +198,11 @@ impl Server {
             let die = b.add_node(&format!("cpu{s}_die"), config.die_capacitance);
             let sink = b.add_node(&format!("cpu{s}_sink"), config.sink_capacitance);
             let air = b.add_node(&format!("cpu{s}_air"), config.air_capacitance);
-            b.connect(die, sink, Coupling::Conductance(config.die_sink_conductance))?;
+            b.connect(
+                die,
+                sink,
+                Coupling::Conductance(config.die_sink_conductance),
+            )?;
             b.connect(
                 sink,
                 air,
@@ -642,8 +646,7 @@ impl Server {
         for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
             self.net.set_power(node, bank.power(activity))?;
         }
-        self.net
-            .set_power(self.air_dimm, self.config.board_power)?;
+        self.net.set_power(self.air_dimm, self.config.board_power)?;
 
         // Energy accounting with start-of-step powers.
         let wall = self.system_power();
@@ -717,8 +720,7 @@ impl Server {
         self.csth
             .record(self.channels.fan_power, at, fan_measured)?;
         let rpm_measured = self.sensors.fan_rpm.measure(self.actual_rpm().value());
-        self.csth
-            .record(self.channels.fan_rpm, at, rpm_measured)?;
+        self.csth.record(self.channels.fan_rpm, at, rpm_measured)?;
         Ok(())
     }
 
@@ -875,7 +877,8 @@ mod tests {
             s.command_fan_speed(Rpm::new(rpm));
             // Let fans settle and machine idle-stabilize first.
             for _ in 0..600 {
-                s.step(SimDuration::from_secs(1), Utilization::IDLE).unwrap();
+                s.step(SimDuration::from_secs(1), Utilization::IDLE)
+                    .unwrap();
             }
             let t0 = s.max_die_temperature().degrees();
             let (target, _) = s
@@ -888,7 +891,8 @@ mod tests {
             let threshold = t0 + 0.632 * (t_inf - t0);
             let mut secs = 0u64;
             while s.max_die_temperature().degrees() < threshold && secs < 3_600 {
-                s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+                s.step(SimDuration::from_secs(1), Utilization::FULL)
+                    .unwrap();
                 secs += 1;
             }
             secs as f64
@@ -930,7 +934,8 @@ mod tests {
     fn telemetry_polls_every_ten_seconds() {
         let mut s = server();
         for _ in 0..95 {
-            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+            s.step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
         }
         let ch = s.csth().channel_by_name("cpu0_temp0").unwrap();
         // t = 0 initial + polls at 10..90 = 10 samples.
@@ -963,7 +968,8 @@ mod tests {
         let mut s = Server::new(config, 1).unwrap();
         s.command_fan_speed(Rpm::new(1800.0));
         for _ in 0..3_600 {
-            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+            s.step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
             if s.failsafe_activations() > 0 {
                 break;
             }
@@ -971,7 +977,8 @@ mod tests {
         assert!(s.failsafe_activations() > 0, "failsafe should trip");
         // Let the forced command propagate through the supply latency.
         for _ in 0..10 {
-            s.step(SimDuration::from_secs(1), Utilization::FULL).unwrap();
+            s.step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
         }
         // While engaged, external commands are ignored.
         s.command_fan_speed(Rpm::new(1800.0));

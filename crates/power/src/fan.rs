@@ -169,9 +169,7 @@ mod tests {
         let q1 = m.flow(Rpm::new(2100.0));
         let q2 = m.flow(Rpm::new(4200.0));
         assert!((q2.value() - 2.0 * q1.value()).abs() < 1e-12);
-        assert!(
-            (m.flow_per_fan(Rpm::new(4200.0)).as_cfm() - 95.0).abs() < 1e-9
-        );
+        assert!((m.flow_per_fan(Rpm::new(4200.0)).as_cfm() - 95.0).abs() < 1e-9);
     }
 
     #[test]

@@ -86,9 +86,8 @@ where
         return Err(FitError::NonFiniteData);
     }
 
-    let residuals = |p: &[f64]| -> Vec<f64> {
-        xs.iter().zip(ys).map(|(&x, &y)| model(p, x) - y).collect()
-    };
+    let residuals =
+        |p: &[f64]| -> Vec<f64> { xs.iter().zip(ys).map(|(&x, &y)| model(p, x) - y).collect() };
     let sse = |r: &[f64]| -> f64 { r.iter().map(|v| v * v).sum() };
 
     let mut params = initial.to_vec();
@@ -140,11 +139,7 @@ where
                     continue;
                 }
             };
-            let candidate: Vec<f64> = params
-                .iter()
-                .zip(&delta)
-                .map(|(p, d)| p + d)
-                .collect();
+            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + d).collect();
             if candidate.iter().any(|p| !p.is_finite()) {
                 lambda *= 10.0;
                 continue;

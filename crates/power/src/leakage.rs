@@ -184,7 +184,10 @@ impl PhysicalLeakage {
         let tk = t.as_kelvin().kelvin();
         let ratio = tk / self.t_ref_k;
         Watts::new(
-            self.p_ref * ratio * ratio * (self.beta * (tk - self.t_ref_k)).exp()
+            self.p_ref
+                * ratio
+                * ratio
+                * (self.beta * (tk - self.t_ref_k)).exp()
                 * self.process_sigma,
         )
     }

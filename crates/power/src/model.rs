@@ -88,10 +88,7 @@ impl ServerPowerModel {
     /// Total server power for the given operating point.
     #[must_use]
     pub fn total(&self, u: Utilization, t: Celsius, rpm: Rpm) -> Watts {
-        Watts::new(self.idle)
-            + self.active.power(u)
-            + self.leakage.power(t)
-            + self.fan.power(rpm)
+        Watts::new(self.idle) + self.active.power(u) + self.leakage.power(t) + self.fan.power(rpm)
     }
 
     /// The portion the cooling controller can influence:
@@ -159,10 +156,7 @@ mod tests {
         let t = Celsius::new(65.0);
         let rpm = Rpm::new(3000.0);
         let total = m.total(u, t, rpm);
-        let parts = m.idle()
-            + m.active().power(u)
-            + m.leakage().power(t)
-            + m.fan().power(rpm);
+        let parts = m.idle() + m.active().power(u) + m.leakage().power(t) + m.fan().power(rpm);
         assert!((total.value() - parts.value()).abs() < 1e-12);
     }
 
@@ -170,7 +164,10 @@ mod tests {
     fn controllable_excludes_idle_and_active() {
         let m = ServerPowerModel::paper_fit();
         let c = m.controllable(Celsius::new(70.0), Rpm::new(2400.0));
-        assert!(c.value() < 60.0, "leak+fan should be tens of watts, got {c}");
+        assert!(
+            c.value() < 60.0,
+            "leak+fan should be tens of watts, got {c}"
+        );
         assert!(c.value() > 5.0);
     }
 

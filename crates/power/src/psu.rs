@@ -43,7 +43,10 @@ impl PsuModel {
     /// `load_peak` is outside `(0, 1]`, or `droop < 0`.
     #[must_use]
     pub fn new(rated: Watts, eta_peak: f64, load_peak: f64, droop: f64) -> Self {
-        assert!(rated.value() > 0.0 && rated.is_finite(), "rating must be positive");
+        assert!(
+            rated.value() > 0.0 && rated.is_finite(),
+            "rating must be positive"
+        );
         assert!(
             eta_peak > 0.0 && eta_peak <= 1.0,
             "peak efficiency must be in (0, 1]"
@@ -52,7 +55,10 @@ impl PsuModel {
             load_peak > 0.0 && load_peak <= 1.0,
             "peak-efficiency load must be in (0, 1]"
         );
-        assert!(droop >= 0.0 && droop.is_finite(), "droop must be non-negative");
+        assert!(
+            droop >= 0.0 && droop.is_finite(),
+            "droop must be non-negative"
+        );
         Self {
             rated: rated.value(),
             eta_peak,

@@ -2,8 +2,7 @@
 
 use leakctl_power::fit;
 use leakctl_power::{
-    ActivePowerModel, EmpiricalLeakage, FanPowerModel, PhysicalLeakage, PsuModel,
-    ServerPowerModel,
+    ActivePowerModel, EmpiricalLeakage, FanPowerModel, PhysicalLeakage, PsuModel, ServerPowerModel,
 };
 use leakctl_units::{AirFlow, Celsius, Rpm, Utilization, Watts};
 use proptest::prelude::*;

@@ -270,8 +270,7 @@ mod tests {
     #[test]
     fn known_3x3_system() {
         // x = [1, 2, 3]
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]).unwrap();
         let b = [7.0, 13.0, 1.0];
         let x = a.solve(&b).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
@@ -318,12 +317,8 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_solve_round_trip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -1.0, 0.5],
-            &[-1.0, 5.0, -2.0],
-            &[0.5, -2.0, 6.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -1.0, 0.5], &[-1.0, 5.0, -2.0], &[0.5, -2.0, 6.0]]).unwrap();
         let x_true = [0.3, -1.2, 2.5];
         let b = a.mul_vec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();

@@ -131,7 +131,12 @@ impl ThermalNetworkBuilder {
     /// coupling (inherently directed — use [`Self::connect_directed`]),
     /// for non-positive conductances, and for node/channel ids that do
     /// not belong to this builder.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, coupling: Coupling) -> Result<(), ThermalError> {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        coupling: Coupling,
+    ) -> Result<(), ThermalError> {
         if matches!(coupling, Coupling::Advective { .. }) {
             return Err(ThermalError::InvalidCoupling {
                 what: "advective couplings are directed; use connect_directed",
@@ -179,12 +184,7 @@ impl ThermalNetworkBuilder {
         Ok(())
     }
 
-    fn validate_edge(
-        &self,
-        a: NodeId,
-        b: NodeId,
-        coupling: &Coupling,
-    ) -> Result<(), ThermalError> {
+    fn validate_edge(&self, a: NodeId, b: NodeId, coupling: &Coupling) -> Result<(), ThermalError> {
         for id in [a, b] {
             if id.0 >= self.nodes.len() {
                 return Err(ThermalError::UnknownNode { index: id.0 });
@@ -446,9 +446,9 @@ impl ThermalNetwork {
     fn edge_conductance(&self, edge: &Edge) -> f64 {
         match edge.coupling {
             Coupling::Conductance(g) => g.value(),
-            Coupling::Convective { channel, model } => {
-                model.conductance(AirFlow::new(self.channels[channel.0].flow)).value()
-            }
+            Coupling::Convective { channel, model } => model
+                .conductance(AirFlow::new(self.channels[channel.0].flow))
+                .value(),
             Coupling::Advective { channel, fraction } => {
                 let q = self.channels[channel.0].flow;
                 fraction * q * AIR_DENSITY * AIR_SPECIFIC_HEAT
@@ -479,11 +479,8 @@ impl ThermalNetwork {
             let ends = [(edge.a, edge.b), (edge.b, edge.a)];
             // For a directed edge only the second endpoint (edge.b)
             // receives heat, i.e. only the (b, a) orientation applies.
-            let orientations: &[(usize, usize)] = if edge.directed {
-                &ends[1..]
-            } else {
-                &ends[..]
-            };
+            let orientations: &[(usize, usize)] =
+                if edge.directed { &ends[1..] } else { &ends[..] };
             for &(receiver, other) in orientations {
                 if let NodeKind::Capacitive { slot: rs, .. } = self.nodes[receiver].kind {
                     g_mat.add_to(rs, rs, g);
@@ -529,8 +526,12 @@ mod tests {
         let mut b = ThermalNetworkBuilder::new();
         let die = b.add_node("die", ThermalCapacitance::new(100.0));
         let amb = b.add_boundary("ambient", Celsius::new(24.0));
-        b.connect(die, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
-            .unwrap();
+        b.connect(
+            die,
+            amb,
+            Coupling::Conductance(ThermalConductance::new(2.0)),
+        )
+        .unwrap();
         (b.build().unwrap(), die, amb)
     }
 
@@ -559,10 +560,18 @@ mod tests {
         let die = b.add_node("die", ThermalCapacitance::new(50.0));
         let sink = b.add_node("sink", ThermalCapacitance::new(400.0));
         let amb = b.add_boundary("ambient", Celsius::new(20.0));
-        b.connect(die, sink, Coupling::Conductance(ThermalConductance::new(4.0)))
-            .unwrap();
-        b.connect(sink, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
-            .unwrap();
+        b.connect(
+            die,
+            sink,
+            Coupling::Conductance(ThermalConductance::new(4.0)),
+        )
+        .unwrap();
+        b.connect(
+            sink,
+            amb,
+            Coupling::Conductance(ThermalConductance::new(2.0)),
+        )
+        .unwrap();
         let mut net = b.build().unwrap();
         net.set_power(die, Watts::new(40.0)).unwrap();
         let ss = net.steady_state().unwrap();
@@ -576,10 +585,8 @@ mod tests {
         let die = b.add_node("die", ThermalCapacitance::new(100.0));
         let amb = b.add_boundary("ambient", Celsius::new(24.0));
         let ch = b.add_flow_channel("main");
-        let model = ConvectionModel::turbulent(
-            ThermalConductance::new(4.0),
-            AirFlow::from_cfm(300.0),
-        );
+        let model =
+            ConvectionModel::turbulent(ThermalConductance::new(4.0), AirFlow::from_cfm(300.0));
         b.connect(die, amb, Coupling::Convective { channel: ch, model })
             .unwrap();
         let mut net = b.build().unwrap();
@@ -603,10 +610,24 @@ mod tests {
         let air2 = b.add_node("air2", ThermalCapacitance::new(10.0));
         let amb = b.add_boundary("ambient", Celsius::new(24.0));
         let ch = b.add_flow_channel("duct");
-        b.connect_directed(amb, air1, Coupling::Advective { channel: ch, fraction: 1.0 })
-            .unwrap();
-        b.connect_directed(air1, air2, Coupling::Advective { channel: ch, fraction: 1.0 })
-            .unwrap();
+        b.connect_directed(
+            amb,
+            air1,
+            Coupling::Advective {
+                channel: ch,
+                fraction: 1.0,
+            },
+        )
+        .unwrap();
+        b.connect_directed(
+            air1,
+            air2,
+            Coupling::Advective {
+                channel: ch,
+                fraction: 1.0,
+            },
+        )
+        .unwrap();
         let mut net = b.build().unwrap();
         net.set_flow(ch, AirFlow::new(0.05)).unwrap();
         net.set_power(air1, Watts::new(200.0)).unwrap();
@@ -626,7 +647,14 @@ mod tests {
         let c = b.add_node("c", ThermalCapacitance::new(1.0));
         let ch = b.add_flow_channel("x");
         let err = b
-            .connect(a, c, Coupling::Advective { channel: ch, fraction: 1.0 })
+            .connect(
+                a,
+                c,
+                Coupling::Advective {
+                    channel: ch,
+                    fraction: 1.0,
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ThermalError::InvalidCoupling { .. }));
     }
@@ -643,15 +671,42 @@ mod tests {
             .connect(a, amb, Coupling::Conductance(ThermalConductance::ZERO))
             .is_err());
         let ch = b.add_flow_channel("x");
-        assert!(b
-            .connect_directed(a, amb, Coupling::Advective { channel: ch, fraction: 1.0 })
-            .is_err(), "directed into boundary is rejected");
-        assert!(b
-            .connect_directed(amb, a, Coupling::Advective { channel: ch, fraction: 0.0 })
-            .is_err(), "zero fraction rejected");
-        assert!(b
-            .connect_directed(amb, a, Coupling::Advective { channel: ch, fraction: 1.5 })
-            .is_err(), "fraction > 1 rejected");
+        assert!(
+            b.connect_directed(
+                a,
+                amb,
+                Coupling::Advective {
+                    channel: ch,
+                    fraction: 1.0
+                }
+            )
+            .is_err(),
+            "directed into boundary is rejected"
+        );
+        assert!(
+            b.connect_directed(
+                amb,
+                a,
+                Coupling::Advective {
+                    channel: ch,
+                    fraction: 0.0
+                }
+            )
+            .is_err(),
+            "zero fraction rejected"
+        );
+        assert!(
+            b.connect_directed(
+                amb,
+                a,
+                Coupling::Advective {
+                    channel: ch,
+                    fraction: 1.5
+                }
+            )
+            .is_err(),
+            "fraction > 1 rejected"
+        );
     }
 
     #[test]
@@ -668,7 +723,11 @@ mod tests {
         let mut b = ThermalNetworkBuilder::new();
         let a = b.add_node("a", ThermalCapacitance::new(1.0));
         assert!(b
-            .connect(a, foreign_far, Coupling::Conductance(ThermalConductance::new(1.0)))
+            .connect(
+                a,
+                foreign_far,
+                Coupling::Conductance(ThermalConductance::new(1.0))
+            )
             .is_err());
         let _ = foreign;
     }
@@ -677,10 +736,7 @@ mod tests {
     fn build_requires_capacitive_node() {
         let mut b = ThermalNetworkBuilder::new();
         b.add_boundary("amb", Celsius::new(24.0));
-        assert!(matches!(
-            b.build(),
-            Err(ThermalError::NoCapacitiveNodes)
-        ));
+        assert!(matches!(b.build(), Err(ThermalError::NoCapacitiveNodes)));
     }
 
     #[test]

@@ -20,9 +20,7 @@ use crate::network::{ThermalNetwork, ThermalState};
 /// - [`Integrator::ForwardEuler`] — reference method; diverges for
 ///   steps above twice the fastest time constant. Kept for the solver
 ///   ablation benchmark.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Integrator {
     /// Explicit first-order Euler.
     ForwardEuler,
@@ -80,8 +78,7 @@ impl ThermalNetwork {
                 }
                 let k4 = derivative(&g_mat, &s, &c, &tmp);
                 for i in 0..n {
-                    state.temps[i] +=
-                        h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                    state.temps[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
                 }
             }
             Integrator::ExponentialEuler => {
@@ -182,8 +179,12 @@ mod tests {
         let mut b = ThermalNetworkBuilder::new();
         let die = b.add_node("die", ThermalCapacitance::new(200.0));
         let amb = b.add_boundary("amb", Celsius::new(24.0));
-        b.connect(die, amb, Coupling::Conductance(ThermalConductance::new(2.0)))
-            .unwrap();
+        b.connect(
+            die,
+            amb,
+            Coupling::Conductance(ThermalConductance::new(2.0)),
+        )
+        .unwrap();
         let mut net = b.build().unwrap();
         net.set_power(die, Watts::new(100.0)).unwrap();
         (net, die)
@@ -238,7 +239,8 @@ mod tests {
             let mut st = net.uniform_state(Celsius::new(24.0));
             // dt = 10·τ — forward Euler would explode.
             for _ in 0..20 {
-                net.step(&mut st, SimDuration::from_secs(1_000), method).unwrap();
+                net.step(&mut st, SimDuration::from_secs(1_000), method)
+                    .unwrap();
             }
             let got = net.temperature(&st, die).degrees();
             assert!((got - 74.0).abs() < 0.5, "{method:?} settled at {got}");
@@ -255,7 +257,11 @@ mod tests {
         let mut diverged = false;
         for _ in 0..1_000 {
             if net
-                .step(&mut st, SimDuration::from_secs(450), Integrator::ForwardEuler)
+                .step(
+                    &mut st,
+                    SimDuration::from_secs(450),
+                    Integrator::ForwardEuler,
+                )
                 .is_err()
             {
                 diverged = true;
@@ -300,9 +306,8 @@ mod tests {
             Integrator::BackwardEuler,
         )
         .unwrap();
-        let diff = (net.temperature(&st, die).degrees()
-            - net.temperature(&ss, die).degrees())
-        .abs();
+        let diff =
+            (net.temperature(&st, die).degrees() - net.temperature(&ss, die).degrees()).abs();
         assert!(diff < 1e-3, "transient end {diff} K from steady state");
     }
 }

@@ -1,11 +1,7 @@
 //! Property-based tests for the RC thermal network.
 
-use leakctl_thermal::{
-    ConvectionModel, Coupling, Integrator, ThermalNetworkBuilder,
-};
-use leakctl_units::{
-    AirFlow, Celsius, SimDuration, ThermalCapacitance, ThermalConductance, Watts,
-};
+use leakctl_thermal::{ConvectionModel, Coupling, Integrator, ThermalNetworkBuilder};
+use leakctl_units::{AirFlow, Celsius, SimDuration, ThermalCapacitance, ThermalConductance, Watts};
 use proptest::prelude::*;
 
 /// Builds a chain: die — sink — air — ambient with a convective sink-air

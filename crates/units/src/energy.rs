@@ -93,7 +93,10 @@ mod tests {
         let e = Watts::new(500.0) * SimDuration::from_mins(10);
         let p = e.average_power(SimDuration::from_mins(10));
         assert!((p.value() - 500.0).abs() < 1e-9);
-        assert_eq!(Joules::new(42.0).average_power(SimDuration::ZERO), Watts::ZERO);
+        assert_eq!(
+            Joules::new(42.0).average_power(SimDuration::ZERO),
+            Watts::ZERO
+        );
     }
 
     #[test]

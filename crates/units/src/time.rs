@@ -371,7 +371,10 @@ mod tests {
         assert_eq!(t1 - t0, SimDuration::from_mins(5));
         assert_eq!(t0.since(t1), SimDuration::ZERO);
         assert_eq!(t1.since(t0), SimDuration::from_mins(5));
-        assert_eq!(t1 - SimDuration::from_mins(1), t0 + SimDuration::from_mins(4));
+        assert_eq!(
+            t1 - SimDuration::from_mins(1),
+            t0 + SimDuration::from_mins(4)
+        );
     }
 
     #[test]

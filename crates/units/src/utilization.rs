@@ -165,10 +165,7 @@ mod tests {
     #[test]
     fn valid_constructors() {
         assert_eq!(Utilization::from_fraction(0.5).unwrap().as_percent(), 50.0);
-        assert_eq!(
-            Utilization::from_percent(90.0).unwrap().as_fraction(),
-            0.90
-        );
+        assert_eq!(Utilization::from_percent(90.0).unwrap().as_fraction(), 0.90);
         assert!(Utilization::IDLE.is_idle());
         assert!(Utilization::FULL.is_full());
     }

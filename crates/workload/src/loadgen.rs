@@ -123,9 +123,7 @@ impl LoadGen {
         let mut t = start;
         while t < end {
             let window_start = (t / period_ms) * period_ms;
-            let target = self
-                .profile
-                .target(SimInstant::from_millis(window_start));
+            let target = self.profile.target(SimInstant::from_millis(window_start));
             let on_ms = (target.as_fraction() * period_ms as f64).round() as u64;
             let on_end = window_start + on_ms;
             let window_end = window_start + period_ms;
@@ -238,7 +236,10 @@ mod tests {
     fn zero_window_average_is_instantaneous() {
         let gen = constant_gen(50.0);
         let at = SimInstant::from_millis(1_000);
-        assert_eq!(gen.average_over(at, SimDuration::ZERO), gen.instantaneous(at));
+        assert_eq!(
+            gen.average_over(at, SimDuration::ZERO),
+            gen.instantaneous(at)
+        );
     }
 
     #[test]

@@ -137,8 +137,8 @@ impl MmcQueue {
         rng: &mut SimRng,
     ) -> Result<(Profile, QueueStats), ProfileError> {
         let mut events: EventQueue<QueueEvent> = EventQueue::new();
-        let first = SimInstant::ZERO
-            + SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
+        let first =
+            SimInstant::ZERO + SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
         events.push(first, QueueEvent::Arrival);
 
         let end = SimInstant::ZERO + horizon;
@@ -173,8 +173,7 @@ impl MmcQueue {
                         waiting += 1;
                         max_queue_len = max_queue_len.max(waiting);
                     }
-                    let gap =
-                        SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
+                    let gap = SimDuration::from_secs_f64(rng.next_exponential(self.arrival_rate));
                     events.push(now + gap, QueueEvent::Arrival);
                 }
                 QueueEvent::Departure => {
@@ -249,8 +248,12 @@ mod tests {
         let q = MmcQueue::new(32, 16.0, 1.0).unwrap();
         let run = |seed: u64| {
             let mut rng = SimRng::seed(seed);
-            q.generate(SimDuration::from_mins(10), SimDuration::from_secs(1), &mut rng)
-                .unwrap()
+            q.generate(
+                SimDuration::from_mins(10),
+                SimDuration::from_secs(1),
+                &mut rng,
+            )
+            .unwrap()
         };
         let (p1, s1) = run(5);
         let (p2, s2) = run(5);
@@ -290,18 +293,14 @@ mod tests {
         assert!(MmcQueue::new(4, 0.0, 1.0).is_err());
         assert!(MmcQueue::new(4, 1.0, 0.0).is_err());
         assert!(MmcQueue::new(4, 8.0, 1.0).is_err(), "unstable queue");
-        assert!(MmcQueue::for_target_utilization(
-            4,
-            Utilization::IDLE,
-            SimDuration::from_secs(1)
-        )
-        .is_err());
-        assert!(MmcQueue::for_target_utilization(
-            4,
-            Utilization::FULL,
-            SimDuration::from_secs(1)
-        )
-        .is_err());
+        assert!(
+            MmcQueue::for_target_utilization(4, Utilization::IDLE, SimDuration::from_secs(1))
+                .is_err()
+        );
+        assert!(
+            MmcQueue::for_target_utilization(4, Utilization::FULL, SimDuration::from_secs(1))
+                .is_err()
+        );
     }
 
     #[test]
@@ -309,7 +308,11 @@ mod tests {
         let q = MmcQueue::new(16, 6.0, 0.5).unwrap();
         let mut rng = SimRng::seed(17);
         let (profile, _) = q
-            .generate(SimDuration::from_mins(20), SimDuration::from_secs(1), &mut rng)
+            .generate(
+                SimDuration::from_mins(20),
+                SimDuration::from_secs(1),
+                &mut rng,
+            )
             .unwrap();
         let levels: std::collections::BTreeSet<u64> = (0..1200)
             .map(|s| {
@@ -317,6 +320,9 @@ mod tests {
                 (profile.target(at).as_fraction() * 16.0).round() as u64
             })
             .collect();
-        assert!(levels.len() > 3, "occupancy should fluctuate, saw {levels:?}");
+        assert!(
+            levels.len() > 3,
+            "occupancy should fluctuate, saw {levels:?}"
+        );
     }
 }

@@ -54,8 +54,8 @@ pub fn test2() -> Profile {
 #[must_use]
 pub fn test3() -> Profile {
     const LEVELS: [f64; 16] = [
-        10.0, 75.0, 30.0, 100.0, 20.0, 60.0, 90.0, 40.0, 5.0, 85.0, 50.0, 25.0, 95.0, 15.0,
-        70.0, 45.0,
+        10.0, 75.0, 30.0, 100.0, 20.0, 60.0, 90.0, 40.0, 5.0, 85.0, 50.0, 25.0, 95.0, 15.0, 70.0,
+        45.0,
     ];
     let mut b = Profile::builder();
     for pct in LEVELS {
@@ -172,10 +172,7 @@ mod tests {
         // Table I's energy spread implies mid-range average utilization.
         for (name, profile) in all(42) {
             let mean = profile.mean_target().as_percent();
-            assert!(
-                (25.0..=65.0).contains(&mean),
-                "{name}: mean target {mean}%"
-            );
+            assert!((25.0..=65.0).contains(&mean), "{name}: mean target {mean}%");
         }
     }
 }

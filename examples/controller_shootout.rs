@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("default row exists")
             .energy
             .value();
-        let lut_e = table.row(name, "LUT").expect("LUT row exists").energy.value();
+        let lut_e = table
+            .row(name, "LUT")
+            .expect("LUT row exists")
+            .energy
+            .value();
         println!(
             "  {name}: {:.4} kWh (Default {base:.4}, LUT {lut_e:.4}), max {:.1} C, {} changes, avg {:.0} RPM",
             m.total_energy.as_kwh().value(),

@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("fan changes   {:>12} {:>12}", b.fan_changes, o.fan_changes);
 
-    let saved =
-        (b.total_energy.value() - o.total_energy.value()) / b.total_energy.value() * 100.0;
+    let saved = (b.total_energy.value() - o.total_energy.value()) / b.total_energy.value() * 100.0;
     println!("\ntotal energy saved by the LUT controller: {saved:.1}%");
     Ok(())
 }

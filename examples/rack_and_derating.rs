@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     "runaway".to_owned()
                 },
-                if p.lut_safe { "yes".into() } else { "NO".into() },
+                if p.lut_safe {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
                 p.required_rpm
                     .map_or_else(|| "none!".to_owned(), |r| format!("{:.0}", r.value())),
             ]
@@ -75,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- 2. Rack with exhaust recirculation -------------------------
-    for (label, recirc) in [("sealed aisle (r = 0)", 0.0), ("leaky aisle (r = 4 mK/W)", 0.004)] {
+    for (label, recirc) in [
+        ("sealed aisle (r = 0)", 0.0),
+        ("leaky aisle (r = 4 mK/W)", 0.004),
+    ] {
         let mut rack = Rack::new(ServerConfig::default(), 4, recirc, 42)?;
         rack.command_all(lut.lookup(Utilization::FULL));
         for _ in 0..2_400 {

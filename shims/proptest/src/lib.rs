@@ -1,0 +1,306 @@
+//! Offline shim for `proptest`.
+//!
+//! Generate-only property testing with the upstream macro surface:
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//! [`prop_assert_ne!`], [`prop_assume!`], strategies over numeric ranges,
+//! tuples, [`Just`], `prop::collection::vec`, a regex-subset string
+//! strategy, and the [`Strategy::prop_map`] / [`Strategy::prop_filter`]
+//! adapters. Unlike upstream there is **no shrinking**: a failing case
+//! reports its generated inputs and the deterministic seed instead.
+//!
+//! Case generation is deterministic per test name (FNV of the name mixed
+//! with the case index), so failures reproduce across runs; set
+//! `PROPTEST_SHIM_SEED` to explore a different stream.
+
+use std::fmt;
+
+mod regexgen;
+pub mod strategy;
+
+pub use strategy::{any, vec, Just, Map, Strategy, VecStrategy};
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// Deterministic SplitMix64 stream driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn next_usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Why a test case did not pass (mirrors `proptest::test_runner`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case carrying `reason`.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A discarded case carrying `reason`.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(reason) => write!(f, "test case failed: {reason}"),
+            Self::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Maximum consecutive `prop_assume!`/`prop_filter` rejections
+    /// tolerated before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: `cases` deterministic cases, panicking with the
+/// case number and seed on the first failure. Used by [`proptest!`]; not
+/// part of the upstream API.
+///
+/// # Panics
+///
+/// Panics when a case fails or when too many cases are rejected.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = match std::env::var("PROPTEST_SHIM_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SHIM_SEED must be a u64, got {s:?}")),
+        Err(_) => 0x5EED_1EAC_0C71_2013u64 ^ fnv1a(name.as_bytes()),
+    };
+    let mut rejects = 0u32;
+    let mut index = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let seed = base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        index += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "property {name}: too many rejected cases ({rejects}); last: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "property {name} failed at case #{passed} (seed {seed:#x}): {reason}\n\
+                     (re-run with PROPTEST_SHIM_SEED={base} to reproduce the stream)"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests (mirrors `proptest::proptest!`).
+///
+/// Supports the upstream block form: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(
+                    &config,
+                    stringify!($name),
+                    |proptest_shim_rng: &mut $crate::TestRng| {
+                        $(
+                            let $arg = $crate::Strategy::generate(
+                                &($strat),
+                                proptest_shim_rng,
+                            );
+                        )+
+                        $body
+                        ::core::result::Result::<(), $crate::TestCaseError>::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Everything a property-test module needs (mirrors
+/// `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}

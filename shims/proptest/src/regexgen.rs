@@ -1,0 +1,202 @@
+//! String generation for a small regex subset, enough for the patterns
+//! property tests actually use as strategies.
+//!
+//! Supported: literal characters, `\\` escapes of metacharacters,
+//! character classes `[...]` with ranges (no negation), the quantifiers
+//! `{n}`, `{m,n}`, `{m,}`, `*`, `+`, `?`, and `.` (any printable ASCII).
+//! Anything else — groups, alternation, anchors — panics with a clear
+//! message so an unsupported pattern fails loudly rather than silently
+//! generating garbage.
+
+use crate::TestRng;
+
+/// Cap applied to open-ended quantifiers (`*`, `+`, `{m,}`).
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One choice from an explicit set.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Self::Literal(c) => out.push(*c),
+            Self::Class(set) => out.push(set[rng.next_usize_in(0, set.len())]),
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Atom {
+    let mut set = Vec::new();
+    if chars.peek() == Some(&'^') {
+        panic!("regex shim: negated classes are unsupported in {pattern:?}");
+    }
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("regex shim: unterminated class in {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}"));
+                set.push(escaped);
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        Some(']') | None => set.extend([lo, '-']),
+                        Some(&hi) => {
+                            chars.next();
+                            assert!(
+                                lo <= hi,
+                                "regex shim: inverted range {lo}-{hi} in {pattern:?}"
+                            );
+                            set.extend(lo..=hi);
+                        }
+                    }
+                } else {
+                    set.push(lo);
+                }
+            }
+        }
+    }
+    assert!(!set.is_empty(), "regex shim: empty class in {pattern:?}");
+    Atom::Class(set)
+}
+
+fn parse_counted(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    let mut spec = String::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("regex shim: unterminated quantifier in {pattern:?}"));
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .unwrap_or_else(|_| panic!("regex shim: bad quantifier {{{spec}}} in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+        Some((lo, "")) => {
+            let lo = parse(lo);
+            (lo, lo + UNBOUNDED_CAP)
+        }
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+    }
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    let mut last: Option<Atom> = None;
+
+    while let Some(c) = chars.next() {
+        // Quantifiers apply to the immediately preceding atom, which has
+        // already been emitted once; adjust by the extra repetitions.
+        let (min, max) = match c {
+            '{' => parse_counted(&mut chars, pattern),
+            '*' => (0, UNBOUNDED_CAP),
+            '+' => (1, 1 + UNBOUNDED_CAP),
+            '?' => (0, 1),
+            _ => {
+                let atom =
+                    match c {
+                        '[' => parse_class(&mut chars, pattern),
+                        '\\' => Atom::Literal(chars.next().unwrap_or_else(|| {
+                            panic!("regex shim: dangling escape in {pattern:?}")
+                        })),
+                        '.' => Atom::Class((' '..='~').collect()),
+                        '(' | ')' | '|' | '^' | '$' => {
+                            panic!("regex shim: unsupported metacharacter {c:?} in {pattern:?}")
+                        }
+                        literal => Atom::Literal(literal),
+                    };
+                atom.emit(rng, &mut out);
+                last = Some(atom);
+                continue;
+            }
+        };
+
+        let atom = last
+            .take()
+            .unwrap_or_else(|| panic!("regex shim: quantifier with no atom in {pattern:?}"));
+        // The atom was already emitted once; remove it and re-emit the
+        // sampled count.
+        out.pop();
+        let count = if min == max {
+            min
+        } else {
+            rng.next_usize_in(min, max + 1)
+        };
+        for _ in 0..count {
+            atom.emit(rng, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_passthrough() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(generate("abc_1", &mut rng), "abc_1");
+    }
+
+    #[test]
+    fn class_and_counted_repeat() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = generate("[ab]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn question_star_plus() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = generate("x?y+z*", &mut rng);
+            assert!(s.contains('y'));
+            assert!(s.chars().all(|c| "xyz".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::new(4);
+        assert_eq!(generate("[0-9]{3}", &mut rng).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported metacharacter")]
+    fn groups_rejected() {
+        let mut rng = TestRng::new(5);
+        let _ = generate("(ab)+", &mut rng);
+    }
+}

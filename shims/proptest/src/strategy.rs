@@ -1,0 +1,467 @@
+//! The [`Strategy`] trait and the strategy combinators the workspace
+//! uses: numeric ranges, tuples, [`Just`], regex-subset strings,
+//! `collection::vec`, `prop_map` and `prop_filter`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::regexgen;
+use crate::TestRng;
+
+/// How many times `prop_filter` retries before giving up on a case.
+const FILTER_RETRIES: usize = 256;
+
+/// A generator of test-case values (mirrors `proptest::strategy::Strategy`,
+/// minus shrinking: there is no value tree, just direct generation).
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Generates one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Keeps only values for which `pred` holds, retrying generation a
+    /// bounded number of times.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (mirrors `Strategy::boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let value = self.inner.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {FILTER_RETRIES} consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Output of [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+// NOTE: the range-sampling math here intentionally parallels the rand
+// shim's `SampleRange` impls rather than depending on it — each shim
+// stays a standalone drop-out when its upstream crate returns. Fixes to
+// one copy belong in both.
+macro_rules! impl_float_range_strategy {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = $unit(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Hit both endpoints occasionally: properties over closed
+                // ranges usually care most about the boundary.
+                match rng.next_u64() % 64 {
+                    0 => lo,
+                    1 => hi,
+                    _ => lo + $unit(rng) * (hi - lo),
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform `f32` in `[0, 1)` built from 24 mantissa bits; casting
+/// `next_f64()` down would round values near 1 up to exactly 1.0 and
+/// leak the excluded endpoint of half-open ranges.
+#[allow(clippy::cast_possible_truncation)]
+fn unit_f32(rng: &mut TestRng) -> f32 {
+    ((rng.next_u64() >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    rng.next_f64()
+}
+
+impl_float_range_strategy!(f32 => unit_f32, f64 => unit_f64);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty => $ut:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Width the span in the type's unsigned domain first: a
+                // direct `as u64` would sign-extend a wrapped signed
+                // difference and explode the span.
+                let span = self.end.wrapping_sub(self.start) as $ut as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi.wrapping_sub(lo) as $ut as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// `&str` strategies generate strings matching the pattern, a regex
+/// subset: literals, `[...]` classes with ranges, `{n}`/`{m,n}`/`{m,}`,
+/// `*`, `+`, `?` and `.`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regexgen::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Element-count specification for [`vec`] (mirrors
+/// `proptest::collection::SizeRange`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = (*r.start(), *r.end());
+        assert!(lo <= hi, "empty size range");
+        Self { lo, hi: hi + 1 }
+    }
+}
+
+/// A strategy yielding `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 >= self.size.hi {
+            self.size.lo
+        } else {
+            rng.next_usize_in(self.size.lo, self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Builds a [`VecStrategy`] (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// A strategy yielding an arbitrary value of a primitive type, via the
+/// type's full-range strategy (narrow mirror of `proptest::arbitrary`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the full-range strategy for `T` (mirrors `proptest::prelude::any`).
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let magnitude = (rng.next_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..2_000 {
+            let x = (10.0..20.0f64).generate(&mut rng);
+            assert!((10.0..20.0).contains(&x));
+            let y = (0.0..=1.0f64).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&y));
+            let n = (5u64..9).generate(&mut rng);
+            assert!((5..9).contains(&n));
+            let m = (1usize..=3).generate(&mut rng);
+            assert!((1..=3).contains(&m));
+        }
+    }
+
+    #[test]
+    fn narrow_signed_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..5_000 {
+            let a = (-100i8..100).generate(&mut rng);
+            assert!((-100..100).contains(&a), "i8 out of range: {a}");
+            let b = (-30_000i16..=30_000).generate(&mut rng);
+            assert!((-30_000..=30_000).contains(&b), "i16 out of range: {b}");
+        }
+    }
+
+    #[test]
+    fn f32_half_open_range_excludes_end() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..200_000 {
+            let x = (0.0f32..1.0f32).generate(&mut rng);
+            assert!((0.0..1.0).contains(&x), "f32 leaked range end: {x}");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_hits_endpoints() {
+        let mut rng = TestRng::new(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let x = (0.0..=1.0f64).generate(&mut rng);
+            lo_seen |= x == 0.0;
+            hi_seen |= x == 1.0;
+        }
+        assert!(lo_seen && hi_seen, "endpoints should appear occasionally");
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = vec(0.0..1.0f64, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = vec(0u64..10, 4).generate(&mut rng);
+        assert_eq!(fixed.len(), 4);
+    }
+
+    #[test]
+    fn map_filter_and_just_compose() {
+        let mut rng = TestRng::new(4);
+        let s = (0u64..100)
+            .prop_map(|n| n * 2)
+            .prop_filter("nonzero", |n| *n != 0);
+        for _ in 0..200 {
+            let n = s.generate(&mut rng);
+            assert!(n % 2 == 0 && n != 0);
+        }
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::new(5);
+        let (a, b) = (0.0..1.0f64, 10u64..20).generate(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert!((10..20).contains(&b));
+    }
+
+    #[test]
+    fn string_strategy_matches_pattern_shape() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+}

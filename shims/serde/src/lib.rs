@@ -1,0 +1,19 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` today — nothing
+//! serializes yet — so the traits here are blanket-implemented markers
+//! and the derives (from the sibling `serde_derive` shim) expand to
+//! nothing. Swap the root `[workspace.dependencies]` entry to the real
+//! crate before writing code that serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derives accept the same input as
+//! the real macros (including `#[serde(...)]` attributes) and expand to
+//! nothing. The sibling `serde` shim blanket-implements the marker
+//! traits, so `#[derive(serde::Serialize)]` stays a compile-time no-op
+//! until the workspace actually serializes something.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -58,7 +58,12 @@ fn steady_temperatures_match_paper_anchor_points() {
     // averages, a couple of degrees below the hottest-die anchors in
     // DESIGN.md §5 because the cooler socket pulls the mean down.
     let d = data();
-    let anchors = [(1800.0, 82.0), (2400.0, 70.0), (3000.0, 63.0), (4200.0, 55.0)];
+    let anchors = [
+        (1800.0, 82.0),
+        (2400.0, 70.0),
+        (3000.0, 63.0),
+        (4200.0, 55.0),
+    ];
     for (rpm, expect) in anchors {
         let t = d
             .point(Utilization::FULL, Rpm::new(rpm))

@@ -12,11 +12,7 @@ fn lut() -> LookupTable {
     leakctl::build_lut_from_characterization(&data, &fitted).expect("LUT")
 }
 
-fn run(
-    controller: &mut dyn FanController,
-    profile: Profile,
-    seed: u64,
-) -> leakctl::RunMetrics {
+fn run(controller: &mut dyn FanController, profile: Profile, seed: u64) -> leakctl::RunMetrics {
     let mut options = RunOptions::fast();
     options.record = false;
     leakctl::run_experiment(&options, profile, controller, seed)
@@ -125,7 +121,10 @@ fn bang_bang_lets_temperature_rise_into_band() {
         "bang-bang should let temperature rise into the 65-75 C band, got {:.1} C",
         m.max_temp.degrees()
     );
-    assert!(m.avg_rpm < Rpm::new(2600.0), "bang-bang should slow the fans");
+    assert!(
+        m.avg_rpm < Rpm::new(2600.0),
+        "bang-bang should slow the fans"
+    );
 }
 
 #[test]

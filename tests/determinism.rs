@@ -19,9 +19,11 @@ fn characterization_is_deterministic() {
 #[test]
 fn experiment_runs_are_deterministic() {
     let run = |seed: u64| {
-        let profile =
-            Profile::constant(Utilization::from_percent(60.0).unwrap(), SimDuration::from_mins(8))
-                .unwrap();
+        let profile = Profile::constant(
+            Utilization::from_percent(60.0).unwrap(),
+            SimDuration::from_mins(8),
+        )
+        .unwrap();
         let mut ctl = BangBangController::paper_default();
         let mut options = RunOptions::fast();
         options.record = true;
@@ -59,20 +61,18 @@ fn sensor_seed_affects_closed_loop_only_marginally() {
         let mut ctl = BangBangController::paper_default();
         let mut options = RunOptions::fast();
         options.record = false;
-        leakctl::run_experiment(
-            &options,
-            leakctl_workload::suite::test3(),
-            &mut ctl,
-            seed,
-        )
-        .expect("run")
-        .metrics
+        leakctl::run_experiment(&options, leakctl_workload::suite::test3(), &mut ctl, seed)
+            .expect("run")
+            .metrics
     };
     let a = run(1);
     let b = run(2);
-    let rel = (a.total_energy.value() - b.total_energy.value()).abs()
-        / a.total_energy.value();
-    assert!(rel < 0.01, "energy varies {:.3}% across sensor seeds", rel * 100.0);
+    let rel = (a.total_energy.value() - b.total_energy.value()).abs() / a.total_energy.value();
+    assert!(
+        rel < 0.01,
+        "energy varies {:.3}% across sensor seeds",
+        rel * 100.0
+    );
 }
 
 #[test]
@@ -81,7 +81,11 @@ fn queueing_workload_deterministic_per_seed() {
         let queue = MmcQueue::new(64, 28.8, 1.0).expect("queue");
         let mut rng = SimRng::seed(seed);
         queue
-            .generate(SimDuration::from_mins(20), SimDuration::from_secs(1), &mut rng)
+            .generate(
+                SimDuration::from_mins(20),
+                SimDuration::from_secs(1),
+                &mut rng,
+            )
             .expect("generate")
     };
     let (p1, s1) = gen(5);

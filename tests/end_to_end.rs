@@ -67,9 +67,8 @@ fn telemetry_csv_round_trip_through_pipeline() {
             .expect("step");
     }
     let csv = server.csth().to_csv().expect("export");
-    let parsed =
-        leakctl_telemetry::Csth::from_csv(&csv, leakctl_telemetry::CSTH_POLL_PERIOD)
-            .expect("parse");
+    let parsed = leakctl_telemetry::Csth::from_csv(&csv, leakctl_telemetry::CSTH_POLL_PERIOD)
+        .expect("parse");
     assert_eq!(parsed.channel_count(), server.csth().channel_count());
     assert_eq!(parsed.sample_count(), server.csth().sample_count());
     let ch = parsed.channel_by_name("system_power").expect("channel");
