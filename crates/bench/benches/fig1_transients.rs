@@ -5,9 +5,12 @@
 //!
 //! Run with `cargo bench -p leakctl-bench --bench fig1_transients`.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use leakctl::prelude::*;
 use leakctl::RunOptions;
+use leakctl_bench::SteppingKernel;
 use leakctl_control::FixedSpeedController;
 
 /// One full Fig. 1(a)-style protocol run at a fixed fan speed.
@@ -49,6 +52,51 @@ fn bench_fig1(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Throughput group: steps/second of the stepping engine, cached vs
+    // the stateless per-call-assembly wrapper, plus the whole server.
+    // Each bench iteration runs a block of steps so per-iteration
+    // timing overhead is negligible; the one-shot eprintln reports the
+    // derived throughput for bench-log trend reading.
+    const BLOCK: u64 = 10_000;
+    let mut group = c.benchmark_group("steps_per_sec");
+    group.sample_size(10);
+    group.bench_function("network_cached_10k", |b| {
+        let mut kernel = SteppingKernel::new();
+        b.iter(|| {
+            kernel.step_cached(BLOCK);
+            kernel.max_temperature()
+        })
+    });
+    group.bench_function("network_stateless_10k", |b| {
+        let mut kernel = SteppingKernel::new();
+        b.iter(|| {
+            kernel.step_stateless(BLOCK);
+            kernel.max_temperature()
+        })
+    });
+    group.bench_function("server_10k", |b| {
+        let mut server = Server::new(ServerConfig::default(), 1).expect("server builds");
+        b.iter(|| {
+            for _ in 0..BLOCK {
+                server
+                    .step(SimDuration::from_secs(1), Utilization::FULL)
+                    .expect("step succeeds");
+            }
+            server.max_die_temperature()
+        })
+    });
+    group.finish();
+
+    // One-shot derived steps/sec summary.
+    let mut kernel = SteppingKernel::new();
+    let start = Instant::now();
+    kernel.step_cached(10 * BLOCK);
+    let cached_sps = 10.0 * BLOCK as f64 / start.elapsed().as_secs_f64();
+    eprintln!(
+        "[fig1] cached stepping engine: {cached_sps:.0} steps/s (settled at {:.1} C)",
+        kernel.max_temperature().degrees()
+    );
 }
 
 criterion_group!(benches, bench_fig1);

@@ -10,27 +10,34 @@ use leakctl::{generate_table1, RunOptions, Table1Options};
 use leakctl_bench::quick_pipeline;
 use leakctl_workload::suite;
 
-fn run_once(controller: &mut dyn FanController, seed: u64) -> f64 {
-    let options = RunOptions {
+/// Shared run configuration for every benchmark in this file: the
+/// paper's protocol without time-series recording. Hoisted so per-
+/// function setup cannot drift apart.
+fn shared_run_options() -> RunOptions {
+    RunOptions {
         record: false,
         ..RunOptions::default()
-    };
+    }
+}
+
+fn run_once(options: &RunOptions, controller: &mut dyn FanController, seed: u64) -> f64 {
     let outcome =
-        leakctl::run_experiment(&options, suite::test3(), controller, seed).expect("run succeeds");
+        leakctl::run_experiment(options, suite::test3(), controller, seed).expect("run succeeds");
     outcome.metrics.total_energy.as_kwh().value()
 }
 
 fn bench_table1(c: &mut Criterion) {
     let pipeline = quick_pipeline(42);
+    let options = shared_run_options();
 
     // One-shot regeneration + ordering check.
     let mut default = FixedSpeedController::paper_default();
     let mut bang = BangBangController::paper_default();
     let mut lut = LutController::paper_default(pipeline.lut.clone());
     let (e_def, e_bang, e_lut) = (
-        run_once(&mut default, 42),
-        run_once(&mut bang, 42),
-        run_once(&mut lut, 42),
+        run_once(&options, &mut default, 42),
+        run_once(&options, &mut bang, 42),
+        run_once(&options, &mut lut, 42),
     );
     eprintln!("[table1] Test-3 energy: Default {e_def:.4}, Bang {e_bang:.4}, LUT {e_lut:.4} kWh");
     assert!(e_lut <= e_def, "LUT must not exceed Default energy");
@@ -39,29 +46,25 @@ fn bench_table1(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("run80min_default", |b| {
         let mut ctl = FixedSpeedController::paper_default();
-        b.iter(|| run_once(&mut ctl, 42))
+        b.iter(|| run_once(&options, &mut ctl, 42))
     });
     group.bench_function("run80min_bangbang", |b| {
         let mut ctl = BangBangController::paper_default();
-        b.iter(|| run_once(&mut ctl, 42))
+        b.iter(|| run_once(&options, &mut ctl, 42))
     });
     group.bench_function("run80min_lut", |b| {
         let mut ctl = LutController::paper_default(pipeline.lut.clone());
-        b.iter(|| run_once(&mut ctl, 42))
+        b.iter(|| run_once(&options, &mut ctl, 42))
     });
     // The full 4-test × 3-controller table (12 × 80-minute runs plus
     // the idle reference measurement).
     group.bench_function("full_table", |b| {
-        let run = RunOptions {
-            record: false,
-            ..RunOptions::default()
-        };
-        let options = Table1Options {
-            run,
+        let table_options = Table1Options {
+            run: shared_run_options(),
             seed: 42,
             lut: pipeline.lut.clone(),
         };
-        b.iter(|| generate_table1(&options).expect("table generation succeeds"))
+        b.iter(|| generate_table1(&table_options).expect("table generation succeeds"))
     });
     group.finish();
 }

@@ -1,0 +1,229 @@
+//! Perf report: machine-readable steps-per-second measurements for the
+//! transient-stepping hot path, emitted as JSON (`BENCH_perf.json`).
+//!
+//! This is the repo's perf trajectory: CI runs it on every PR and
+//! uploads the JSON as an artifact, so wall-clock regressions (or wins)
+//! in the stepping engine show up as a per-PR series. The energy
+//! figures are included so a perf change that silently alters physics
+//! is caught by diffing consecutive reports.
+//!
+//! ```text
+//! cargo run --release -p leakctl-bench --bin repro-perf [-- --quick] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use leakctl::prelude::*;
+use leakctl::RunOptions;
+use leakctl_bench::SteppingKernel;
+use leakctl_control::FixedSpeedController;
+use leakctl_workload::suite;
+
+/// One timed measurement destined for the JSON report.
+struct PerfResult {
+    name: &'static str,
+    steps: u64,
+    wall_s: f64,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl PerfResult {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Steps/sec of the raw thermal-network stepping kernel at constant
+/// inputs (stateless `ThermalNetwork::step`, which reassembles and
+/// refactors every call).
+fn bench_network_stateless(steps: u64) -> PerfResult {
+    let mut kernel = SteppingKernel::new();
+    let start = Instant::now();
+    kernel.step_stateless(steps);
+    let wall_s = start.elapsed().as_secs_f64();
+    PerfResult {
+        name: "network_step_stateless",
+        steps,
+        wall_s,
+        extra: vec![(
+            "max_temp_c",
+            format!("{:.6}", kernel.max_temperature().degrees()),
+        )],
+    }
+}
+
+/// Steps/sec of the same kernel through a persistent
+/// `TransientSolver` — cached assembly, reused LU factorization,
+/// zero allocation per step.
+fn bench_network_cached(steps: u64) -> PerfResult {
+    let mut kernel = SteppingKernel::new();
+    let start = Instant::now();
+    kernel.step_cached(steps);
+    let wall_s = start.elapsed().as_secs_f64();
+    PerfResult {
+        name: "network_step_cached",
+        steps,
+        wall_s,
+        extra: vec![(
+            "max_temp_c",
+            format!("{:.6}", kernel.max_temperature().degrees()),
+        )],
+    }
+}
+
+/// Steps/sec of the raw `Server::step` hot path at constant inputs —
+/// the regime where factorization reuse pays off.
+fn bench_server_step(steps: u64) -> PerfResult {
+    let mut server = Server::new(ServerConfig::default(), 1).expect("server builds");
+    // Warm up: let fans settle so flows stop changing step-to-step.
+    for _ in 0..120 {
+        server
+            .step(SimDuration::from_secs(1), Utilization::FULL)
+            .expect("warmup step succeeds");
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        server
+            .step(SimDuration::from_secs(1), Utilization::FULL)
+            .expect("step succeeds");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    PerfResult {
+        name: "server_step_1s_constant",
+        steps,
+        wall_s,
+        extra: vec![(
+            "max_die_temp_c",
+            format!("{:.6}", server.max_die_temperature().degrees()),
+        )],
+    }
+}
+
+/// One full 80-minute Table-I-protocol run (Default controller on
+/// Test-3) — the paper's headline workload and the acceptance metric
+/// for stepping-engine optimizations. Energy is reported to 1e-12 kWh
+/// so perf PRs can prove the physics is untouched.
+fn bench_run80min(quick: bool) -> PerfResult {
+    let options = RunOptions {
+        record: false,
+        ..RunOptions::default()
+    };
+    let profile = if quick {
+        Profile::constant(Utilization::FULL, SimDuration::from_mins(10)).expect("static profile")
+    } else {
+        suite::test3()
+    };
+    let sim_secs = (options.warmup + options.stabilize + options.cooldown).as_secs_f64()
+        + profile.duration().as_secs_f64();
+    let steps = (sim_secs / options.step.as_secs_f64()).round() as u64;
+    let mut controller = FixedSpeedController::paper_default();
+    let start = Instant::now();
+    let outcome =
+        leakctl::run_experiment(&options, profile, &mut controller, 42).expect("run succeeds");
+    let wall_s = start.elapsed().as_secs_f64();
+    PerfResult {
+        name: if quick {
+            "run10min_default_constant"
+        } else {
+            "run80min_default_test3"
+        },
+        steps,
+        wall_s,
+        extra: vec![
+            (
+                "total_energy_kwh",
+                format!("{:.12}", outcome.metrics.total_energy.as_kwh().value()),
+            ),
+            (
+                "fan_energy_kwh",
+                format!("{:.12}", outcome.metrics.fan_energy.as_kwh().value()),
+            ),
+            (
+                "peak_power_w",
+                format!("{:.6}", outcome.metrics.peak_power.value()),
+            ),
+            (
+                "max_temp_c",
+                format!("{:.6}", outcome.metrics.max_temp.degrees()),
+            ),
+        ],
+    }
+}
+
+/// Runs a measurement `reps` times and keeps the fastest — wall-clock
+/// minima are far more stable than single shots on a shared machine.
+fn best_of(reps: u32, mut f: impl FnMut() -> PerfResult) -> PerfResult {
+    let mut best = f();
+    for _ in 1..reps {
+        let r = f();
+        if r.wall_s < best.wall_s {
+            best = r;
+        }
+    }
+    best
+}
+
+fn render_json(results: &[PerfResult], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"leakctl-perf/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"sim_steps\": {},", r.steps);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(out, "      \"steps_per_sec\": {:.1},", r.steps_per_sec());
+        for (k, v) in &r.extra {
+            let _ = writeln!(out, "      \"{k}\": {v},");
+        }
+        // Trailing-comma cleanup: drop the final ",\n" and re-terminate.
+        out.truncate(out.len() - 2);
+        out.push('\n');
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    println!("== leakctl perf report ==");
+    let step_count = if quick { 2_000 } else { 20_000 };
+    let reps = if quick { 2 } else { 5 };
+    let results = vec![
+        best_of(reps, || bench_network_stateless(10 * step_count)),
+        best_of(reps, || bench_network_cached(10 * step_count)),
+        best_of(reps, || bench_server_step(step_count)),
+        best_of(reps, || bench_run80min(quick)),
+    ];
+    for r in &results {
+        println!(
+            "{:<28} {:>9} steps in {:>8.3} s -> {:>12.0} steps/s",
+            r.name,
+            r.steps,
+            r.wall_s,
+            r.steps_per_sec()
+        );
+        for (k, v) in &r.extra {
+            println!("    {k} = {v}");
+        }
+    }
+
+    let json = render_json(&results, quick);
+    std::fs::write(&out_path, &json).expect("perf JSON written");
+    println!("\nwrote {out_path}:\n{json}");
+}

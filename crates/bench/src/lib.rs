@@ -58,6 +58,193 @@ fn pipeline(options: &CharacterizeOptions, seed: u64) -> Pipeline {
 /// with each other and with EXPERIMENTS.md.
 pub const REPRO_SEED: u64 = 42;
 
+/// A server-shaped thermal network (ambient boundary, shared DIMM air
+/// volume, two DIMM banks, three die→sink→air socket chains on one
+/// chassis flow channel) for stepping-kernel benchmarks that want the
+/// real topology without dragging in the whole platform.
+///
+/// Returns the network, the first die node and the chassis flow
+/// channel.
+///
+/// # Panics
+///
+/// Panics when construction fails — the topology is static and known
+/// to build.
+#[must_use]
+pub fn bench_network() -> (
+    leakctl_thermal::ThermalNetwork,
+    leakctl_thermal::NodeId,
+    leakctl_thermal::FlowChannelId,
+) {
+    use leakctl_thermal::{ConvectionModel, Coupling, ThermalNetworkBuilder};
+    use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
+
+    let mut b = ThermalNetworkBuilder::new();
+    let ambient = b.add_boundary("ambient", Celsius::new(24.0));
+    let flow = b.add_flow_channel("chassis");
+    let sink_conv =
+        ConvectionModel::turbulent(ThermalConductance::new(3.4), AirFlow::from_cfm(300.0));
+    let dimm_conv =
+        ConvectionModel::turbulent(ThermalConductance::new(12.0), AirFlow::from_cfm(300.0));
+
+    let air_dimm = b.add_node("air_dimm", ThermalCapacitance::new(15.0));
+    b.connect_directed(
+        ambient,
+        air_dimm,
+        Coupling::Advective {
+            channel: flow,
+            fraction: 1.0,
+        },
+    )
+    .expect("static edge");
+    b.connect(
+        air_dimm,
+        ambient,
+        Coupling::Conductance(ThermalConductance::new(0.5)),
+    )
+    .expect("static edge");
+    for bank in 0..2 {
+        let node = b.add_node(&format!("dimm_bank{bank}"), ThermalCapacitance::new(900.0));
+        b.connect(
+            node,
+            air_dimm,
+            Coupling::Convective {
+                channel: flow,
+                model: dimm_conv,
+            },
+        )
+        .expect("static edge");
+    }
+    let sockets = 3;
+    let mut first_die = None;
+    for s in 0..sockets {
+        let die = b.add_node(&format!("cpu{s}_die"), ThermalCapacitance::new(80.0));
+        let sink = b.add_node(&format!("cpu{s}_sink"), ThermalCapacitance::new(400.0));
+        let air = b.add_node(&format!("cpu{s}_air"), ThermalCapacitance::new(15.0));
+        b.connect(
+            die,
+            sink,
+            Coupling::Conductance(ThermalConductance::new(10.0)),
+        )
+        .expect("static edge");
+        b.connect(
+            sink,
+            air,
+            Coupling::Convective {
+                channel: flow,
+                model: sink_conv,
+            },
+        )
+        .expect("static edge");
+        b.connect_directed(
+            air_dimm,
+            air,
+            Coupling::Advective {
+                channel: flow,
+                fraction: 1.0 / sockets as f64,
+            },
+        )
+        .expect("static edge");
+        b.connect(
+            air,
+            ambient,
+            Coupling::Conductance(ThermalConductance::new(0.5)),
+        )
+        .expect("static edge");
+        first_die.get_or_insert(die);
+    }
+    let mut net = b.build().expect("static network builds");
+    let die = first_die.expect("at least one socket");
+    net.set_power(die, Watts::new(90.0))
+        .expect("die accepts power");
+    (net, die, flow)
+}
+
+/// A ready-to-step instance of [`bench_network`] at the canonical
+/// operating point (250 CFM, 24 °C start, backward Euler, 1 s steps).
+///
+/// Every stepping-kernel measurement — the criterion `steps_per_sec`
+/// group, its one-shot summary line, and the `repro-perf` JSON report —
+/// drives this one configuration, so they cannot silently drift apart.
+#[derive(Debug, Clone)]
+pub struct SteppingKernel {
+    net: leakctl_thermal::ThermalNetwork,
+    solver: leakctl_thermal::TransientSolver,
+    state: leakctl_thermal::ThermalState,
+}
+
+impl SteppingKernel {
+    /// Builds the kernel at the canonical operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static topology, known to
+    /// build).
+    #[must_use]
+    pub fn new() -> Self {
+        use leakctl_units::{AirFlow, Celsius};
+        let (mut net, _die, ch) = bench_network();
+        net.set_flow(ch, AirFlow::from_cfm(250.0))
+            .expect("flow set");
+        let solver = leakctl_thermal::TransientSolver::new(&net);
+        let state = net.uniform_state(Celsius::new(24.0));
+        Self { net, solver, state }
+    }
+
+    /// Advances `steps` seconds through the persistent cached solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel network is regular).
+    pub fn step_cached(&mut self, steps: u64) {
+        use leakctl_thermal::Integrator;
+        use leakctl_units::SimDuration;
+        for _ in 0..steps {
+            self.solver
+                .step(
+                    &self.net,
+                    &mut self.state,
+                    SimDuration::from_secs(1),
+                    Integrator::BackwardEuler,
+                )
+                .expect("step succeeds");
+        }
+    }
+
+    /// Advances `steps` seconds through the stateless per-call-assembly
+    /// wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel network is regular).
+    pub fn step_stateless(&mut self, steps: u64) {
+        use leakctl_thermal::Integrator;
+        use leakctl_units::SimDuration;
+        for _ in 0..steps {
+            self.net
+                .step(
+                    &mut self.state,
+                    SimDuration::from_secs(1),
+                    Integrator::BackwardEuler,
+                )
+                .expect("step succeeds");
+        }
+    }
+
+    /// The hottest node temperature of the evolving state (consume the
+    /// result so benchmark loops are not optimized away).
+    #[must_use]
+    pub fn max_temperature(&self) -> leakctl_units::Celsius {
+        self.state.max_temperature()
+    }
+}
+
+impl Default for SteppingKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +255,16 @@ mod tests {
         assert!(p.data.points.len() >= 12);
         assert!(p.fitted.k1 > 0.0);
         assert!(p.lut.len() >= 4);
+    }
+
+    #[test]
+    fn stepping_kernel_paths_agree() {
+        let mut cached = SteppingKernel::new();
+        let mut stateless = SteppingKernel::new();
+        cached.step_cached(50);
+        stateless.step_stateless(50);
+        let a = cached.max_temperature().degrees();
+        let b = stateless.max_temperature().degrees();
+        assert!((a - b).abs() < 1e-12, "cached {a} vs stateless {b}");
     }
 }

@@ -1,6 +1,11 @@
 //! Characterization sweeps (§IV of the paper): utilization × fan speed
 //! grid under LoadGen, measuring steady temperatures and powers through
 //! telemetry.
+//!
+//! Sweeps hold the fan speed constant for each grid point, which is the
+//! best case for the platform's cached `TransientSolver`: the thermal
+//! system is factored once per point and every subsequent second of
+//! simulated time is a single back-substitution.
 
 use leakctl_platform::{Server, ServerConfig};
 use leakctl_units::{Celsius, Rpm, SimDuration, SimInstant, Utilization, Watts};
@@ -237,6 +242,7 @@ fn measure_point(
     let run_start = server.now();
     let run_end = run_start + options.run;
     let window_start = run_end - options.measure_window;
+    let step_secs = options.step.as_secs_f64();
     let mut leak_integral = 0.0;
     let mut leak_time = 0.0;
     while server.now() < run_end {
@@ -244,8 +250,8 @@ fn measure_point(
         let activity = gen.average_over(rel, options.step);
         server.step(options.step, activity)?;
         if server.now() >= window_start {
-            leak_integral += server.leakage_power().value() * options.step.as_secs_f64();
-            leak_time += options.step.as_secs_f64();
+            leak_integral += server.leakage_power().value() * step_secs;
+            leak_time += step_secs;
         }
     }
 

@@ -7,6 +7,12 @@
 //! stabilization, the workload profile runs, and a final idle cooldown
 //! lets temperatures decay. Energy, peak power and the Table I metrics
 //! are accounted over the profile phase only.
+//!
+//! Each run drives `Server::step`, which integrates the thermal network
+//! through a cached `TransientSolver`: fan flows are constant for long
+//! stretches of the protocol, so most steps reduce to an O(n²)
+//! back-substitution on a reused factorization. Pick the integrator
+//! through [`RunOptions::config`] (`ServerConfig::integrator`).
 
 use leakctl_control::{ControlInputs, FanController};
 use leakctl_platform::{Server, ServerConfig};
@@ -146,7 +152,27 @@ pub fn run_experiment(
     let profile_end = profile_start + profile_duration;
     let experiment_end = profile_end + options.cooldown;
 
-    let mut samples = Vec::new();
+    // Preallocate the recorded series: one sample per period over
+    // stabilization + profile + cooldown, plus slack for the endpoints.
+    // A zero sample period degenerates to one sample per step, so cap
+    // the guess at the step count rather than dividing by zero.
+    let mut samples = Vec::with_capacity(if options.record {
+        let experiment_secs = (experiment_end - t0).as_secs_f64();
+        let per_period = if options.sample_period.is_zero() {
+            f64::INFINITY
+        } else {
+            experiment_secs / options.sample_period.as_secs_f64()
+        };
+        let per_step = experiment_secs / options.step.as_secs_f64();
+        let estimate = per_period.min(per_step);
+        if estimate.is_finite() {
+            estimate as usize + 2
+        } else {
+            0
+        }
+    } else {
+        0
+    });
     let mut next_sample = t0;
     let mut next_decision = t0;
     let mut fan_changes_at_profile_start = 0;

@@ -9,6 +9,7 @@
 //! `C + 0.3231·e^(0.04749·T)`.
 
 use leakctl_power::{FanPowerModel, PsuModel};
+use leakctl_thermal::Integrator;
 use leakctl_units::{Celsius, Rpm, ThermalCapacitance, ThermalConductance, Watts};
 
 use crate::error::PlatformError;
@@ -82,6 +83,9 @@ pub struct ServerConfig {
     pub dimm_conv_g_ref: ThermalConductance,
     /// Air-volume thermal capacitance (per air node).
     pub air_capacitance: ThermalCapacitance,
+    /// Time-integration method for the thermal transient (default
+    /// backward Euler — the network is stiff at 1-second steps).
+    pub integrator: Integrator,
 
     // ---- fan subsystem -------------------------------------------
     /// Fan slew rate, RPM per second.
@@ -135,6 +139,7 @@ impl Default for ServerConfig {
             dimm_bank_capacitance: ThermalCapacitance::new(900.0),
             dimm_conv_g_ref: ThermalConductance::new(12.0),
             air_capacitance: ThermalCapacitance::new(15.0),
+            integrator: Integrator::BackwardEuler,
 
             fan_slew_rpm_per_s: 600.0,
             supply_latency_ms: 100,

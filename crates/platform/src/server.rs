@@ -3,8 +3,8 @@
 use leakctl_sim::{Clock, Periodic, SimRng, TraceRecorder};
 use leakctl_telemetry::{ChannelId, Csth, Sensor, SensorSpec, CSTH_POLL_PERIOD};
 use leakctl_thermal::{
-    ConvectionModel, Coupling, Integrator, NodeId, ThermalNetwork, ThermalNetworkBuilder,
-    ThermalState,
+    ConvectionModel, Coupling, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
+    TransientSolver,
 };
 use leakctl_units::{
     Celsius, Joules, Rpm, SimDuration, SimInstant, ThermalConductance, Utilization, Watts,
@@ -69,6 +69,10 @@ pub struct Server {
     // Thermal model.
     net: ThermalNetwork,
     state: ThermalState,
+    /// Cached stepping engine: reuses assembly and the `(C + h·G)`
+    /// factorization across the (very common) constant-flow,
+    /// constant-dt stretches of a run.
+    stepper: TransientSolver,
     socket_nodes: Vec<SocketNodes>,
     dimm_nodes: Vec<NodeId>,
     air_dimm: NodeId,
@@ -229,6 +233,7 @@ impl Server {
         let mut net = b.build()?;
         net.set_flow(chassis_flow, fans.flow())?;
         let state = net.uniform_state(config.ambient);
+        let stepper = TransientSolver::new(&net);
 
         // ---- telemetry --------------------------------------------
         let mut csth = Csth::new(CSTH_POLL_PERIOD);
@@ -320,6 +325,7 @@ impl Server {
             sp,
             net,
             state,
+            stepper,
             socket_nodes,
             dimm_nodes,
             air_dimm,
@@ -414,23 +420,31 @@ impl Server {
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
     }
 
-    /// Latest *measured* CPU temperatures (2 per socket), as a
-    /// controller polling CSTH would see them.
-    #[must_use]
-    pub fn measured_cpu_temps(&self) -> Vec<Celsius> {
+    /// Latest measured value of each CPU temperature channel, in
+    /// channel order — the single source for every "as a controller
+    /// sees it" temperature read.
+    fn measured_cpu_temp_iter(&self) -> impl Iterator<Item = Celsius> + '_ {
         self.channels
             .cpu_temps
             .iter()
             .filter_map(|&ch| self.csth.series(ch).last())
             .map(|(_, v)| Celsius::new(v))
-            .collect()
+    }
+
+    /// Latest *measured* CPU temperatures (2 per socket), as a
+    /// controller polling CSTH would see them.
+    #[must_use]
+    pub fn measured_cpu_temps(&self) -> Vec<Celsius> {
+        self.measured_cpu_temp_iter().collect()
     }
 
     /// Hottest measured CPU temperature, if any sample exists.
+    ///
+    /// Reads the channel tails directly (no intermediate vector) — this
+    /// sits on the per-decision path of every controller.
     #[must_use]
     pub fn max_measured_cpu_temp(&self) -> Option<Celsius> {
-        self.measured_cpu_temps()
-            .into_iter()
+        self.measured_cpu_temp_iter()
             .fold(None, |acc, t| Some(acc.map_or(t, |a: Celsius| a.max(t))))
     }
 
@@ -637,28 +651,37 @@ impl Server {
             SpAction::None => {}
         }
 
-        // Component powers from start-of-step temperatures.
+        // Component powers from start-of-step temperatures. Each model
+        // is evaluated once and reused for both the thermal injection
+        // and the energy accounting (the leakage exponential is the
+        // single most expensive power-model term).
+        let mut cpu_p = Watts::ZERO;
         for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
             let die_t = self.net.temperature(&self.state, nodes.die);
             let p = socket.power(activity, die_t);
+            cpu_p += p;
             self.net.set_power(nodes.die, p)?;
         }
+        let mut dimm_p = Watts::ZERO;
         for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
-            self.net.set_power(node, bank.power(activity))?;
+            let p = bank.power(activity);
+            dimm_p += p;
+            self.net.set_power(node, p)?;
         }
         self.net.set_power(self.air_dimm, self.config.board_power)?;
 
         // Energy accounting with start-of-step powers.
-        let wall = self.system_power();
+        let dc = cpu_p + dimm_p + self.config.board_power;
+        let wall = self.config.psu.input_power(dc);
         let fan_p = self.fan_power();
         self.system_energy += wall * dt;
         self.fan_energy += fan_p * dt;
         self.peak_power = self.peak_power.max(wall + fan_p);
         self.accounted += dt;
 
-        // Integrate the thermal network.
-        self.net
-            .step(&mut self.state, dt, Integrator::BackwardEuler)?;
+        // Integrate the thermal network through the cached stepper.
+        self.stepper
+            .step(&self.net, &mut self.state, dt, self.config.integrator)?;
         self.clock.advance_to(end).expect("time moves forward");
 
         // CSTH polling.
@@ -749,12 +772,16 @@ impl Server {
 
         let mut temps: Vec<Celsius> = vec![self.config.ambient; self.sockets.len()];
         let mut state = net.uniform_state(self.config.ambient);
+        // One solver for the whole fixed-point loop: flows are constant
+        // across iterations, so `G` is factored once and every
+        // iteration is a single back-substitution.
+        let mut solver = TransientSolver::new(&net);
         for _ in 0..60 {
             for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
                 let idx = socket.id();
                 net.set_power(nodes.die, socket.power(activity, temps[idx]))?;
             }
-            state = net.steady_state()?;
+            solver.steady_state_into(&net, &mut state)?;
             let new_temps: Vec<Celsius> = self
                 .socket_nodes
                 .iter()

@@ -54,6 +54,7 @@ mod error;
 pub mod linalg;
 mod network;
 mod solver;
+mod stepper;
 
 pub use convection::ConvectionModel;
 pub use error::ThermalError;
@@ -61,6 +62,7 @@ pub use network::{
     Coupling, FlowChannelId, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
 };
 pub use solver::Integrator;
+pub use stepper::TransientSolver;
 
 /// Specific heat capacity of air at constant pressure, J/(kg·K).
 pub const AIR_SPECIFIC_HEAT: f64 = 1006.0;

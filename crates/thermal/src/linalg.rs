@@ -140,22 +140,40 @@ impl Matrix {
         self.data[r * self.cols + c] += value;
     }
 
+    /// Overwrites every entry with `value` (used to reset cached
+    /// assembly workspaces without reallocating).
+    #[inline]
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if x.len() != self.cols {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Matrix–vector product `A·x` written into `y` — the
+    /// allocation-free variant for per-step hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`
+    /// or `y.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch);
         }
-        let y = (0..self.rows)
-            .map(|r| {
-                let row = &self.data[r * self.cols..(r + 1) * self.cols];
-                row.iter().zip(x).map(|(a, b)| a * b).sum()
-            })
-            .collect();
-        Ok(y)
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(())
     }
 
     /// Factors the matrix as `P·A = L·U` with partial pivoting.
@@ -171,38 +189,33 @@ impl Matrix {
         let n = self.rows;
         let mut lu = self.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-
-        for k in 0..n {
-            // Find pivot.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[k * n + k].abs();
-            for r in (k + 1)..n {
-                let v = lu[r * n + k].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val < 1e-300 {
-                return Err(LinalgError::Singular);
-            }
-            if pivot_row != k {
-                for c in 0..n {
-                    lu.swap(k * n + c, pivot_row * n + c);
-                }
-                perm.swap(k, pivot_row);
-            }
-            // Eliminate below the pivot.
-            let pivot = lu[k * n + k];
-            for r in (k + 1)..n {
-                let factor = lu[r * n + k] / pivot;
-                lu[r * n + k] = factor;
-                for c in (k + 1)..n {
-                    lu[r * n + c] -= factor * lu[k * n + c];
-                }
-            }
-        }
+        factorize(n, &mut lu, &mut perm)?;
         Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Re-factors the matrix into an existing [`LuFactors`], reusing its
+    /// buffers — the allocation-free variant for solvers that factor the
+    /// same-sized system repeatedly.
+    ///
+    /// On error the factors are left in an unspecified state and must
+    /// not be used for solves until a subsequent successful
+    /// factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input
+    /// and [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn lu_into(&self, factors: &mut LuFactors) -> Result<(), LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        factors.n = n;
+        factors.lu.clear();
+        factors.lu.extend_from_slice(&self.data);
+        factors.perm.clear();
+        factors.perm.extend(0..n);
+        factorize(n, &mut factors.lu, &mut factors.perm)
     }
 
     /// Solves `A·x = b` through LU decomposition.
@@ -212,8 +225,47 @@ impl Matrix {
     /// Propagates [`LinalgError`] from factoring, and returns
     /// [`LinalgError::DimensionMismatch`] when `b.len() != rows`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        self.lu()?.solve(b)
+        let factors = self.lu()?;
+        let mut x = vec![0.0; self.rows];
+        factors.solve_into(b, &mut x)?;
+        Ok(x)
     }
+}
+
+/// In-place LU elimination with partial pivoting over a row-major
+/// `n × n` buffer; shared by [`Matrix::lu`] and [`Matrix::lu_into`].
+fn factorize(n: usize, lu: &mut [f64], perm: &mut [usize]) -> Result<(), LinalgError> {
+    for k in 0..n {
+        // Find pivot.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[k * n + k].abs();
+        for r in (k + 1)..n {
+            let v = lu[r * n + k].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                lu.swap(k * n + c, pivot_row * n + c);
+            }
+            perm.swap(k, pivot_row);
+        }
+        // Eliminate below the pivot.
+        let pivot = lu[k * n + k];
+        for r in (k + 1)..n {
+            let factor = lu[r * n + k] / pivot;
+            lu[r * n + k] = factor;
+            for c in (k + 1)..n {
+                lu[r * n + c] -= factor * lu[k * n + c];
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The result of LU-factoring a square matrix; reusable across multiple
@@ -226,6 +278,13 @@ pub struct LuFactors {
 }
 
 impl LuFactors {
+    /// The dimension of the factored system.
+    #[inline]
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
     /// Solves `A·x = b` using the stored factors.
     ///
     /// # Errors
@@ -233,26 +292,45 @@ impl LuFactors {
     /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs
     /// from the factored dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if b.len() != self.n {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer — the
+    /// allocation-free variant: a cached factorization plus this call is
+    /// a single O(n²) back-substitution per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` or
+    /// `x.len()` differs from the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(LinalgError::DimensionMismatch);
         }
         let n = self.n;
         // Apply permutation: y = P·b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution with unit-diagonal L.
+        for (xr, &p) in x.iter_mut().zip(&self.perm) {
+            *xr = b[p];
+        }
+        // Forward substitution with unit-diagonal L. Row dot products
+        // over slices let the compiler elide bounds checks and
+        // vectorize.
         for r in 1..n {
-            for c in 0..r {
-                x[r] -= self.lu[r * n + c] * x[c];
-            }
+            let row = &self.lu[r * n..r * n + r];
+            let (solved, rest) = x.split_at_mut(r);
+            let dot: f64 = row.iter().zip(solved.iter()).map(|(l, v)| l * v).sum();
+            rest[0] -= dot;
         }
         // Back substitution with U.
         for r in (0..n).rev() {
-            for c in (r + 1)..n {
-                x[r] -= self.lu[r * n + c] * x[c];
-            }
-            x[r] /= self.lu[r * n + r];
+            let row = &self.lu[r * n + r + 1..(r + 1) * n];
+            let (head, solved) = x.split_at_mut(r + 1);
+            let dot: f64 = row.iter().zip(solved.iter()).map(|(u, v)| u * v).sum();
+            head[r] = (head[r] - dot) / self.lu[r * n + r];
         }
-        Ok(x)
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Thermal network construction and state.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
 
 use crate::convection::ConvectionModel;
@@ -67,6 +69,19 @@ struct Channel {
     #[allow(dead_code)] // retained for diagnostics / future reporting
     name: String,
     flow: f64, // m³/s
+}
+
+/// Process-wide generation source for cache invalidation.
+///
+/// Every mutation of any network draws a fresh value, so two networks
+/// (e.g. a network and its clone, mutated independently) can never
+/// reuse the same generation number — a [`TransientSolver`]
+/// (crate::TransientSolver) keyed on stale generations therefore cannot
+/// collide with a different input set.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Incrementally builds a [`ThermalNetwork`].
@@ -251,6 +266,10 @@ impl ThermalNetworkBuilder {
             channels: self.channels,
             powers,
             slot_to_node,
+            flow_gen: next_generation(),
+            power_gen: next_generation(),
+            boundary_gen: next_generation(),
+            topology_id: next_generation(),
         })
     }
 }
@@ -301,6 +320,16 @@ pub struct ThermalNetwork {
     channels: Vec<Channel>,
     powers: Vec<f64>,
     slot_to_node: Vec<usize>,
+    // Cache-invalidation generations (see `GENERATION`): bumped only
+    // when the corresponding input actually changes value, so constant
+    // stretches keep cached assemblies and factorizations alive.
+    flow_gen: u64,
+    power_gen: u64,
+    boundary_gen: u64,
+    // Structural identity: assigned once at build, shared by clones
+    // (their topology is identical), never bumped — lets a solver
+    // reject networks it was not built for.
+    topology_id: u64,
 }
 
 impl ThermalNetwork {
@@ -352,7 +381,11 @@ impl ThermalNetwork {
                 what: "cannot inject power into a boundary node",
             });
         }
-        self.powers[node.0] = power.value();
+        let value = power.value();
+        if self.powers[node.0].to_bits() != value.to_bits() {
+            self.powers[node.0] = value;
+            self.power_gen = next_generation();
+        }
         Ok(())
     }
 
@@ -385,7 +418,11 @@ impl ThermalNetwork {
             .ok_or(ThermalError::UnknownNode { index: node.0 })?;
         match &mut data.kind {
             NodeKind::Boundary { temp: t } => {
-                *t = temp.degrees();
+                let value = temp.degrees();
+                if t.to_bits() != value.to_bits() {
+                    *t = value;
+                    self.boundary_gen = next_generation();
+                }
                 Ok(())
             }
             NodeKind::Capacitive { .. } => Err(ThermalError::InvalidCoupling {
@@ -405,7 +442,11 @@ impl ThermalNetwork {
             .channels
             .get_mut(channel.0)
             .ok_or(ThermalError::UnknownChannel { index: channel.0 })?;
-        ch.flow = flow.value().max(0.0);
+        let value = flow.value().max(0.0);
+        if ch.flow.to_bits() != value.to_bits() {
+            ch.flow = value;
+            self.flow_gen = next_generation();
+        }
         Ok(())
     }
 
@@ -456,21 +497,62 @@ impl ThermalNetwork {
         }
     }
 
-    /// Assembles the linear system `C·dT/dt = −G·T + s` for the current
-    /// inputs. Returns `(G, s, c)` with `c` the per-slot capacitances.
-    pub(crate) fn assemble(&self) -> (Matrix, Vec<f64>, Vec<f64>) {
-        let n = self.slot_to_node.len();
-        let mut g_mat = Matrix::zeros(n, n);
-        let mut s = vec![0.0; n];
-        let mut c = vec![0.0; n];
+    /// Structural identity assigned at build; clones share it, separate
+    /// builds never do.
+    pub(crate) fn topology_id(&self) -> u64 {
+        self.topology_id
+    }
 
-        for (&node_idx, slot) in self.slot_to_node.iter().zip(0..) {
+    /// Generation of the last real flow change (conductance matrix `G`
+    /// and the boundary source both depend on flows).
+    pub(crate) fn flow_generation(&self) -> u64 {
+        self.flow_gen
+    }
+
+    /// Generation of the last real power change (affects the source
+    /// vector only).
+    pub(crate) fn power_generation(&self) -> u64 {
+        self.power_gen
+    }
+
+    /// Generation of the last real boundary-temperature change (affects
+    /// the source vector only).
+    pub(crate) fn boundary_generation(&self) -> u64 {
+        self.boundary_gen
+    }
+
+    /// Writes the per-slot capacitances into `c` (fixed after build).
+    pub(crate) fn capacitances_into(&self, c: &mut [f64]) {
+        for (&node_idx, cs) in self.slot_to_node.iter().zip(c.iter_mut()) {
             if let NodeKind::Capacitive { capacitance, .. } = self.nodes[node_idx].kind {
-                c[slot] = capacitance;
+                *cs = capacitance;
             }
-            s[slot] += self.powers[node_idx];
         }
+    }
 
+    /// Writes the power-injection part of the source vector into
+    /// `s_power` (invalidated by [`Self::set_power`]).
+    pub(crate) fn assemble_power_into(&self, s_power: &mut [f64]) {
+        for (&node_idx, sp) in self.slot_to_node.iter().zip(s_power.iter_mut()) {
+            *sp = self.powers[node_idx];
+        }
+    }
+
+    /// Writes the flow-dependent conductance matrix `G` and the
+    /// boundary-coupling part of the source vector into the given
+    /// buffers (invalidated by [`Self::set_flow`] and
+    /// [`Self::set_boundary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffers are not sized `state_count()`.
+    pub(crate) fn assemble_conductance_into(&self, g_mat: &mut Matrix, s_bound: &mut [f64]) {
+        assert!(
+            g_mat.rows() == s_bound.len() && g_mat.cols() == s_bound.len(),
+            "assembly buffers must match the network dimension"
+        );
+        g_mat.fill(0.0);
+        s_bound.fill(0.0);
         for edge in &self.edges {
             let g = self.edge_conductance(edge);
             if g <= 0.0 {
@@ -489,11 +571,59 @@ impl ThermalNetwork {
                             g_mat.add_to(rs, os, -g);
                         }
                         NodeKind::Boundary { temp } => {
-                            s[rs] += g * temp;
+                            s_bound[rs] += g * temp;
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Per-slot capacitive neighbour lists (sorted, deduplicated): the
+    /// structural sparsity of `G`'s off-diagonal, fixed at build time.
+    /// Lets integrators skip structurally-zero couplings instead of
+    /// scanning dense rows.
+    pub(crate) fn slot_adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.slot_to_node.len();
+        let mut nbrs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for edge in &self.edges {
+            let ends = [(edge.a, edge.b), (edge.b, edge.a)];
+            let orientations: &[(usize, usize)] =
+                if edge.directed { &ends[1..] } else { &ends[..] };
+            for &(receiver, other) in orientations {
+                if let (
+                    NodeKind::Capacitive { slot: rs, .. },
+                    NodeKind::Capacitive { slot: os, .. },
+                ) = (&self.nodes[receiver].kind, &self.nodes[other].kind)
+                {
+                    nbrs[*rs].push(*os);
+                }
+            }
+        }
+        for row in &mut nbrs {
+            row.sort_unstable();
+            row.dedup();
+        }
+        nbrs
+    }
+
+    /// Assembles the linear system `C·dT/dt = −G·T + s` for the current
+    /// inputs. Returns `(G, s, c)` with `c` the per-slot capacitances.
+    ///
+    /// One-shot allocating variant kept for direct solves
+    /// ([`Self::steady_state`]); the stepping hot path caches the split
+    /// pieces in a [`TransientSolver`](crate::TransientSolver) instead.
+    pub(crate) fn assemble(&self) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let n = self.slot_to_node.len();
+        let mut g_mat = Matrix::zeros(n, n);
+        let mut s = vec![0.0; n];
+        let mut s_bound = vec![0.0; n];
+        let mut c = vec![0.0; n];
+        self.capacitances_into(&mut c);
+        self.assemble_power_into(&mut s);
+        self.assemble_conductance_into(&mut g_mat, &mut s_bound);
+        for (si, sb) in s.iter_mut().zip(&s_bound) {
+            *si += *sb;
         }
         (g_mat, s, c)
     }

@@ -3,8 +3,8 @@
 use leakctl_units::SimDuration;
 
 use crate::error::ThermalError;
-use crate::linalg::Matrix;
 use crate::network::{ThermalNetwork, ThermalState};
+use crate::stepper::TransientSolver;
 
 /// Time-integration method for [`ThermalNetwork::step`].
 ///
@@ -37,6 +37,11 @@ impl ThermalNetwork {
     /// Advances `state` by `dt` with the chosen integrator, holding
     /// powers, boundary temperatures and flows constant over the step.
     ///
+    /// Thin wrapper over [`TransientSolver`] that builds a throwaway
+    /// solver per call — convenient for one-off steps. Long transients
+    /// should hold a [`TransientSolver`] instead so assembly and LU
+    /// factorizations are cached across steps.
+    ///
     /// # Errors
     ///
     /// Returns [`ThermalError::Diverged`] when the step produced a
@@ -49,90 +54,15 @@ impl ThermalNetwork {
         dt: SimDuration,
         method: Integrator,
     ) -> Result<(), ThermalError> {
-        if dt.is_zero() {
-            return Ok(());
-        }
-        let (g_mat, s, c) = self.assemble();
-        let h = dt.as_secs_f64();
-        match method {
-            Integrator::ForwardEuler => {
-                let dtemp = derivative(&g_mat, &s, &c, &state.temps);
-                for (t, d) in state.temps.iter_mut().zip(&dtemp) {
-                    *t += h * d;
-                }
-            }
-            Integrator::Rk4 => {
-                let n = state.temps.len();
-                let k1 = derivative(&g_mat, &s, &c, &state.temps);
-                let mut tmp = vec![0.0; n];
-                for i in 0..n {
-                    tmp[i] = state.temps[i] + 0.5 * h * k1[i];
-                }
-                let k2 = derivative(&g_mat, &s, &c, &tmp);
-                for i in 0..n {
-                    tmp[i] = state.temps[i] + 0.5 * h * k2[i];
-                }
-                let k3 = derivative(&g_mat, &s, &c, &tmp);
-                for i in 0..n {
-                    tmp[i] = state.temps[i] + h * k3[i];
-                }
-                let k4 = derivative(&g_mat, &s, &c, &tmp);
-                for i in 0..n {
-                    state.temps[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-                }
-            }
-            Integrator::ExponentialEuler => {
-                let n = state.temps.len();
-                let mut next = vec![0.0; n];
-                for i in 0..n {
-                    let a = g_mat.get(i, i) / c[i];
-                    // Off-diagonal inflow frozen at start-of-step values.
-                    let mut inflow = s[i];
-                    for j in 0..n {
-                        if j != i {
-                            inflow -= g_mat.get(i, j) * state.temps[j];
-                        }
-                    }
-                    let r = inflow / c[i];
-                    next[i] = if a.abs() < 1e-300 {
-                        state.temps[i] + r * h
-                    } else {
-                        let t_inf = r / a;
-                        t_inf + (state.temps[i] - t_inf) * (-a * h).exp()
-                    };
-                }
-                state.temps = next;
-            }
-            Integrator::BackwardEuler => {
-                // (C + h·G)·T' = C·T + h·s
-                let n = state.temps.len();
-                let mut m = Matrix::zeros(n, n);
-                let mut rhs = vec![0.0; n];
-                for i in 0..n {
-                    for j in 0..n {
-                        let mut v = h * g_mat.get(i, j);
-                        if i == j {
-                            v += c[i];
-                        }
-                        m.set(i, j, v);
-                    }
-                    rhs[i] = c[i] * state.temps[i] + h * s[i];
-                }
-                state.temps = m.solve(&rhs).map_err(|_| ThermalError::SingularSystem)?;
-            }
-        }
-        if let Some(bad) = state.temps.iter().position(|t| !t.is_finite()) {
-            return Err(ThermalError::Diverged {
-                name: self.slot_name(bad).to_owned(),
-            });
-        }
-        Ok(())
+        TransientSolver::new(self).step(self, state, dt, method)
     }
 
     /// Advances `state` by `total`, internally substepping at `max_dt`.
     ///
     /// Convenience wrapper used by characterization sweeps where inputs
-    /// are constant for long stretches.
+    /// are constant for long stretches; one [`TransientSolver`] backs
+    /// the whole run, so every substep after the first reuses the
+    /// cached factorization.
     ///
     /// # Errors
     ///
@@ -144,27 +74,8 @@ impl ThermalNetwork {
         max_dt: SimDuration,
         method: Integrator,
     ) -> Result<(), ThermalError> {
-        assert!(!max_dt.is_zero(), "max_dt must be non-zero");
-        let mut remaining = total;
-        while !remaining.is_zero() {
-            let dt = remaining.min(max_dt);
-            self.step(state, dt, method)?;
-            remaining = remaining.saturating_sub(dt);
-        }
-        Ok(())
+        TransientSolver::new(self).run(self, state, total, max_dt, method)
     }
-}
-
-/// `dT/dt = C⁻¹·(s − G·T)`.
-fn derivative(g_mat: &Matrix, s: &[f64], c: &[f64], temps: &[f64]) -> Vec<f64> {
-    let gt = g_mat
-        .mul_vec(temps)
-        .expect("assemble produces consistent dimensions");
-    s.iter()
-        .zip(&gt)
-        .zip(c)
-        .map(|((si, gti), ci)| (si - gti) / ci)
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,561 @@
+//! Zero-allocation transient stepping engine.
+//!
+//! The stateless [`ThermalNetwork::step`] reassembles the linear system
+//! and (for the implicit method) runs a full O(n³) LU factorization on
+//! every call. Long transient integrations — the paper's 80-minute runs
+//! at 1-second steps, and the dense characterization sweeps behind the
+//! LUT — spend almost all of their time in stretches where *nothing*
+//! about the system changes: fans hold a constant flow, powers update
+//! but only move the source vector, and the step size is fixed.
+//!
+//! [`TransientSolver`] exploits that structure. It owns preallocated
+//! workspace buffers and three caches keyed on the network's
+//! cache-invalidation generations (bumped by
+//! [`ThermalNetwork::set_flow`] / [`ThermalNetwork::set_power`] /
+//! [`ThermalNetwork::set_boundary`] only when a value actually
+//! changes):
+//!
+//! 1. the flow-dependent conductance matrix `G` plus the
+//!    boundary-coupling source, invalidated by flow or boundary
+//!    changes;
+//! 2. the power-injection source vector, invalidated by power changes;
+//! 3. the LU factorization of `(C + h·G)`, keyed on `(h, flow)` — the
+//!    common constant-fan/constant-dt stretches pay only an O(n²)
+//!    back-substitution per step, with zero heap allocation.
+//!
+//! The stateless `step()`/`run()` API remains available as a thin
+//! wrapper that builds a throwaway solver, so one code path produces
+//! both answers.
+
+use leakctl_units::SimDuration;
+
+use crate::error::ThermalError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::network::{ThermalNetwork, ThermalState};
+use crate::solver::Integrator;
+
+/// Reusable stepping engine bound to one [`ThermalNetwork`]'s topology.
+///
+/// Create it once per network with [`TransientSolver::new`] and drive
+/// every step of a transient through it. The solver may be used with
+/// the network it was built from *or any clone of it* — caches key on
+/// globally unique generation numbers, so switching between clones is
+/// always correct (at worst it costs a re-assembly).
+///
+/// # Example
+///
+/// ```
+/// use leakctl_thermal::{
+///     Coupling, Integrator, ThermalNetworkBuilder, TransientSolver,
+/// };
+/// use leakctl_units::{
+///     Celsius, SimDuration, ThermalCapacitance, ThermalConductance, Watts,
+/// };
+///
+/// # fn main() -> Result<(), leakctl_thermal::ThermalError> {
+/// let mut b = ThermalNetworkBuilder::new();
+/// let die = b.add_node("die", ThermalCapacitance::new(120.0));
+/// let ambient = b.add_boundary("ambient", Celsius::new(24.0));
+/// b.connect(die, ambient, Coupling::Conductance(ThermalConductance::new(2.0)));
+/// let mut net = b.build()?;
+/// net.set_power(die, Watts::new(100.0))?;
+///
+/// let mut solver = TransientSolver::new(&net);
+/// let mut state = net.uniform_state(Celsius::new(24.0));
+/// for _ in 0..600 {
+///     // After the first step this is allocation-free: cached assembly
+///     // plus one back-substitution.
+///     solver.step(&net, &mut state, SimDuration::from_secs(1), Integrator::BackwardEuler)?;
+/// }
+/// assert!((net.temperature(&state, die).degrees() - 74.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSolver {
+    n: usize,
+    /// Structural identity of the network this solver was built for
+    /// (shared by clones); guards the fixed sparsity/capacitance data.
+    topology_id: u64,
+    // ---- cached assembly -------------------------------------------
+    g: Matrix,
+    s_bound: Vec<f64>,
+    s_power: Vec<f64>,
+    /// Combined source `s = s_power + s_bound`, refreshed when either
+    /// part goes stale.
+    s: Vec<f64>,
+    c: Vec<f64>,
+    cond_key: Option<(u64, u64)>,
+    power_key: Option<u64>,
+    // ---- cached factorizations -------------------------------------
+    /// Backward-Euler system `(C + h·G)` build workspace.
+    be_m: Matrix,
+    be_lu: Option<LuFactors>,
+    be_key: Option<(u64, u64)>,
+    /// Steady-state factorization of `G` itself.
+    ss_lu: Option<LuFactors>,
+    ss_key: Option<u64>,
+    // ---- structural sparsity (fixed at build) ----------------------
+    nbr_offsets: Vec<usize>,
+    nbr_cols: Vec<usize>,
+    // ---- step workspaces -------------------------------------------
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    gt: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl TransientSolver {
+    /// Builds a solver sized for `net`, with all caches cold.
+    #[must_use]
+    pub fn new(net: &ThermalNetwork) -> Self {
+        let n = net.state_count();
+        let mut c = vec![0.0; n];
+        net.capacitances_into(&mut c);
+        let nbrs = net.slot_adjacency();
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        let mut nbr_cols = Vec::new();
+        nbr_offsets.push(0);
+        for row in &nbrs {
+            nbr_cols.extend_from_slice(row);
+            nbr_offsets.push(nbr_cols.len());
+        }
+        Self {
+            n,
+            topology_id: net.topology_id(),
+            g: Matrix::zeros(n, n),
+            s_bound: vec![0.0; n],
+            s_power: vec![0.0; n],
+            s: vec![0.0; n],
+            c,
+            cond_key: None,
+            power_key: None,
+            be_m: Matrix::zeros(n, n),
+            be_lu: None,
+            be_key: None,
+            ss_lu: None,
+            ss_key: None,
+            nbr_offsets,
+            nbr_cols,
+            rhs: vec![0.0; n],
+            x: vec![0.0; n],
+            gt: vec![0.0; n],
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            tmp: vec![0.0; n],
+        }
+    }
+
+    /// Panics unless `net` is the network this solver was built for (or
+    /// a clone of it). The fixed per-solver data — capacitances and the
+    /// structural sparsity used by the exponential integrator — is only
+    /// valid for that topology, so a structurally different network of
+    /// the same dimension must be rejected rather than silently
+    /// mis-stepped.
+    fn check_topology(&self, net: &ThermalNetwork) {
+        assert_eq!(
+            net.topology_id(),
+            self.topology_id,
+            "network is not the one this solver was built for"
+        );
+    }
+
+    /// Brings the assembled `(G, s, c)` caches up to date with `net`'s
+    /// current generations.
+    fn refresh(&mut self, net: &ThermalNetwork) {
+        let cond_key = (net.flow_generation(), net.boundary_generation());
+        let mut source_stale = false;
+        if self.cond_key != Some(cond_key) {
+            net.assemble_conductance_into(&mut self.g, &mut self.s_bound);
+            self.cond_key = Some(cond_key);
+            source_stale = true;
+        }
+        let power_key = net.power_generation();
+        if self.power_key != Some(power_key) {
+            net.assemble_power_into(&mut self.s_power);
+            self.power_key = Some(power_key);
+            source_stale = true;
+        }
+        if source_stale {
+            for i in 0..self.n {
+                self.s[i] = self.s_power[i] + self.s_bound[i];
+            }
+        }
+    }
+
+    /// Advances `state` by `dt` with the chosen integrator, holding
+    /// powers, boundary temperatures and flows constant over the step.
+    ///
+    /// Identical semantics to [`ThermalNetwork::step`]; after warm-up
+    /// the call is allocation-free, and with unchanged `(dt, flows)`
+    /// the implicit method reuses the cached LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Diverged`] when the step produced a
+    /// non-finite temperature (explicit method with too large a step)
+    /// and [`ThermalError::SingularSystem`] when the implicit solve
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `net` is not the network this solver was built for
+    /// (or a clone of it), or when `state` does not match its
+    /// dimension.
+    pub fn step(
+        &mut self,
+        net: &ThermalNetwork,
+        state: &mut ThermalState,
+        dt: SimDuration,
+        method: Integrator,
+    ) -> Result<(), ThermalError> {
+        if dt.is_zero() {
+            return Ok(());
+        }
+        let n = self.n;
+        self.check_topology(net);
+        assert_eq!(
+            state.temps.len(),
+            n,
+            "state does not match the solver's dimension"
+        );
+        self.refresh(net);
+        let h = dt.as_secs_f64();
+        match method {
+            Integrator::ForwardEuler => {
+                derivative_into(&self.g, &self.s, &self.c, &state.temps, &mut self.gt);
+                for (t, d) in state.temps.iter_mut().zip(&self.gt) {
+                    *t += h * d;
+                }
+            }
+            Integrator::Rk4 => {
+                derivative_into(&self.g, &self.s, &self.c, &state.temps, &mut self.k1);
+                for i in 0..n {
+                    self.tmp[i] = state.temps[i] + 0.5 * h * self.k1[i];
+                }
+                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.k2);
+                for i in 0..n {
+                    self.tmp[i] = state.temps[i] + 0.5 * h * self.k2[i];
+                }
+                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.k3);
+                for i in 0..n {
+                    self.tmp[i] = state.temps[i] + h * self.k3[i];
+                }
+                // k4 lands in `x`, reusing the solve workspace.
+                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.x);
+                for i in 0..n {
+                    state.temps[i] +=
+                        h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.x[i]);
+                }
+            }
+            Integrator::ExponentialEuler => {
+                for i in 0..n {
+                    let a = self.g.get(i, i) / self.c[i];
+                    // Off-diagonal inflow frozen at start-of-step
+                    // values; only structurally coupled slots
+                    // contribute, so the scan is sparse.
+                    let mut inflow = self.s[i];
+                    for &j in &self.nbr_cols[self.nbr_offsets[i]..self.nbr_offsets[i + 1]] {
+                        inflow -= self.g.get(i, j) * state.temps[j];
+                    }
+                    let r = inflow / self.c[i];
+                    self.x[i] = if a.abs() < 1e-300 {
+                        state.temps[i] + r * h
+                    } else {
+                        let t_inf = r / a;
+                        t_inf + (state.temps[i] - t_inf) * (-a * h).exp()
+                    };
+                }
+                std::mem::swap(&mut state.temps, &mut self.x);
+            }
+            Integrator::BackwardEuler => {
+                // (C + h·G)·T' = C·T + h·s
+                let key = (h.to_bits(), net.flow_generation());
+                if self.be_key != Some(key) {
+                    for r in 0..n {
+                        for col in 0..n {
+                            let mut v = h * self.g.get(r, col);
+                            if r == col {
+                                v += self.c[r];
+                            }
+                            self.be_m.set(r, col, v);
+                        }
+                    }
+                    let factored = if let Some(factors) = self.be_lu.as_mut() {
+                        self.be_m.lu_into(factors)
+                    } else {
+                        self.be_m.lu().map(|factors| {
+                            self.be_lu = Some(factors);
+                        })
+                    };
+                    if factored.is_err() {
+                        self.be_key = None;
+                        self.be_lu = None;
+                        return Err(ThermalError::SingularSystem);
+                    }
+                    self.be_key = Some(key);
+                }
+                let factors = self.be_lu.as_ref().expect("factorization cached above");
+                for (((rhs, &ci), &ti), &si) in self
+                    .rhs
+                    .iter_mut()
+                    .zip(&self.c)
+                    .zip(&state.temps)
+                    .zip(&self.s)
+                {
+                    *rhs = ci * ti + h * si;
+                }
+                factors
+                    .solve_into(&self.rhs, &mut self.x)
+                    .map_err(|_| ThermalError::SingularSystem)?;
+                std::mem::swap(&mut state.temps, &mut self.x);
+            }
+        }
+        if let Some(bad) = state.temps.iter().position(|t| !t.is_finite()) {
+            return Err(ThermalError::Diverged {
+                name: net.slot_name(bad).to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Advances `state` by `total`, internally substepping at `max_dt`
+    /// — the cached counterpart of [`ThermalNetwork::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`TransientSolver::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_dt` is zero.
+    pub fn run(
+        &mut self,
+        net: &ThermalNetwork,
+        state: &mut ThermalState,
+        total: SimDuration,
+        max_dt: SimDuration,
+        method: Integrator,
+    ) -> Result<(), ThermalError> {
+        assert!(!max_dt.is_zero(), "max_dt must be non-zero");
+        let mut remaining = total;
+        while !remaining.is_zero() {
+            let dt = remaining.min(max_dt);
+            self.step(net, state, dt, method)?;
+            remaining = remaining.saturating_sub(dt);
+        }
+        Ok(())
+    }
+
+    /// Directly solves for the steady-state temperatures under `net`'s
+    /// current inputs, writing into `state` — the cached counterpart of
+    /// [`ThermalNetwork::steady_state`]. `G`'s factorization is reused
+    /// while flows stay constant, so fixed-point iterations that only
+    /// move powers (e.g. the leakage–temperature loop) pay one O(n²)
+    /// back-substitution per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] when some capacitive
+    /// node has no path to a boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `net` is not the network this solver was built for
+    /// (or a clone of it), or when `state` does not match its
+    /// dimension.
+    pub fn steady_state_into(
+        &mut self,
+        net: &ThermalNetwork,
+        state: &mut ThermalState,
+    ) -> Result<(), ThermalError> {
+        self.check_topology(net);
+        assert_eq!(
+            state.temps.len(),
+            self.n,
+            "state does not match the solver's dimension"
+        );
+        self.refresh(net);
+        let key = net.flow_generation();
+        if self.ss_key != Some(key) {
+            let factored = if let Some(factors) = self.ss_lu.as_mut() {
+                self.g.lu_into(factors)
+            } else {
+                self.g.lu().map(|factors| {
+                    self.ss_lu = Some(factors);
+                })
+            };
+            if factored.is_err() {
+                self.ss_key = None;
+                self.ss_lu = None;
+                return Err(ThermalError::SingularSystem);
+            }
+            self.ss_key = Some(key);
+        }
+        self.ss_lu
+            .as_ref()
+            .expect("factorization cached above")
+            .solve_into(&self.s, &mut state.temps)
+            .map_err(|_| ThermalError::SingularSystem)
+    }
+}
+
+/// `dT/dt = C⁻¹·(s − G·T)`, written into `out` without allocating.
+fn derivative_into(g_mat: &Matrix, s: &[f64], c: &[f64], temps: &[f64], out: &mut [f64]) {
+    g_mat
+        .mul_vec_into(temps, out)
+        .expect("assemble produces consistent dimensions");
+    for i in 0..out.len() {
+        out[i] = (s[i] - out[i]) / c[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Coupling, ThermalNetworkBuilder};
+    use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
+
+    fn two_node() -> (ThermalNetwork, crate::NodeId, crate::FlowChannelId) {
+        let mut b = ThermalNetworkBuilder::new();
+        let die = b.add_node("die", ThermalCapacitance::new(100.0));
+        let sink = b.add_node("sink", ThermalCapacitance::new(500.0));
+        let amb = b.add_boundary("amb", Celsius::new(24.0));
+        b.connect(
+            die,
+            sink,
+            Coupling::Conductance(ThermalConductance::new(4.0)),
+        )
+        .unwrap();
+        let ch = b.add_flow_channel("duct");
+        let model = crate::ConvectionModel::turbulent(
+            ThermalConductance::new(3.0),
+            AirFlow::from_cfm(300.0),
+        );
+        b.connect(sink, amb, Coupling::Convective { channel: ch, model })
+            .unwrap();
+        let mut net = b.build().unwrap();
+        net.set_flow(ch, AirFlow::from_cfm(200.0)).unwrap();
+        net.set_power(die, Watts::new(60.0)).unwrap();
+        (net, die, ch)
+    }
+
+    #[test]
+    fn cached_trajectory_matches_stateless_wrapper() {
+        for method in [
+            Integrator::ForwardEuler,
+            Integrator::Rk4,
+            Integrator::ExponentialEuler,
+            Integrator::BackwardEuler,
+        ] {
+            let (mut net, die, ch) = two_node();
+            let mut solver = TransientSolver::new(&net);
+            let mut cached = net.uniform_state(Celsius::new(24.0));
+            let mut stateless = net.uniform_state(Celsius::new(24.0));
+            let dt = SimDuration::from_millis(500);
+            for step in 0..400 {
+                // Exercise every invalidation path mid-run.
+                if step == 100 {
+                    net.set_flow(ch, AirFlow::from_cfm(500.0)).unwrap();
+                }
+                if step == 200 {
+                    net.set_power(die, Watts::new(120.0)).unwrap();
+                }
+                solver.step(&net, &mut cached, dt, method).unwrap();
+                net.step(&mut stateless, dt, method).unwrap();
+            }
+            for (a, b) in cached.temps.iter().zip(&stateless.temps) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{method:?}: cached {a} vs stateless {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_into_matches_direct_solve() {
+        let (net, die, _) = two_node();
+        let mut solver = TransientSolver::new(&net);
+        let mut state = net.uniform_state(Celsius::new(0.0));
+        solver.steady_state_into(&net, &mut state).unwrap();
+        let direct = net.steady_state().unwrap();
+        assert!(
+            (net.temperature(&state, die).degrees() - net.temperature(&direct, die).degrees())
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn steady_state_reuses_factorization_across_power_changes() {
+        let (mut net, die, _) = two_node();
+        let mut solver = TransientSolver::new(&net);
+        let mut state = net.uniform_state(Celsius::new(0.0));
+        solver.steady_state_into(&net, &mut state).unwrap();
+        let t1 = net.temperature(&state, die).degrees();
+        net.set_power(die, Watts::new(120.0)).unwrap();
+        solver.steady_state_into(&net, &mut state).unwrap();
+        let t2 = net.temperature(&state, die).degrees();
+        // Linear network: doubling power doubles the rise.
+        assert!(((t2 - 24.0) - 2.0 * (t1 - 24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_network_reported_and_recoverable() {
+        let mut b = ThermalNetworkBuilder::new();
+        b.add_node("floating", ThermalCapacitance::new(1.0));
+        let net = b.build().unwrap();
+        let mut solver = TransientSolver::new(&net);
+        let mut state = net.uniform_state(Celsius::new(24.0));
+        assert!(matches!(
+            solver.steady_state_into(&net, &mut state),
+            Err(ThermalError::SingularSystem)
+        ));
+        // Backward Euler stays solvable: (C + h·G) = C is regular.
+        solver
+            .step(
+                &net,
+                &mut state,
+                SimDuration::from_secs(1),
+                Integrator::BackwardEuler,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn works_against_a_clone_with_diverged_inputs() {
+        let (net, die, _) = two_node();
+        let mut clone = net.clone();
+        clone.set_power(die, Watts::new(200.0)).unwrap();
+        let mut solver = TransientSolver::new(&net);
+        let dt = SimDuration::from_secs(1);
+        let mut a = net.uniform_state(Celsius::new(24.0));
+        let mut b = clone.uniform_state(Celsius::new(24.0));
+        // Alternate between the original and the mutated clone; caches
+        // must track whichever network each call sees.
+        for _ in 0..50 {
+            solver
+                .step(&net, &mut a, dt, Integrator::BackwardEuler)
+                .unwrap();
+            solver
+                .step(&clone, &mut b, dt, Integrator::BackwardEuler)
+                .unwrap();
+        }
+        let mut fresh = net.uniform_state(Celsius::new(24.0));
+        for _ in 0..50 {
+            net.step(&mut fresh, dt, Integrator::BackwardEuler).unwrap();
+        }
+        for (x, y) in a.temps.iter().zip(&fresh.temps) {
+            assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0));
+        }
+        assert!(
+            b.temps[0] > a.temps[0] + 1.0,
+            "clone at higher power must run hotter"
+        );
+    }
+}
