@@ -1,9 +1,10 @@
 //! Perf report: machine-readable steps-per-second measurements for the
 //! transient-stepping hot path, emitted as JSON (`BENCH_perf.json`).
 //!
-//! This is the repo's perf trajectory: CI runs it on every PR and
-//! uploads the JSON as an artifact, so wall-clock regressions (or wins)
-//! in the stepping engine show up as a per-PR series. The energy
+//! This is the repo's perf trajectory: CI runs it on every PR (followed
+//! by `repro-rack`, which merges the rack-scale batching measurements
+//! into the same file), uploads the JSON as an artifact, and gates the
+//! job with `repro-perf-diff` against the previous artifact. The energy
 //! figures are included so a perf change that silently alters physics
 //! is caught by diffing consecutive reports.
 //!
@@ -11,28 +12,14 @@
 //! cargo run --release -p leakctl-bench --bin repro-perf [-- --quick] [--out PATH]
 //! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use leakctl::prelude::*;
 use leakctl::RunOptions;
+use leakctl_bench::perf::{best_of, render_json, PerfResult};
 use leakctl_bench::SteppingKernel;
 use leakctl_control::FixedSpeedController;
 use leakctl_workload::suite;
-
-/// One timed measurement destined for the JSON report.
-struct PerfResult {
-    name: &'static str,
-    steps: u64,
-    wall_s: f64,
-    extra: Vec<(&'static str, String)>,
-}
-
-impl PerfResult {
-    fn steps_per_sec(&self) -> f64 {
-        self.steps as f64 / self.wall_s.max(1e-12)
-    }
-}
 
 /// Steps/sec of the raw thermal-network stepping kernel at constant
 /// inputs (stateless `ThermalNetwork::step`, which reassembles and
@@ -149,46 +136,6 @@ fn bench_run80min(quick: bool) -> PerfResult {
             ),
         ],
     }
-}
-
-/// Runs a measurement `reps` times and keeps the fastest — wall-clock
-/// minima are far more stable than single shots on a shared machine.
-fn best_of(reps: u32, mut f: impl FnMut() -> PerfResult) -> PerfResult {
-    let mut best = f();
-    for _ in 1..reps {
-        let r = f();
-        if r.wall_s < best.wall_s {
-            best = r;
-        }
-    }
-    best
-}
-
-fn render_json(results: &[PerfResult], quick: bool) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"leakctl-perf/v1\",");
-    let _ = writeln!(out, "  \"quick\": {quick},");
-    out.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
-        let _ = writeln!(out, "      \"sim_steps\": {},", r.steps);
-        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
-        let _ = writeln!(out, "      \"steps_per_sec\": {:.1},", r.steps_per_sec());
-        for (k, v) in &r.extra {
-            let _ = writeln!(out, "      \"{k}\": {v},");
-        }
-        // Trailing-comma cleanup: drop the final ",\n" and re-terminate.
-        out.truncate(out.len() - 2);
-        out.push('\n');
-        out.push_str(if i + 1 == results.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
-    out
 }
 
 fn main() {

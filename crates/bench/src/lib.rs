@@ -58,26 +58,30 @@ fn pipeline(options: &CharacterizeOptions, seed: u64) -> Pipeline {
 /// with each other and with EXPERIMENTS.md.
 pub const REPRO_SEED: u64 = 42;
 
-/// A server-shaped thermal network (ambient boundary, shared DIMM air
-/// volume, two DIMM banks, three die→sink→air socket chains on one
-/// chassis flow channel) for stepping-kernel benchmarks that want the
-/// real topology without dragging in the whole platform.
+/// A server-shaped thermal network with a configurable socket count:
+/// ambient boundary, shared DIMM air volume, two DIMM banks, and
+/// `sockets` die→sink→air chains on one chassis flow channel.
 ///
-/// Returns the network, the first die node and the chassis flow
-/// channel.
+/// Returns the network, the die nodes (one per socket) and the chassis
+/// flow channel. Every call builds an identical structure, so the
+/// instances share a
+/// [`structure_hash`](leakctl_thermal::ThermalNetwork::structure_hash)
+/// and can be pooled in one [`BatchSolver`](leakctl_thermal::BatchSolver).
 ///
 /// # Panics
 ///
 /// Panics when construction fails — the topology is static and known
 /// to build.
 #[must_use]
-pub fn bench_network() -> (
+pub fn server_like_network(
+    sockets: usize,
+) -> (
     leakctl_thermal::ThermalNetwork,
-    leakctl_thermal::NodeId,
+    Vec<leakctl_thermal::NodeId>,
     leakctl_thermal::FlowChannelId,
 ) {
     use leakctl_thermal::{ConvectionModel, Coupling, ThermalNetworkBuilder};
-    use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
+    use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance};
 
     let mut b = ThermalNetworkBuilder::new();
     let ambient = b.add_boundary("ambient", Celsius::new(24.0));
@@ -115,8 +119,7 @@ pub fn bench_network() -> (
         )
         .expect("static edge");
     }
-    let sockets = 3;
-    let mut first_die = None;
+    let mut dies = Vec::with_capacity(sockets);
     for s in 0..sockets {
         let die = b.add_node(&format!("cpu{s}_die"), ThermalCapacitance::new(80.0));
         let sink = b.add_node(&format!("cpu{s}_sink"), ThermalCapacitance::new(400.0));
@@ -151,13 +154,122 @@ pub fn bench_network() -> (
             Coupling::Conductance(ThermalConductance::new(0.5)),
         )
         .expect("static edge");
-        first_die.get_or_insert(die);
+        dies.push(die);
     }
-    let mut net = b.build().expect("static network builds");
-    let die = first_die.expect("at least one socket");
+    let net = b.build().expect("static network builds");
+    (net, dies, flow)
+}
+
+/// The canonical 3-socket stepping-kernel network (see
+/// [`server_like_network`]), with 90 W on the first die.
+///
+/// Returns the network, the first die node and the chassis flow
+/// channel.
+///
+/// # Panics
+///
+/// Panics when construction fails — the topology is static and known
+/// to build.
+#[must_use]
+pub fn bench_network() -> (
+    leakctl_thermal::ThermalNetwork,
+    leakctl_thermal::NodeId,
+    leakctl_thermal::FlowChannelId,
+) {
+    use leakctl_units::Watts;
+    let (mut net, dies, flow) = server_like_network(3);
+    let die = dies[0];
     net.set_power(die, Watts::new(90.0))
         .expect("die accepts power");
     (net, die, flow)
+}
+
+/// A room-scale thermal network: `sections` server-like die→sink→air
+/// chains strung along one airflow path (each section's air volume is
+/// advectively fed by the previous one), all on a single flow channel —
+/// `3·sections + 1` capacitive nodes with sparse structure, the regime
+/// the CSR backend exists for.
+///
+/// Returns the network, the die nodes and the flow channel.
+///
+/// # Panics
+///
+/// Panics when construction fails — the topology is static and known
+/// to build.
+#[must_use]
+pub fn room_network(
+    sections: usize,
+) -> (
+    leakctl_thermal::ThermalNetwork,
+    Vec<leakctl_thermal::NodeId>,
+    leakctl_thermal::FlowChannelId,
+) {
+    use leakctl_thermal::{ConvectionModel, Coupling, ThermalNetworkBuilder};
+    use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance};
+
+    assert!(sections > 0, "room needs at least one section");
+    let mut b = ThermalNetworkBuilder::new();
+    let ambient = b.add_boundary("crah_supply", Celsius::new(18.0));
+    let flow = b.add_flow_channel("aisle");
+    let sink_conv =
+        ConvectionModel::turbulent(ThermalConductance::new(3.4), AirFlow::from_cfm(300.0));
+    let plenum = b.add_node("plenum", ThermalCapacitance::new(200.0));
+    b.connect_directed(
+        ambient,
+        plenum,
+        Coupling::Advective {
+            channel: flow,
+            fraction: 1.0,
+        },
+    )
+    .expect("static edge");
+    b.connect(
+        plenum,
+        ambient,
+        Coupling::Conductance(ThermalConductance::new(1.0)),
+    )
+    .expect("static edge");
+    let mut upstream = plenum;
+    let mut dies = Vec::with_capacity(sections);
+    for s in 0..sections {
+        let die = b.add_node(&format!("s{s}_die"), ThermalCapacitance::new(80.0));
+        let sink = b.add_node(&format!("s{s}_sink"), ThermalCapacitance::new(400.0));
+        let air = b.add_node(&format!("s{s}_air"), ThermalCapacitance::new(15.0));
+        b.connect(
+            die,
+            sink,
+            Coupling::Conductance(ThermalConductance::new(10.0)),
+        )
+        .expect("static edge");
+        b.connect(
+            sink,
+            air,
+            Coupling::Convective {
+                channel: flow,
+                model: sink_conv,
+            },
+        )
+        .expect("static edge");
+        b.connect_directed(
+            upstream,
+            air,
+            Coupling::Advective {
+                channel: flow,
+                fraction: 1.0,
+            },
+        )
+        .expect("static edge");
+        b.connect(
+            air,
+            ambient,
+            Coupling::Conductance(ThermalConductance::new(0.2)),
+        )
+        .expect("static edge");
+        dies.push(die);
+        upstream = air;
+    }
+    let net = b.build().expect("static network builds");
+    (net, dies, flow)
 }
 
 /// A ready-to-step instance of [`bench_network`] at the canonical
@@ -245,6 +357,278 @@ impl Default for SteppingKernel {
     }
 }
 
+/// A rack of identical server-topology thermal networks stepped
+/// through one shared-factorization [`BatchSolver`] — the measurement
+/// kernel behind the `rack_scale` criterion group and the `repro-rack`
+/// servers-stepped/sec report.
+///
+/// Each lane is a separately built 2-socket server network (matching
+/// the default `ServerConfig` topology: 9 capacitive nodes, one chassis
+/// flow channel) at the canonical 250 CFM operating point. Every step
+/// perturbs each lane's die powers — as a real fleet does through the
+/// leakage–temperature feedback — so the per-lane source refresh is
+/// included in the measurement, then advances all lanes by one
+/// backward-Euler second through the batch engine.
+#[derive(Debug)]
+pub struct RackKernel {
+    nets: Vec<leakctl_thermal::ThermalNetwork>,
+    packed: leakctl_thermal::PackedLanes,
+    dies: Vec<Vec<leakctl_thermal::NodeId>>,
+    solver: leakctl_thermal::BatchSolver,
+    tick: u64,
+}
+
+impl RackKernel {
+    /// Builds a kernel of `servers` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static topology, known to
+    /// build).
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        use leakctl_units::{AirFlow, Celsius, Watts};
+        let mut nets = Vec::with_capacity(servers);
+        let mut states = Vec::with_capacity(servers);
+        let mut dies = Vec::with_capacity(servers);
+        for lane in 0..servers {
+            let (mut net, lane_dies, flow) = server_like_network(2);
+            net.set_flow(flow, AirFlow::from_cfm(250.0)).expect("flow");
+            for (s, &die) in lane_dies.iter().enumerate() {
+                net.set_power(die, Watts::new(80.0 + lane as f64 * 0.1 + s as f64))
+                    .expect("power");
+            }
+            states.push(net.uniform_state(Celsius::new(24.0)));
+            dies.push(lane_dies);
+            nets.push(net);
+        }
+        let solver = leakctl_thermal::BatchSolver::new(&nets[0]);
+        let packed = leakctl_thermal::PackedLanes::pack(&states);
+        Self {
+            nets,
+            packed,
+            dies,
+            solver,
+            tick: 0,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Advances every lane by `steps` backward-Euler seconds through
+    /// the shared factorization with inputs held constant — the packed
+    /// fast path in its steady operating regime (the counterpart of the
+    /// `server_step_1s_constant` measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel networks are regular).
+    pub fn step_batched(&mut self, steps: u64) {
+        use leakctl_units::SimDuration;
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..steps {
+            self.solver
+                .step_packed(&self.nets, &mut self.packed, dt)
+                .expect("batch step succeeds");
+        }
+    }
+
+    /// As [`RackKernel::step_batched`], but every lane's die powers are
+    /// perturbed every step (as the leakage–temperature feedback does in
+    /// a live fleet), so per-lane source refresh is part of the
+    /// measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel networks are regular).
+    pub fn step_batched_dynamic(&mut self, steps: u64) {
+        use leakctl_units::{SimDuration, Watts};
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..steps {
+            self.tick += 1;
+            for (lane, (net, lane_dies)) in self.nets.iter_mut().zip(&self.dies).enumerate() {
+                for (s, &die) in lane_dies.iter().enumerate() {
+                    let wobble = ((self.tick * 7 + lane as u64 * 13 + s as u64) % 100) as f64;
+                    net.set_power(die, Watts::new(80.0 + 0.01 * wobble))
+                        .expect("power");
+                }
+            }
+            self.solver
+                .step_packed(&self.nets, &mut self.packed, dt)
+                .expect("batch step succeeds");
+        }
+    }
+
+    /// The hottest node temperature across all lanes (consume the
+    /// result so benchmark loops are not optimized away).
+    #[must_use]
+    pub fn max_temperature(&self) -> leakctl_units::Celsius {
+        leakctl_units::Celsius::new(self.packed.max_temperature())
+    }
+}
+
+/// Machine-readable perf reporting shared by `repro-perf` and
+/// `repro-rack`: one JSON schema (`leakctl-perf/v1`), rendered by hand
+/// so the vendored no-op serde shim suffices, plus a merge helper so
+/// several binaries can contribute to one `BENCH_perf.json` artifact.
+pub mod perf {
+    use std::fmt::Write as _;
+
+    /// One timed measurement destined for the JSON report.
+    #[derive(Debug, Clone)]
+    pub struct PerfResult {
+        /// Stable measurement name (the differ keys on it).
+        pub name: &'static str,
+        /// Simulated steps executed.
+        pub steps: u64,
+        /// Wall-clock seconds.
+        pub wall_s: f64,
+        /// Extra key/value pairs (pre-rendered JSON values).
+        pub extra: Vec<(&'static str, String)>,
+    }
+
+    impl PerfResult {
+        /// Steps per wall-clock second.
+        #[must_use]
+        pub fn steps_per_sec(&self) -> f64 {
+            self.steps as f64 / self.wall_s.max(1e-12)
+        }
+    }
+
+    /// Runs a measurement `reps` times and keeps the fastest —
+    /// wall-clock minima are far more stable than single shots on a
+    /// shared machine.
+    pub fn best_of(reps: u32, mut f: impl FnMut() -> PerfResult) -> PerfResult {
+        let mut best = f();
+        for _ in 1..reps {
+            let r = f();
+            if r.wall_s < best.wall_s {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Renders a full `leakctl-perf/v1` document.
+    #[must_use]
+    pub fn render_json(results: &[PerfResult], quick: bool) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"leakctl-perf/v1\",");
+        let _ = writeln!(out, "  \"quick\": {quick},");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&render_result(r));
+            out.push_str(if i + 1 == results.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    fn render_result(r: &PerfResult) -> String {
+        let mut out = String::from("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"sim_steps\": {},", r.steps);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(out, "      \"steps_per_sec\": {:.1},", r.steps_per_sec());
+        for (k, v) in &r.extra {
+            let _ = writeln!(out, "      \"{k}\": {v},");
+        }
+        // Trailing-comma cleanup: drop the final ",\n" and re-terminate.
+        out.truncate(out.len() - 2);
+        out.push('\n');
+        out
+    }
+
+    /// Merges `results` into an existing `leakctl-perf/v1` document
+    /// (e.g. `repro-rack` merging into the report `repro-perf` wrote):
+    /// entries whose name matches an incoming result are *replaced*, so
+    /// re-running a reporter against a file that already carries its
+    /// measurements never duplicates them (duplicates would make the
+    /// regression differ compare against the stale first copy). The
+    /// document's `"quick"` flag becomes the OR of the existing flag
+    /// and `quick`, so a quick-mode contribution is never mislabelled
+    /// as full-fidelity. Returns `None` when `existing` is not
+    /// recognizably that schema — callers should then write a fresh
+    /// document instead.
+    #[must_use]
+    pub fn merge_into_json(existing: &str, results: &[PerfResult], quick: bool) -> Option<String> {
+        if !existing.contains("\"schema\": \"leakctl-perf/v1\"") {
+            return None;
+        }
+        let tail = "  ]\n}\n";
+        let body = existing.strip_suffix(tail)?;
+        let (header, entries_text) = body.split_at(body.find("  \"results\": [\n")? + 15);
+        let header = if quick {
+            header.replace("  \"quick\": false,", "  \"quick\": true,")
+        } else {
+            header.to_owned()
+        };
+        // Split the existing entries into per-result blocks (the format
+        // is our own renderer's: each entry closes with a `    }` or
+        // `    },` line).
+        let mut kept: Vec<String> = Vec::new();
+        let mut current = String::new();
+        for line in entries_text.lines() {
+            if line == "    }" || line == "    }," {
+                kept.push(std::mem::take(&mut current));
+            } else {
+                current.push_str(line);
+                current.push('\n');
+            }
+        }
+        if !current.trim().is_empty() {
+            return None; // trailing garbage: not our renderer's output
+        }
+        let replaced: Vec<String> = results
+            .iter()
+            .map(|r| format!("\"name\": \"{}\",", r.name))
+            .collect();
+        kept.retain(|block| !replaced.iter().any(|tag| block.contains(tag.as_str())));
+        kept.extend(results.iter().map(render_result));
+        let mut out = String::with_capacity(existing.len() + 256);
+        out.push_str(&header);
+        for (i, block) in kept.iter().enumerate() {
+            out.push_str(block);
+            out.push_str(if i + 1 == kept.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str(tail);
+        Some(out)
+    }
+
+    /// Parses the `(name, steps_per_sec)` pairs out of a
+    /// `leakctl-perf/v1` document (line-oriented; the format is our
+    /// own renderer's). Used by the `repro-perf-diff` regression gate.
+    #[must_use]
+    pub fn parse_steps_per_sec(doc: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut current: Option<String> = None;
+        for line in doc.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("\"name\": \"") {
+                current = rest.strip_suffix("\",").map(str::to_owned);
+            } else if let Some(rest) = line.strip_prefix("\"steps_per_sec\": ") {
+                let value = rest.trim_end_matches(',');
+                if let (Some(name), Ok(v)) = (current.take(), value.parse::<f64>()) {
+                    out.push((name, v));
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +650,70 @@ mod tests {
         let a = cached.max_temperature().degrees();
         let b = stateless.max_temperature().degrees();
         assert!((a - b).abs() < 1e-12, "cached {a} vs stateless {b}");
+    }
+
+    #[test]
+    fn rack_kernel_lanes_share_structure_and_warm_up() {
+        let mut kernel = RackKernel::new(4);
+        assert_eq!(kernel.servers(), 4);
+        kernel.step_batched(120);
+        let max = kernel.max_temperature().degrees();
+        assert!(
+            (30.0..100.0).contains(&max),
+            "dies should warm from 24 °C under ~80 W, got {max}"
+        );
+    }
+
+    #[test]
+    fn room_network_is_sparse_scale() {
+        let (net, dies, _) = room_network(70);
+        assert_eq!(dies.len(), 70);
+        assert_eq!(net.state_count(), 3 * 70 + 1);
+        // Above the CSR threshold: the auto backend goes sparse.
+        let solver = leakctl_thermal::TransientSolver::new(&net);
+        assert!(solver.is_sparse());
+    }
+
+    #[test]
+    fn perf_report_merge_and_parse_round_trip() {
+        use perf::{merge_into_json, parse_steps_per_sec, render_json, PerfResult};
+        let a = PerfResult {
+            name: "alpha",
+            steps: 100,
+            wall_s: 0.5,
+            extra: vec![("note", "1.0".to_owned())],
+        };
+        let b = PerfResult {
+            name: "beta",
+            steps: 300,
+            wall_s: 0.1,
+            extra: vec![],
+        };
+        let doc = render_json(std::slice::from_ref(&a), false);
+        let merged = merge_into_json(&doc, &[b], false).expect("merge succeeds");
+        let parsed = parse_steps_per_sec(&merged);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "alpha");
+        assert!((parsed[0].1 - 200.0).abs() < 0.2);
+        assert_eq!(parsed[1].0, "beta");
+        assert!((parsed[1].1 - 3000.0).abs() < 0.2);
+        assert!(merged.contains("\"quick\": false"));
+        // Re-merging a same-name result replaces it instead of
+        // duplicating (reruns must not grow the file or leave stale
+        // first copies for the differ).
+        let faster_beta = PerfResult {
+            name: "beta",
+            steps: 300,
+            wall_s: 0.05,
+            extra: vec![],
+        };
+        let remerged = merge_into_json(&merged, &[faster_beta], true).expect("remerge succeeds");
+        let reparsed = parse_steps_per_sec(&remerged);
+        assert_eq!(reparsed.len(), 2, "no duplicate entries");
+        assert_eq!(reparsed[1].0, "beta");
+        assert!((reparsed[1].1 - 6000.0).abs() < 0.4);
+        // A quick contribution flips the document flag.
+        assert!(remerged.contains("\"quick\": true"));
+        assert!(merge_into_json("not a perf report", &[a], false).is_none());
     }
 }

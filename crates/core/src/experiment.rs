@@ -239,11 +239,17 @@ pub fn run_experiment(
                 None
             };
             let target = rel.map_or(0.0, |r| gen.target(r).as_percent());
-            let measured = server.measured_cpu_temps();
-            let mean_meas = if measured.is_empty() {
+            // Allocation-free mean over the measured-temperature
+            // channel tails (this runs every sample period).
+            let (sum_meas, count_meas) = server
+                .measured_cpu_temps_iter()
+                .fold((0.0, 0usize), |(sum, count), t| {
+                    (sum + t.degrees(), count + 1)
+                });
+            let mean_meas = if count_meas == 0 {
                 f64::NAN
             } else {
-                measured.iter().map(|t| t.degrees()).sum::<f64>() / measured.len() as f64
+                sum_meas / count_meas as f64
             };
             samples.push(RunSample {
                 minutes,

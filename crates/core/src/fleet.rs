@@ -1,0 +1,369 @@
+//! A rack-scale fleet of digital-twin servers stepped through the
+//! shared-factorization batch engine.
+//!
+//! [`Fleet`] supersedes the original scalar `Rack` (which stepped each
+//! server's thermal network through its own per-server solve) while
+//! preserving its public API — `Rack` remains as a type alias. The
+//! physics is unchanged and bit-identical: per-server fan dynamics,
+//! failsafe, power models and telemetry run exactly as in
+//! `Server::step`; only the thermal integration is hoisted out and
+//! solved for all servers at once through one
+//! [`BatchSolver`](leakctl_thermal::BatchSolver) factorization per
+//! `(dt, flow)` group ([`leakctl_thermal::BatchSolver`] lanes are
+//! bit-identical to scalar stepping, so a fleet of one reproduces the
+//! single-server trajectory to the last bit).
+//!
+//! Inlet coupling follows the original model: all servers share one
+//! inlet whose temperature drifts with the rack's total heat (exhaust
+//! recirculation) — the "real-life data center" setting the paper's
+//! conclusion points toward.
+
+use leakctl_platform::{PlatformError, Server, ServerConfig};
+use leakctl_thermal::{BatchLane, BatchSolver, Integrator};
+use leakctl_units::{Celsius, Joules, Rpm, SimDuration, TempDelta, Utilization, Watts};
+
+use crate::error::CoreError;
+
+/// A rack of identical servers with inlet-temperature coupling:
+///
+/// ```text
+/// T_inlet = T_room + r · P_rack
+/// ```
+///
+/// where `r` (K/W) models how much of the rack's exhaust heat
+/// recirculates to the inlet (0 for perfect containment; a few mK/W for
+/// a poorly sealed aisle).
+///
+/// With the default backward-Euler integrator, every step batches the
+/// whole fleet's thermal solves through shared factorizations; other
+/// integrators fall back to per-server stepping (there is no
+/// factorization to share).
+///
+/// # Example
+///
+/// ```
+/// use leakctl::fleet::Fleet;
+/// use leakctl_platform::ServerConfig;
+/// use leakctl_units::{Rpm, SimDuration, Utilization};
+///
+/// # fn main() -> Result<(), leakctl::CoreError> {
+/// let mut fleet = Fleet::new(ServerConfig::default(), 4, 0.004, 42)?;
+/// fleet.command_all(Rpm::new(2400.0));
+/// for _ in 0..60 {
+///     fleet.step(SimDuration::from_secs(1), Utilization::FULL)?;
+/// }
+/// assert!(fleet.inlet_temperature().degrees() > 24.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Fleet {
+    servers: Vec<Server>,
+    room: Celsius,
+    recirculation_k_per_w: f64,
+    batch: BatchSolver,
+}
+
+impl Fleet {
+    /// Builds a fleet of `count` servers from a shared config; each
+    /// server gets an independent sensor-noise stream derived from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for an empty fleet or negative
+    /// recirculation, and propagates server-construction failures.
+    pub fn new(
+        config: ServerConfig,
+        count: usize,
+        recirculation_k_per_w: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if count == 0 {
+            return Err(CoreError::Invalid {
+                what: "fleet needs at least one server".to_owned(),
+            });
+        }
+        if !(recirculation_k_per_w >= 0.0 && recirculation_k_per_w.is_finite()) {
+            return Err(CoreError::Invalid {
+                what: "recirculation coefficient must be non-negative".to_owned(),
+            });
+        }
+        let servers = (0..count)
+            .map(|i| Server::new(config.clone(), seed.wrapping_add(i as u64)))
+            .collect::<Result<Vec<_>, PlatformError>>()?;
+        let batch = BatchSolver::new(servers[0].thermal_network());
+        Ok(Self {
+            room: config.ambient,
+            servers,
+            recirculation_k_per_w,
+            batch,
+        })
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when the fleet is empty (construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Commands every server's fans.
+    pub fn command_all(&mut self, rpm: Rpm) {
+        for server in &mut self.servers {
+            server.command_fan_speed(rpm);
+        }
+    }
+
+    /// Access to an individual server (e.g. to attach per-server
+    /// controllers).
+    #[must_use]
+    pub fn server(&self, index: usize) -> Option<&Server> {
+        self.servers.get(index)
+    }
+
+    /// Mutable access to an individual server.
+    #[must_use]
+    pub fn server_mut(&mut self, index: usize) -> Option<&mut Server> {
+        self.servers.get_mut(index)
+    }
+
+    /// Number of shared factorizations currently live in the batch
+    /// engine (1 while the whole fleet runs one `(dt, flow)` operating
+    /// point; one per distinct per-server fan speed otherwise).
+    #[must_use]
+    pub fn batch_group_count(&self) -> usize {
+        self.batch.group_count()
+    }
+
+    /// Advances every server by `dt` at the same activity level, then
+    /// updates the shared inlet temperature from the fleet's total heat.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform failures.
+    pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
+        let inlet = self.inlet_temperature();
+        if self.servers[0].config().integrator == Integrator::BackwardEuler {
+            // Batched path: per-server dynamics, one shared thermal
+            // solve per (dt, flow) group across the fleet.
+            for server in &mut self.servers {
+                server.set_ambient(inlet)?;
+                server.begin_step(dt, activity)?;
+            }
+            {
+                let mut lanes: Vec<BatchLane<'_>> = self
+                    .servers
+                    .iter_mut()
+                    .map(|server| {
+                        let (net, state) = server.split_thermal();
+                        BatchLane { net, state }
+                    })
+                    .collect();
+                self.batch
+                    .step(&mut lanes, dt)
+                    .map_err(PlatformError::from)?;
+            }
+            for server in &mut self.servers {
+                server.finish_step(dt)?;
+            }
+        } else {
+            // Explicit integrators have no factorization to share.
+            for server in &mut self.servers {
+                server.set_ambient(inlet)?;
+                server.step(dt, activity)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The current shared inlet temperature.
+    #[must_use]
+    pub fn inlet_temperature(&self) -> Celsius {
+        let drift = TempDelta::new(self.recirculation_k_per_w * self.total_power().value());
+        self.room + drift
+    }
+
+    /// Total fleet power (system + fans across all servers).
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.servers.iter().map(Server::total_power).sum()
+    }
+
+    /// Total fleet energy since construction.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.servers.iter().map(Server::total_energy).sum()
+    }
+
+    /// The hottest die anywhere in the fleet.
+    #[must_use]
+    pub fn max_die_temperature(&self) -> Celsius {
+        self.servers
+            .iter()
+            .map(Server::max_die_temperature)
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validated() {
+        assert!(matches!(
+            Fleet::new(ServerConfig::default(), 0, 0.0, 1),
+            Err(CoreError::Invalid { .. })
+        ));
+        assert!(matches!(
+            Fleet::new(ServerConfig::default(), 2, -1.0, 1),
+            Err(CoreError::Invalid { .. })
+        ));
+        let fleet = Fleet::new(ServerConfig::default(), 3, 0.001, 1).unwrap();
+        assert_eq!(fleet.len(), 3);
+        assert!(!fleet.is_empty());
+        assert!(fleet.server(0).is_some());
+        assert!(fleet.server(3).is_none());
+    }
+
+    #[test]
+    fn recirculation_raises_inlet_and_dies() {
+        let run = |k: f64| {
+            let mut fleet = Fleet::new(ServerConfig::default(), 4, k, 7).unwrap();
+            fleet.command_all(Rpm::new(2400.0));
+            for _ in 0..1_800 {
+                fleet
+                    .step(SimDuration::from_secs(1), Utilization::FULL)
+                    .unwrap();
+            }
+            (fleet.inlet_temperature(), fleet.max_die_temperature())
+        };
+        let (inlet_sealed, die_sealed) = run(0.0);
+        let (inlet_leaky, die_leaky) = run(0.004);
+        assert!((inlet_sealed.degrees() - 24.0).abs() < 1e-9);
+        assert!(
+            inlet_leaky.degrees() > 30.0,
+            "4 servers × ~500 W × 4 mK/W ≈ +8 °C, got {inlet_leaky}"
+        );
+        assert!(die_leaky > die_sealed);
+    }
+
+    #[test]
+    fn fleet_energy_is_sum_of_servers() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 2, 0.0, 3).unwrap();
+        fleet.command_all(Rpm::new(3000.0));
+        for _ in 0..300 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        let sum: f64 = (0..2)
+            .map(|i| fleet.server(i).unwrap().total_energy().value())
+            .sum();
+        assert!((fleet.total_energy().value() - sum).abs() < 1e-9);
+        // Different sensor seeds per server, same physics.
+        let a = fleet.server(0).unwrap().measured_cpu_temps();
+        let b = fleet.server(1).unwrap().measured_cpu_temps();
+        assert_ne!(a, b, "per-server sensor streams must differ");
+    }
+
+    #[test]
+    fn per_server_control_through_mut_access() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 2, 0.0, 5).unwrap();
+        fleet
+            .server_mut(0)
+            .unwrap()
+            .command_fan_speed(Rpm::new(1800.0));
+        fleet
+            .server_mut(1)
+            .unwrap()
+            .command_fan_speed(Rpm::new(4200.0));
+        for _ in 0..1_200 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        // Diverged fan speeds split the batch into (at least) two
+        // factorization groups — transient slew signatures may linger
+        // in the cache — and still solve correctly.
+        assert!(fleet.batch_group_count() >= 2);
+        let hot = fleet.server(0).unwrap().max_die_temperature();
+        let cold = fleet.server(1).unwrap().max_die_temperature();
+        assert!(hot.degrees() - cold.degrees() > 15.0);
+    }
+
+    #[test]
+    fn batched_fleet_bit_identical_to_scalar_server_loop() {
+        // The batch engine must not change the physics: a fleet stepped
+        // through shared factorizations reproduces an identically
+        // seeded scalar Server::step loop bit for bit — energy,
+        // temperatures and telemetry alike.
+        let count = 3;
+        let k = 0.002;
+        let mut fleet = Fleet::new(ServerConfig::default(), count, k, 11).unwrap();
+        fleet.command_all(Rpm::new(2700.0));
+
+        let config = ServerConfig::default();
+        let mut reference: Vec<Server> = (0..count)
+            .map(|i| Server::new(config.clone(), 11 + i as u64).unwrap())
+            .collect();
+        for server in &mut reference {
+            server.command_fan_speed(Rpm::new(2700.0));
+        }
+        let room = config.ambient;
+
+        let dt = SimDuration::from_secs(1);
+        for step in 0..600 {
+            let act = if step % 120 < 60 {
+                Utilization::FULL
+            } else {
+                Utilization::IDLE
+            };
+            fleet.step(dt, act).unwrap();
+            // Scalar reference: same inlet model, per-server stepping.
+            let total: Watts = reference.iter().map(Server::total_power).sum();
+            let inlet = room + TempDelta::new(k * total.value());
+            for server in &mut reference {
+                server.set_ambient(inlet).unwrap();
+                server.step(dt, act).unwrap();
+            }
+        }
+        assert_eq!(fleet.batch_group_count(), 1, "one shared factorization");
+        for (i, b) in reference.iter().enumerate() {
+            let a = fleet.server(i).unwrap();
+            assert_eq!(
+                a.max_die_temperature(),
+                b.max_die_temperature(),
+                "server {i} die temperature"
+            );
+            assert_eq!(a.total_energy(), b.total_energy(), "server {i} energy");
+            assert_eq!(
+                a.measured_cpu_temps(),
+                b.measured_cpu_temps(),
+                "server {i} telemetry"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_integrator_falls_back_to_scalar_path() {
+        let config = ServerConfig {
+            integrator: Integrator::ExponentialEuler,
+            ..ServerConfig::default()
+        };
+        let mut fleet = Fleet::new(config, 2, 0.0, 9).unwrap();
+        for _ in 0..120 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        assert_eq!(fleet.batch_group_count(), 0, "batch engine unused");
+        assert!(fleet.max_die_temperature().degrees() > 25.0);
+    }
+}

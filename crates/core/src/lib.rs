@@ -49,6 +49,7 @@ mod error;
 mod experiment;
 mod figures;
 mod fitting;
+pub mod fleet;
 mod lut_pipeline;
 pub mod paper;
 pub mod rack;

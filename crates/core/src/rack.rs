@@ -1,233 +1,10 @@
-//! A miniature data-center rack: several digital-twin servers sharing
-//! an inlet whose temperature drifts with the rack's total heat
-//! (exhaust recirculation) — the "real-life data center" setting the
-//! paper's conclusion points toward.
+//! Compatibility module: the original `Rack` now lives in
+//! [`fleet`](crate::fleet) as [`Fleet`], rebuilt on the
+//! shared-factorization batch stepping engine with an unchanged public
+//! API and bit-identical trajectories.
 
-use leakctl_platform::{PlatformError, Server, ServerConfig};
-use leakctl_units::{Celsius, Joules, Rpm, SimDuration, TempDelta, Utilization, Watts};
+pub use crate::fleet::Fleet;
 
-use crate::error::CoreError;
-
-/// A rack of identical servers with inlet-temperature coupling:
-///
-/// ```text
-/// T_inlet = T_room + r · P_rack
-/// ```
-///
-/// where `r` (K/W) models how much of the rack's exhaust heat
-/// recirculates to the inlet (0 for perfect containment; a few mK/W for
-/// a poorly sealed aisle).
-///
-/// # Example
-///
-/// ```
-/// use leakctl::rack::Rack;
-/// use leakctl_platform::ServerConfig;
-/// use leakctl_units::{Rpm, SimDuration, Utilization};
-///
-/// # fn main() -> Result<(), leakctl::CoreError> {
-/// let mut rack = Rack::new(ServerConfig::default(), 4, 0.004, 42)?;
-/// rack.command_all(Rpm::new(2400.0));
-/// for _ in 0..60 {
-///     rack.step(SimDuration::from_secs(1), Utilization::FULL)?;
-/// }
-/// assert!(rack.inlet_temperature().degrees() > 24.0);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug)]
-pub struct Rack {
-    servers: Vec<Server>,
-    room: Celsius,
-    recirculation_k_per_w: f64,
-}
-
-impl Rack {
-    /// Builds a rack of `count` servers from a shared config; each
-    /// server gets an independent sensor-noise stream derived from
-    /// `seed`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Invalid`] for an empty rack or negative
-    /// recirculation, and propagates server-construction failures.
-    pub fn new(
-        config: ServerConfig,
-        count: usize,
-        recirculation_k_per_w: f64,
-        seed: u64,
-    ) -> Result<Self, CoreError> {
-        if count == 0 {
-            return Err(CoreError::Invalid {
-                what: "rack needs at least one server".to_owned(),
-            });
-        }
-        if !(recirculation_k_per_w >= 0.0 && recirculation_k_per_w.is_finite()) {
-            return Err(CoreError::Invalid {
-                what: "recirculation coefficient must be non-negative".to_owned(),
-            });
-        }
-        let servers = (0..count)
-            .map(|i| Server::new(config.clone(), seed.wrapping_add(i as u64)))
-            .collect::<Result<Vec<_>, PlatformError>>()?;
-        Ok(Self {
-            room: config.ambient,
-            servers,
-            recirculation_k_per_w,
-        })
-    }
-
-    /// Number of servers.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.servers.len()
-    }
-
-    /// `true` when the rack is empty (construction forbids it).
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
-    }
-
-    /// Commands every server's fans.
-    pub fn command_all(&mut self, rpm: Rpm) {
-        for server in &mut self.servers {
-            server.command_fan_speed(rpm);
-        }
-    }
-
-    /// Access to an individual server (e.g. to attach per-server
-    /// controllers).
-    #[must_use]
-    pub fn server(&self, index: usize) -> Option<&Server> {
-        self.servers.get(index)
-    }
-
-    /// Mutable access to an individual server.
-    #[must_use]
-    pub fn server_mut(&mut self, index: usize) -> Option<&mut Server> {
-        self.servers.get_mut(index)
-    }
-
-    /// Advances every server by `dt` at the same activity level, then
-    /// updates the shared inlet temperature from the rack's total heat.
-    ///
-    /// # Errors
-    ///
-    /// Propagates platform failures.
-    pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
-        let inlet = self.inlet_temperature();
-        for server in &mut self.servers {
-            server.set_ambient(inlet)?;
-            server.step(dt, activity)?;
-        }
-        Ok(())
-    }
-
-    /// The current shared inlet temperature.
-    #[must_use]
-    pub fn inlet_temperature(&self) -> Celsius {
-        let drift = TempDelta::new(self.recirculation_k_per_w * self.total_power().value());
-        self.room + drift
-    }
-
-    /// Total rack power (system + fans across all servers).
-    #[must_use]
-    pub fn total_power(&self) -> Watts {
-        self.servers.iter().map(Server::total_power).sum()
-    }
-
-    /// Total rack energy since construction.
-    #[must_use]
-    pub fn total_energy(&self) -> Joules {
-        self.servers.iter().map(Server::total_energy).sum()
-    }
-
-    /// The hottest die anywhere in the rack.
-    #[must_use]
-    pub fn max_die_temperature(&self) -> Celsius {
-        self.servers
-            .iter()
-            .map(Server::max_die_temperature)
-            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn construction_validated() {
-        assert!(matches!(
-            Rack::new(ServerConfig::default(), 0, 0.0, 1),
-            Err(CoreError::Invalid { .. })
-        ));
-        assert!(matches!(
-            Rack::new(ServerConfig::default(), 2, -1.0, 1),
-            Err(CoreError::Invalid { .. })
-        ));
-        let rack = Rack::new(ServerConfig::default(), 3, 0.001, 1).unwrap();
-        assert_eq!(rack.len(), 3);
-        assert!(!rack.is_empty());
-        assert!(rack.server(0).is_some());
-        assert!(rack.server(3).is_none());
-    }
-
-    #[test]
-    fn recirculation_raises_inlet_and_dies() {
-        let run = |k: f64| {
-            let mut rack = Rack::new(ServerConfig::default(), 4, k, 7).unwrap();
-            rack.command_all(Rpm::new(2400.0));
-            for _ in 0..1_800 {
-                rack.step(SimDuration::from_secs(1), Utilization::FULL)
-                    .unwrap();
-            }
-            (rack.inlet_temperature(), rack.max_die_temperature())
-        };
-        let (inlet_sealed, die_sealed) = run(0.0);
-        let (inlet_leaky, die_leaky) = run(0.004);
-        assert!((inlet_sealed.degrees() - 24.0).abs() < 1e-9);
-        assert!(
-            inlet_leaky.degrees() > 30.0,
-            "4 servers × ~500 W × 4 mK/W ≈ +8 °C, got {inlet_leaky}"
-        );
-        assert!(die_leaky > die_sealed);
-    }
-
-    #[test]
-    fn rack_energy_is_sum_of_servers() {
-        let mut rack = Rack::new(ServerConfig::default(), 2, 0.0, 3).unwrap();
-        rack.command_all(Rpm::new(3000.0));
-        for _ in 0..300 {
-            rack.step(SimDuration::from_secs(1), Utilization::FULL)
-                .unwrap();
-        }
-        let sum: f64 = (0..2)
-            .map(|i| rack.server(i).unwrap().total_energy().value())
-            .sum();
-        assert!((rack.total_energy().value() - sum).abs() < 1e-9);
-        // Different sensor seeds per server, same physics.
-        let a = rack.server(0).unwrap().measured_cpu_temps();
-        let b = rack.server(1).unwrap().measured_cpu_temps();
-        assert_ne!(a, b, "per-server sensor streams must differ");
-    }
-
-    #[test]
-    fn per_server_control_through_mut_access() {
-        let mut rack = Rack::new(ServerConfig::default(), 2, 0.0, 5).unwrap();
-        rack.server_mut(0)
-            .unwrap()
-            .command_fan_speed(Rpm::new(1800.0));
-        rack.server_mut(1)
-            .unwrap()
-            .command_fan_speed(Rpm::new(4200.0));
-        for _ in 0..1_200 {
-            rack.step(SimDuration::from_secs(1), Utilization::FULL)
-                .unwrap();
-        }
-        let hot = rack.server(0).unwrap().max_die_temperature();
-        let cold = rack.server(1).unwrap().max_die_temperature();
-        assert!(hot.degrees() - cold.degrees() > 15.0);
-    }
-}
+/// The historical name for a [`Fleet`] of servers sharing a
+/// recirculation-coupled inlet.
+pub type Rack = Fleet;

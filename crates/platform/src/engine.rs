@@ -1,0 +1,734 @@
+//! The server's stepping core: physics, power models and accounting,
+//! with no telemetry or tracing attached.
+//!
+//! [`ServerCore`] is everything [`Server`](crate::Server) needs to
+//! advance the machine state — fans, failsafe, component power models,
+//! the thermal RC network with its cached stepper, and energy/peak
+//! accounting — extracted so the thermal integration can be lifted out
+//! of the per-server loop and batched across a fleet:
+//!
+//! 1. [`ServerCore::begin_step`] applies fan dynamics, the thermal
+//!    failsafe and component powers, and accounts energy;
+//! 2. the thermal network is integrated — either in place through
+//!    [`ServerCore::integrate`], or externally by a
+//!    [`BatchSolver`](leakctl_thermal::BatchSolver) operating on
+//!    [`ServerCore::split_thermal`] lanes from many cores at once;
+//! 3. [`ServerCore::finish_step`] advances the simulation clock.
+//!
+//! [`ServerCore::step`] runs the three phases back to back for headless
+//! (telemetry-free) stepping. `Server` wraps the same phases and adds
+//! CSTH polling and event tracing on top, so both paths advance the
+//! physics identically.
+
+use leakctl_sim::Clock;
+use leakctl_thermal::{
+    ConvectionModel, Coupling, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
+    TransientSolver,
+};
+use leakctl_units::{
+    Celsius, Joules, Rpm, SimDuration, SimInstant, ThermalConductance, Utilization, Watts,
+};
+
+use crate::config::ServerConfig;
+use crate::cpu::CpuSocket;
+use crate::dimm::DimmBank;
+use crate::error::PlatformError;
+use crate::fans::FanBank;
+use crate::service_processor::{ServiceProcessor, SpAction};
+
+/// Thermal-network handles for one socket.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SocketNodes {
+    pub(crate) die: NodeId,
+    pub(crate) sink: NodeId,
+    pub(crate) air: NodeId,
+}
+
+/// Service-processor activity observed during a step, for the caller to
+/// trace (the core itself records nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpTransition {
+    /// No failsafe state change.
+    None,
+    /// The failsafe tripped and forced maximum cooling.
+    ForcedMaxCooling,
+    /// The failsafe released back to external control.
+    Released,
+}
+
+/// The digital-twin server minus telemetry: components, thermal model,
+/// failsafe, clock and accounting.
+///
+/// Use it directly for headless fleet simulation (no sensor noise, no
+/// CSTH history), or through [`Server`](crate::Server) for the full
+/// telemetry-observed machine. See the module docs for the
+/// begin/integrate/finish phase protocol.
+#[derive(Debug, Clone)]
+pub struct ServerCore {
+    pub(crate) config: ServerConfig,
+    // Components.
+    pub(crate) sockets: Vec<CpuSocket>,
+    pub(crate) dimm_banks: Vec<DimmBank>,
+    pub(crate) fans: FanBank,
+    pub(crate) sp: ServiceProcessor,
+    // Thermal model.
+    pub(crate) net: ThermalNetwork,
+    pub(crate) state: ThermalState,
+    /// Cached stepping engine: reuses assembly and the `(C + h·G)`
+    /// factorization across the (very common) constant-flow,
+    /// constant-dt stretches of a run.
+    pub(crate) stepper: TransientSolver,
+    pub(crate) socket_nodes: Vec<SocketNodes>,
+    pub(crate) dimm_nodes: Vec<NodeId>,
+    pub(crate) air_dimm: NodeId,
+    pub(crate) ambient_node: NodeId,
+    pub(crate) chassis_flow: leakctl_thermal::FlowChannelId,
+    // Time & accounting.
+    pub(crate) clock: Clock,
+    pub(crate) last_activity: Utilization,
+    pub(crate) system_energy: Joules,
+    pub(crate) fan_energy: Joules,
+    pub(crate) peak_power: Watts,
+    pub(crate) accounted: SimDuration,
+}
+
+impl ServerCore {
+    /// Builds the stepping core from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Config`] for inconsistent configuration
+    /// or a thermal-construction failure.
+    pub fn new(config: ServerConfig) -> Result<Self, PlatformError> {
+        config.validate()?;
+
+        // ---- components ------------------------------------------
+        let cpu_slope = config.cpu_dynamic_slope_per_socket();
+        let sockets: Vec<CpuSocket> = (0..config.sockets)
+            .map(|s| {
+                CpuSocket::new(
+                    s,
+                    config.cores_per_socket,
+                    config.cpu_idle_per_socket,
+                    cpu_slope,
+                    config.cpu_const_leak_per_socket.value(),
+                    config.cpu_leak_ref_per_socket.value(),
+                    config.process_sigma[s],
+                    config.core_voltage,
+                )
+            })
+            .collect();
+        let dimms_per_bank = config.dimm_count / 2;
+        let dimm_slope_per_bank = config.dimm_dynamic_slope() / 2.0;
+        let dimm_banks: Vec<DimmBank> = (0..2)
+            .map(|b| {
+                DimmBank::new(
+                    b,
+                    dimms_per_bank,
+                    config.dimm_idle_each,
+                    dimm_slope_per_bank,
+                )
+            })
+            .collect();
+        let fans = FanBank::new(
+            config.fans,
+            config.default_rpm,
+            config.fan_slew_rpm_per_s,
+            SimDuration::from_millis(config.supply_latency_ms),
+            config.min_rpm,
+            config.max_rpm,
+        );
+        let sp = ServiceProcessor::new(
+            config.critical_temp,
+            config.failsafe_release_temp,
+            config.max_rpm,
+        );
+
+        // ---- thermal network --------------------------------------
+        let mut b = ThermalNetworkBuilder::new();
+        let ambient = b.add_boundary("ambient", config.ambient);
+        let chassis_flow = b.add_flow_channel("chassis");
+        let q_ref = config.fans.flow(config.max_rpm);
+        let sink_conv = ConvectionModel::new(
+            config.sink_conv_g_ref,
+            q_ref,
+            config.sink_conv_exponent,
+            config.sink_conv_g_min,
+        );
+        let dimm_conv = ConvectionModel::new(
+            config.dimm_conv_g_ref,
+            q_ref,
+            config.sink_conv_exponent,
+            config.sink_conv_g_min,
+        );
+
+        let air_dimm = b.add_node("air_dimm", config.air_capacitance);
+        b.connect_directed(
+            ambient,
+            air_dimm,
+            Coupling::Advective {
+                channel: chassis_flow,
+                fraction: 1.0,
+            },
+        )?;
+        // Natural-convection leak so the network stays solvable at zero
+        // flow.
+        b.connect(
+            air_dimm,
+            ambient,
+            Coupling::Conductance(ThermalConductance::new(0.5)),
+        )?;
+
+        let mut dimm_nodes = Vec::new();
+        for bank in 0..2 {
+            let node = b.add_node(&format!("dimm_bank{bank}"), config.dimm_bank_capacitance);
+            b.connect(
+                node,
+                air_dimm,
+                Coupling::Convective {
+                    channel: chassis_flow,
+                    model: dimm_conv,
+                },
+            )?;
+            dimm_nodes.push(node);
+        }
+
+        let per_socket_fraction = 1.0 / config.sockets as f64;
+        let mut socket_nodes = Vec::new();
+        for s in 0..config.sockets {
+            let die = b.add_node(&format!("cpu{s}_die"), config.die_capacitance);
+            let sink = b.add_node(&format!("cpu{s}_sink"), config.sink_capacitance);
+            let air = b.add_node(&format!("cpu{s}_air"), config.air_capacitance);
+            b.connect(
+                die,
+                sink,
+                Coupling::Conductance(config.die_sink_conductance),
+            )?;
+            b.connect(
+                sink,
+                air,
+                Coupling::Convective {
+                    channel: chassis_flow,
+                    model: sink_conv,
+                },
+            )?;
+            b.connect_directed(
+                air_dimm,
+                air,
+                Coupling::Advective {
+                    channel: chassis_flow,
+                    fraction: per_socket_fraction,
+                },
+            )?;
+            b.connect(
+                air,
+                ambient,
+                Coupling::Conductance(ThermalConductance::new(0.5)),
+            )?;
+            socket_nodes.push(SocketNodes { die, sink, air });
+        }
+        let mut net = b.build()?;
+        net.set_flow(chassis_flow, fans.flow())?;
+        let state = net.uniform_state(config.ambient);
+        let stepper = TransientSolver::new(&net);
+
+        Ok(Self {
+            config,
+            sockets,
+            dimm_banks,
+            fans,
+            sp,
+            net,
+            state,
+            stepper,
+            socket_nodes,
+            dimm_nodes,
+            air_dimm,
+            ambient_node: ambient,
+            chassis_flow,
+            clock: Clock::new(),
+            last_activity: Utilization::IDLE,
+            system_energy: Joules::ZERO,
+            fan_energy: Joules::ZERO,
+            peak_power: Watts::ZERO,
+            accounted: SimDuration::ZERO,
+        })
+    }
+
+    // ---- observation ----------------------------------------------
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The thermal network (read side) — e.g. for building a
+    /// [`BatchSolver`](leakctl_thermal::BatchSolver) over a fleet of
+    /// identically configured cores.
+    #[must_use]
+    pub fn thermal_network(&self) -> &ThermalNetwork {
+        &self.net
+    }
+
+    /// Ground-truth die temperature of `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn die_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.die))
+    }
+
+    /// Ground-truth heat-sink temperature of `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn sink_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.sink))
+    }
+
+    /// Ground-truth local air temperature at `socket`'s heat sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
+    pub fn air_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
+        let nodes = self
+            .socket_nodes
+            .get(socket)
+            .ok_or(PlatformError::BadIndex {
+                kind: "socket",
+                index: socket,
+            })?;
+        Ok(self.net.temperature(&self.state, nodes.air))
+    }
+
+    /// Ground-truth hottest die temperature.
+    #[must_use]
+    pub fn max_die_temperature(&self) -> Celsius {
+        self.socket_nodes
+            .iter()
+            .map(|n| self.net.temperature(&self.state, n.die))
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Ground-truth wall (AC) power of the system side — everything
+    /// behind the PSU; fans are powered externally.
+    #[must_use]
+    pub fn system_power(&self) -> Watts {
+        self.config.psu.input_power(self.dc_power())
+    }
+
+    /// Ground-truth DC power of all system components.
+    #[must_use]
+    pub fn dc_power(&self) -> Watts {
+        let cpu: Watts = self
+            .sockets
+            .iter()
+            .zip(&self.socket_nodes)
+            .map(|(s, n)| s.power(self.last_activity, self.net.temperature(&self.state, n.die)))
+            .sum();
+        let dimm: Watts = self
+            .dimm_banks
+            .iter()
+            .map(|b| b.power(self.last_activity))
+            .sum();
+        cpu + dimm + self.config.board_power
+    }
+
+    /// Ground-truth total CPU leakage right now (for analysis and
+    /// EXPERIMENTS.md ground-truth columns; controllers never see this).
+    #[must_use]
+    pub fn leakage_power(&self) -> Watts {
+        self.sockets
+            .iter()
+            .zip(&self.socket_nodes)
+            .map(|(s, n)| s.leakage_power(self.net.temperature(&self.state, n.die)))
+            .sum()
+    }
+
+    /// Ground-truth fan power (drawn from the external supplies).
+    #[must_use]
+    pub fn fan_power(&self) -> Watts {
+        self.fans.power()
+    }
+
+    /// Ground-truth total power: system wall power plus fan power.
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.system_power() + self.fan_power()
+    }
+
+    /// Accumulated system + fan energy since construction or the last
+    /// [`ServerCore::reset_accounting`].
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.system_energy + self.fan_energy
+    }
+
+    /// Accumulated fan energy.
+    #[must_use]
+    pub fn fan_energy(&self) -> Joules {
+        self.fan_energy
+    }
+
+    /// Accumulated system (wall) energy.
+    #[must_use]
+    pub fn system_energy(&self) -> Joules {
+        self.system_energy
+    }
+
+    /// Highest instantaneous total power observed.
+    #[must_use]
+    pub fn peak_power(&self) -> Watts {
+        self.peak_power
+    }
+
+    /// Time over which energy has been accumulated.
+    #[must_use]
+    pub fn accounted_time(&self) -> SimDuration {
+        self.accounted
+    }
+
+    /// Mean actual fan speed.
+    #[must_use]
+    pub fn actual_rpm(&self) -> Rpm {
+        self.fans.mean_rpm()
+    }
+
+    /// Last applied fan command.
+    #[must_use]
+    pub fn commanded_rpm(&self) -> Rpm {
+        self.fans.commanded()
+    }
+
+    /// Number of accepted fan speed changes.
+    #[must_use]
+    pub fn fan_speed_changes(&self) -> u64 {
+        self.fans.speed_changes()
+    }
+
+    /// How many times the thermal failsafe tripped.
+    #[must_use]
+    pub fn failsafe_activations(&self) -> u32 {
+        self.sp.activations()
+    }
+
+    /// The activity level applied in the most recent step.
+    #[must_use]
+    pub fn current_activity(&self) -> Utilization {
+        self.last_activity
+    }
+
+    // ---- control ----------------------------------------------------
+
+    /// Commands all fan pairs to `rpm` through the external supplies
+    /// (applies after the configured command latency, then slews).
+    /// Returns `false` when the thermal failsafe is engaged and the
+    /// command was overridden (callers may want to trace that).
+    pub fn command_fan_speed(&mut self, rpm: Rpm) -> bool {
+        if self.sp.is_engaged() {
+            return false;
+        }
+        self.fans.command_all(self.clock.now(), rpm);
+        true
+    }
+
+    /// Re-pins the ambient (inlet) temperature — used for ambient-
+    /// derating sweeps and rack scenarios where exhaust recirculation
+    /// warms the inlet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network errors (never expected for the
+    /// built-in ambient node).
+    pub fn set_ambient(&mut self, ambient: Celsius) -> Result<(), PlatformError> {
+        self.net.set_boundary(self.ambient_node, ambient)?;
+        Ok(())
+    }
+
+    /// The current ambient (inlet) temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.net.temperature(&self.state, self.ambient_node)
+    }
+
+    /// Resets energy, peak-power and timing accumulators (used between
+    /// experiment phases).
+    pub fn reset_accounting(&mut self) {
+        self.system_energy = Joules::ZERO;
+        self.fan_energy = Joules::ZERO;
+        self.peak_power = Watts::ZERO;
+        self.accounted = SimDuration::ZERO;
+    }
+
+    // ---- dynamics ---------------------------------------------------
+
+    /// Phase 1 of a step: fan supplies apply due commands and fans
+    /// slew, the thermal failsafe runs on ground-truth die temperature,
+    /// component powers are evaluated at start-of-step temperatures and
+    /// injected into the network, and energy/peak accounting runs.
+    ///
+    /// After this, integrate the thermal network (either
+    /// [`ServerCore::integrate`] or an external batch solve over
+    /// [`ServerCore::split_thermal`]) and call
+    /// [`ServerCore::finish_step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network failures.
+    pub fn begin_step(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+    ) -> Result<SpTransition, PlatformError> {
+        if dt.is_zero() {
+            return Ok(SpTransition::None);
+        }
+        let end = self.clock.now() + dt;
+        self.last_activity = activity;
+
+        // Fan supplies apply due commands; fans slew.
+        self.fans.advance(end, dt);
+        self.net.set_flow(self.chassis_flow, self.fans.flow())?;
+
+        // Thermal failsafe on ground-truth die temperature.
+        let transition = match self.sp.check(self.max_die_temperature()) {
+            SpAction::ForceMaxCooling => {
+                self.fans.command_all(self.clock.now(), self.config.max_rpm);
+                SpTransition::ForcedMaxCooling
+            }
+            SpAction::Release => SpTransition::Released,
+            SpAction::None => SpTransition::None,
+        };
+
+        // Component powers from start-of-step temperatures. Each model
+        // is evaluated once and reused for both the thermal injection
+        // and the energy accounting (the leakage exponential is the
+        // single most expensive power-model term).
+        let mut cpu_p = Watts::ZERO;
+        for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
+            let die_t = self.net.temperature(&self.state, nodes.die);
+            let p = socket.power(activity, die_t);
+            cpu_p += p;
+            self.net.set_power(nodes.die, p)?;
+        }
+        let mut dimm_p = Watts::ZERO;
+        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
+            let p = bank.power(activity);
+            dimm_p += p;
+            self.net.set_power(node, p)?;
+        }
+        self.net.set_power(self.air_dimm, self.config.board_power)?;
+
+        // Energy accounting with start-of-step powers.
+        let dc = cpu_p + dimm_p + self.config.board_power;
+        let wall = self.config.psu.input_power(dc);
+        let fan_p = self.fan_power();
+        self.system_energy += wall * dt;
+        self.fan_energy += fan_p * dt;
+        self.peak_power = self.peak_power.max(wall + fan_p);
+        self.accounted += dt;
+
+        Ok(transition)
+    }
+
+    /// Phase 2 of a step: integrates the thermal network by `dt`
+    /// through the core's cached stepper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solver failures.
+    pub fn integrate(&mut self, dt: SimDuration) -> Result<(), PlatformError> {
+        self.stepper
+            .step(&self.net, &mut self.state, dt, self.config.integrator)?;
+        Ok(())
+    }
+
+    /// The thermal network and mutable state as a batch lane — phase 2
+    /// when an external [`BatchSolver`](leakctl_thermal::BatchSolver)
+    /// integrates many cores through one shared factorization.
+    #[must_use]
+    pub fn split_thermal(&mut self) -> (&ThermalNetwork, &mut ThermalState) {
+        (&self.net, &mut self.state)
+    }
+
+    /// Phase 3 of a step: advances the simulation clock by `dt`.
+    pub fn finish_step(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let end = self.clock.now() + dt;
+        self.clock.advance_to(end).expect("time moves forward");
+    }
+
+    /// Advances the core by `dt` with the given switching activity:
+    /// [`ServerCore::begin_step`] + [`ServerCore::integrate`] +
+    /// [`ServerCore::finish_step`] — the headless (telemetry-free)
+    /// counterpart of [`Server::step`](crate::Server::step), advancing
+    /// the physics identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solver failures.
+    pub fn step(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+    ) -> Result<SpTransition, PlatformError> {
+        if dt.is_zero() {
+            return Ok(SpTransition::None);
+        }
+        let transition = self.begin_step(dt, activity)?;
+        self.integrate(dt)?;
+        self.finish_step(dt);
+        Ok(transition)
+    }
+
+    // ---- analysis helpers -------------------------------------------
+
+    /// Predicts the steady-state die temperatures and system DC power
+    /// for a hypothetical operating point, solving the
+    /// leakage–temperature fixed point. Does not disturb the live
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a thermal error when the network cannot be solved.
+    pub fn steady_state_preview(
+        &self,
+        activity: Utilization,
+        rpm: Rpm,
+    ) -> Result<(Vec<Celsius>, Watts), PlatformError> {
+        let mut net = self.net.clone();
+        let rpm = rpm.clamp(self.config.min_rpm, self.config.max_rpm);
+        net.set_flow(self.chassis_flow, self.config.fans.flow(rpm))?;
+        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
+            net.set_power(node, bank.power(activity))?;
+        }
+        net.set_power(self.air_dimm, self.config.board_power)?;
+
+        let mut temps: Vec<Celsius> = vec![self.config.ambient; self.sockets.len()];
+        let mut state = net.uniform_state(self.config.ambient);
+        // One solver for the whole fixed-point loop: flows are constant
+        // across iterations, so `G` is factored once and every
+        // iteration is a single back-substitution.
+        let mut solver = TransientSolver::new(&net);
+        for _ in 0..60 {
+            for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
+                let idx = socket.id();
+                net.set_power(nodes.die, socket.power(activity, temps[idx]))?;
+            }
+            solver.steady_state_into(&net, &mut state)?;
+            let new_temps: Vec<Celsius> = self
+                .socket_nodes
+                .iter()
+                .map(|n| net.temperature(&state, n.die))
+                .collect();
+            // Leakage–temperature thermal runaway: the fixed point has
+            // no finite solution at this operating point.
+            if new_temps.iter().any(|t| !t.is_finite()) {
+                return Err(PlatformError::Thermal(
+                    leakctl_thermal::ThermalError::Diverged {
+                        name: "leakage-temperature fixed point".to_owned(),
+                    },
+                ));
+            }
+            let delta = new_temps
+                .iter()
+                .zip(&temps)
+                .map(|(a, b)| (a.degrees() - b.degrees()).abs())
+                .fold(0.0, f64::max);
+            temps = new_temps;
+            if delta < 1e-6 {
+                break;
+            }
+        }
+        let dc: Watts = self
+            .sockets
+            .iter()
+            .map(|s| s.power(activity, temps[s.id()]))
+            .sum::<Watts>()
+            + self
+                .dimm_banks
+                .iter()
+                .map(|b| b.power(activity))
+                .sum::<Watts>()
+            + self.config.board_power;
+        let _ = &state;
+        Ok((temps, dc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phased_step_equals_one_shot_step() {
+        let mut phased = ServerCore::new(ServerConfig::default()).unwrap();
+        let mut oneshot = ServerCore::new(ServerConfig::default()).unwrap();
+        let dt = SimDuration::from_secs(1);
+        for i in 0..300 {
+            let act = if i % 30 < 15 {
+                Utilization::FULL
+            } else {
+                Utilization::IDLE
+            };
+            phased.begin_step(dt, act).unwrap();
+            phased.integrate(dt).unwrap();
+            phased.finish_step(dt);
+            oneshot.step(dt, act).unwrap();
+        }
+        assert_eq!(phased.max_die_temperature(), oneshot.max_die_temperature());
+        assert_eq!(phased.total_energy(), oneshot.total_energy());
+        assert_eq!(phased.now(), oneshot.now());
+    }
+
+    #[test]
+    fn zero_dt_phases_are_noops() {
+        let mut core = ServerCore::new(ServerConfig::default()).unwrap();
+        let t = core.now();
+        let e = core.total_energy();
+        assert_eq!(
+            core.begin_step(SimDuration::ZERO, Utilization::FULL)
+                .unwrap(),
+            SpTransition::None
+        );
+        core.finish_step(SimDuration::ZERO);
+        assert_eq!(core.now(), t);
+        assert_eq!(core.total_energy(), e);
+    }
+
+    #[test]
+    fn split_thermal_exposes_live_state() {
+        let mut core = ServerCore::new(ServerConfig::default()).unwrap();
+        core.step(SimDuration::from_secs(60), Utilization::FULL)
+            .unwrap();
+        let (net, state) = core.split_thermal();
+        assert_eq!(state.len(), net.state_count());
+        assert!(state.is_finite());
+    }
+}

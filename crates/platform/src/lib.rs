@@ -40,6 +40,7 @@
 mod config;
 mod cpu;
 mod dimm;
+mod engine;
 mod error;
 mod fans;
 mod server;
@@ -48,6 +49,7 @@ mod service_processor;
 pub use config::ServerConfig;
 pub use cpu::CpuSocket;
 pub use dimm::DimmBank;
+pub use engine::{ServerCore, SpTransition};
 pub use error::PlatformError;
 pub use fans::{FanBank, FanSupply, FanUnit};
 pub use server::Server;

@@ -1,29 +1,13 @@
 //! The assembled digital-twin server.
 
-use leakctl_sim::{Clock, Periodic, SimRng, TraceRecorder};
+use leakctl_sim::{Periodic, SimRng, TraceRecorder};
 use leakctl_telemetry::{ChannelId, Csth, Sensor, SensorSpec, CSTH_POLL_PERIOD};
-use leakctl_thermal::{
-    ConvectionModel, Coupling, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
-    TransientSolver,
-};
-use leakctl_units::{
-    Celsius, Joules, Rpm, SimDuration, SimInstant, ThermalConductance, Utilization, Watts,
-};
+use leakctl_thermal::{ThermalNetwork, ThermalState};
+use leakctl_units::{Celsius, Joules, Rpm, SimDuration, SimInstant, Utilization, Watts};
 
 use crate::config::ServerConfig;
-use crate::cpu::CpuSocket;
-use crate::dimm::DimmBank;
+use crate::engine::{ServerCore, SpTransition};
 use crate::error::PlatformError;
-use crate::fans::FanBank;
-use crate::service_processor::{ServiceProcessor, SpAction};
-
-/// Thermal-network handles for one socket.
-#[derive(Debug, Clone, Copy)]
-struct SocketNodes {
-    die: NodeId,
-    sink: NodeId,
-    air: NodeId,
-}
 
 /// Telemetry channel handles.
 #[derive(Debug, Clone)]
@@ -51,46 +35,31 @@ struct Sensors {
 
 /// The digital-twin enterprise server.
 ///
-/// Owns the thermal RC network, per-component power models, the fan
-/// bank with its external supplies, the service-processor failsafe, the
-/// CSTH telemetry harness, and energy/peak accounting. Drive it with
+/// Owns the stepping core ([`ServerCore`]: thermal RC network,
+/// per-component power models, the fan bank with its external supplies,
+/// the service-processor failsafe, energy/peak accounting) plus the
+/// CSTH telemetry harness and the event trace. Drive it with
 /// [`Server::step`], command cooling with [`Server::command_fan_speed`],
 /// and observe it the way the paper's DLC-PC does — through telemetry.
+///
+/// For rack-scale fleets, the per-step thermal integration can be
+/// lifted out and batched: [`Server::begin_step`] applies fan/power
+/// dynamics, [`Server::split_thermal`] exposes the network/state lane
+/// for a shared-factorization
+/// [`BatchSolver`](leakctl_thermal::BatchSolver) solve, and
+/// [`Server::finish_step`] advances the clock and polls telemetry —
+/// producing bit-identical trajectories to per-server stepping.
 ///
 /// See the [crate-level example](crate) for basic use.
 #[derive(Debug, Clone)]
 pub struct Server {
-    config: ServerConfig,
-    // Components.
-    sockets: Vec<CpuSocket>,
-    dimm_banks: Vec<DimmBank>,
-    fans: FanBank,
-    sp: ServiceProcessor,
-    // Thermal model.
-    net: ThermalNetwork,
-    state: ThermalState,
-    /// Cached stepping engine: reuses assembly and the `(C + h·G)`
-    /// factorization across the (very common) constant-flow,
-    /// constant-dt stretches of a run.
-    stepper: TransientSolver,
-    socket_nodes: Vec<SocketNodes>,
-    dimm_nodes: Vec<NodeId>,
-    air_dimm: NodeId,
-    ambient_node: NodeId,
-    chassis_flow: leakctl_thermal::FlowChannelId,
-    // Time & telemetry.
-    clock: Clock,
+    core: ServerCore,
+    // Telemetry.
     csth: Csth,
     channels: Channels,
     sensors: Sensors,
     poll: Periodic,
     trace: TraceRecorder,
-    // Accounting.
-    last_activity: Utilization,
-    system_energy: Joules,
-    fan_energy: Joules,
-    peak_power: Watts,
-    accounted: SimDuration,
 }
 
 impl Server {
@@ -102,138 +71,9 @@ impl Server {
     /// Returns [`PlatformError::Config`] for inconsistent configuration
     /// or a thermal-construction failure.
     pub fn new(config: ServerConfig, seed: u64) -> Result<Self, PlatformError> {
-        config.validate()?;
+        let core = ServerCore::new(config)?;
+        let config = core.config();
         let mut rng = SimRng::seed(seed);
-
-        // ---- components ------------------------------------------
-        let cpu_slope = config.cpu_dynamic_slope_per_socket();
-        let sockets: Vec<CpuSocket> = (0..config.sockets)
-            .map(|s| {
-                CpuSocket::new(
-                    s,
-                    config.cores_per_socket,
-                    config.cpu_idle_per_socket,
-                    cpu_slope,
-                    config.cpu_const_leak_per_socket.value(),
-                    config.cpu_leak_ref_per_socket.value(),
-                    config.process_sigma[s],
-                    config.core_voltage,
-                )
-            })
-            .collect();
-        let dimms_per_bank = config.dimm_count / 2;
-        let dimm_slope_per_bank = config.dimm_dynamic_slope() / 2.0;
-        let dimm_banks: Vec<DimmBank> = (0..2)
-            .map(|b| {
-                DimmBank::new(
-                    b,
-                    dimms_per_bank,
-                    config.dimm_idle_each,
-                    dimm_slope_per_bank,
-                )
-            })
-            .collect();
-        let fans = FanBank::new(
-            config.fans,
-            config.default_rpm,
-            config.fan_slew_rpm_per_s,
-            SimDuration::from_millis(config.supply_latency_ms),
-            config.min_rpm,
-            config.max_rpm,
-        );
-        let sp = ServiceProcessor::new(
-            config.critical_temp,
-            config.failsafe_release_temp,
-            config.max_rpm,
-        );
-
-        // ---- thermal network --------------------------------------
-        let mut b = ThermalNetworkBuilder::new();
-        let ambient = b.add_boundary("ambient", config.ambient);
-        let chassis_flow = b.add_flow_channel("chassis");
-        let q_ref = config.fans.flow(config.max_rpm);
-        let sink_conv = ConvectionModel::new(
-            config.sink_conv_g_ref,
-            q_ref,
-            config.sink_conv_exponent,
-            config.sink_conv_g_min,
-        );
-        let dimm_conv = ConvectionModel::new(
-            config.dimm_conv_g_ref,
-            q_ref,
-            config.sink_conv_exponent,
-            config.sink_conv_g_min,
-        );
-
-        let air_dimm = b.add_node("air_dimm", config.air_capacitance);
-        b.connect_directed(
-            ambient,
-            air_dimm,
-            Coupling::Advective {
-                channel: chassis_flow,
-                fraction: 1.0,
-            },
-        )?;
-        // Natural-convection leak so the network stays solvable at zero
-        // flow.
-        b.connect(
-            air_dimm,
-            ambient,
-            Coupling::Conductance(ThermalConductance::new(0.5)),
-        )?;
-
-        let mut dimm_nodes = Vec::new();
-        for bank in 0..2 {
-            let node = b.add_node(&format!("dimm_bank{bank}"), config.dimm_bank_capacitance);
-            b.connect(
-                node,
-                air_dimm,
-                Coupling::Convective {
-                    channel: chassis_flow,
-                    model: dimm_conv,
-                },
-            )?;
-            dimm_nodes.push(node);
-        }
-
-        let per_socket_fraction = 1.0 / config.sockets as f64;
-        let mut socket_nodes = Vec::new();
-        for s in 0..config.sockets {
-            let die = b.add_node(&format!("cpu{s}_die"), config.die_capacitance);
-            let sink = b.add_node(&format!("cpu{s}_sink"), config.sink_capacitance);
-            let air = b.add_node(&format!("cpu{s}_air"), config.air_capacitance);
-            b.connect(
-                die,
-                sink,
-                Coupling::Conductance(config.die_sink_conductance),
-            )?;
-            b.connect(
-                sink,
-                air,
-                Coupling::Convective {
-                    channel: chassis_flow,
-                    model: sink_conv,
-                },
-            )?;
-            b.connect_directed(
-                air_dimm,
-                air,
-                Coupling::Advective {
-                    channel: chassis_flow,
-                    fraction: per_socket_fraction,
-                },
-            )?;
-            b.connect(
-                air,
-                ambient,
-                Coupling::Conductance(ThermalConductance::new(0.5)),
-            )?;
-            socket_nodes.push(SocketNodes { die, sink, air });
-        }
-        let mut net = b.build()?;
-        net.set_flow(chassis_flow, fans.flow())?;
-        let state = net.uniform_state(config.ambient);
-        let stepper = TransientSolver::new(&net);
 
         // ---- telemetry --------------------------------------------
         let mut csth = Csth::new(CSTH_POLL_PERIOD);
@@ -318,30 +158,12 @@ impl Server {
         };
 
         let mut server = Self {
-            config,
-            sockets,
-            dimm_banks,
-            fans,
-            sp,
-            net,
-            state,
-            stepper,
-            socket_nodes,
-            dimm_nodes,
-            air_dimm,
-            ambient_node: ambient,
-            chassis_flow,
-            clock: Clock::new(),
+            core,
             csth,
             channels,
             sensors,
             poll: Periodic::new(SimInstant::ZERO, CSTH_POLL_PERIOD),
             trace: TraceRecorder::with_capacity(10_000),
-            last_activity: Utilization::IDLE,
-            system_energy: Joules::ZERO,
-            fan_energy: Joules::ZERO,
-            peak_power: Watts::ZERO,
-            accounted: SimDuration::ZERO,
         };
         // Initial telemetry sample at t = 0.
         server.poll_telemetry()?;
@@ -354,13 +176,25 @@ impl Server {
     /// The simulation clock.
     #[must_use]
     pub fn now(&self) -> SimInstant {
-        self.clock.now()
+        self.core.now()
     }
 
     /// The machine configuration.
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        self.core.config()
+    }
+
+    /// The stepping core (physics + accounting, no telemetry).
+    #[must_use]
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    /// The thermal network (read side).
+    #[must_use]
+    pub fn thermal_network(&self) -> &ThermalNetwork {
+        self.core.thermal_network()
     }
 
     /// Ground-truth die temperature of `socket`.
@@ -369,14 +203,7 @@ impl Server {
     ///
     /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
     pub fn die_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
-        let nodes = self
-            .socket_nodes
-            .get(socket)
-            .ok_or(PlatformError::BadIndex {
-                kind: "socket",
-                index: socket,
-            })?;
-        Ok(self.net.temperature(&self.state, nodes.die))
+        self.core.die_temperature(socket)
     }
 
     /// Ground-truth heat-sink temperature of `socket`.
@@ -385,14 +212,7 @@ impl Server {
     ///
     /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
     pub fn sink_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
-        let nodes = self
-            .socket_nodes
-            .get(socket)
-            .ok_or(PlatformError::BadIndex {
-                kind: "socket",
-                index: socket,
-            })?;
-        Ok(self.net.temperature(&self.state, nodes.sink))
+        self.core.sink_temperature(socket)
     }
 
     /// Ground-truth local air temperature at `socket`'s heat sink.
@@ -401,29 +221,20 @@ impl Server {
     ///
     /// Returns [`PlatformError::BadIndex`] for an out-of-range socket.
     pub fn air_temperature(&self, socket: usize) -> Result<Celsius, PlatformError> {
-        let nodes = self
-            .socket_nodes
-            .get(socket)
-            .ok_or(PlatformError::BadIndex {
-                kind: "socket",
-                index: socket,
-            })?;
-        Ok(self.net.temperature(&self.state, nodes.air))
+        self.core.air_temperature(socket)
     }
 
     /// Ground-truth hottest die temperature.
     #[must_use]
     pub fn max_die_temperature(&self) -> Celsius {
-        self.socket_nodes
-            .iter()
-            .map(|n| self.net.temperature(&self.state, n.die))
-            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+        self.core.max_die_temperature()
     }
 
-    /// Latest measured value of each CPU temperature channel, in
-    /// channel order — the single source for every "as a controller
-    /// sees it" temperature read.
-    fn measured_cpu_temp_iter(&self) -> impl Iterator<Item = Celsius> + '_ {
+    /// Latest measured value of each CPU temperature channel (2 per
+    /// socket), in channel order, as a controller polling CSTH would
+    /// see them — the allocation-free single source for every "as a
+    /// controller sees it" temperature read.
+    pub fn measured_cpu_temps_iter(&self) -> impl Iterator<Item = Celsius> + '_ {
         self.channels
             .cpu_temps
             .iter()
@@ -431,11 +242,22 @@ impl Server {
             .map(|(_, v)| Celsius::new(v))
     }
 
-    /// Latest *measured* CPU temperatures (2 per socket), as a
-    /// controller polling CSTH would see them.
+    /// Latest *measured* CPU temperatures collected into a fresh `Vec`.
+    ///
+    /// Convenience wrapper over [`Server::measured_cpu_temps_iter`];
+    /// per-decision control paths should prefer the iterator (or
+    /// [`Server::measured_cpu_temps_into`]) to avoid the allocation.
     #[must_use]
     pub fn measured_cpu_temps(&self) -> Vec<Celsius> {
-        self.measured_cpu_temp_iter().collect()
+        self.measured_cpu_temps_iter().collect()
+    }
+
+    /// Latest *measured* CPU temperatures appended into `out` (cleared
+    /// first) — the allocation-free variant for callers that poll every
+    /// control period and can reuse a buffer.
+    pub fn measured_cpu_temps_into(&self, out: &mut Vec<Celsius>) {
+        out.clear();
+        out.extend(self.measured_cpu_temps_iter());
     }
 
     /// Hottest measured CPU temperature, if any sample exists.
@@ -444,7 +266,7 @@ impl Server {
     /// sits on the per-decision path of every controller.
     #[must_use]
     pub fn max_measured_cpu_temp(&self) -> Option<Celsius> {
-        self.measured_cpu_temp_iter()
+        self.measured_cpu_temps_iter()
             .fold(None, |acc, t| Some(acc.map_or(t, |a: Celsius| a.max(t))))
     }
 
@@ -452,78 +274,63 @@ impl Server {
     /// behind the PSU; fans are powered externally.
     #[must_use]
     pub fn system_power(&self) -> Watts {
-        self.config.psu.input_power(self.dc_power())
+        self.core.system_power()
     }
 
     /// Ground-truth DC power of all system components.
     #[must_use]
     pub fn dc_power(&self) -> Watts {
-        let cpu: Watts = self
-            .sockets
-            .iter()
-            .zip(&self.socket_nodes)
-            .map(|(s, n)| s.power(self.last_activity, self.net.temperature(&self.state, n.die)))
-            .sum();
-        let dimm: Watts = self
-            .dimm_banks
-            .iter()
-            .map(|b| b.power(self.last_activity))
-            .sum();
-        cpu + dimm + self.config.board_power
+        self.core.dc_power()
     }
 
     /// Ground-truth total CPU leakage right now (for analysis and
     /// EXPERIMENTS.md ground-truth columns; controllers never see this).
     #[must_use]
     pub fn leakage_power(&self) -> Watts {
-        self.sockets
-            .iter()
-            .zip(&self.socket_nodes)
-            .map(|(s, n)| s.leakage_power(self.net.temperature(&self.state, n.die)))
-            .sum()
+        self.core.leakage_power()
     }
 
     /// Ground-truth fan power (drawn from the external supplies).
     #[must_use]
     pub fn fan_power(&self) -> Watts {
-        self.fans.power()
+        self.core.fan_power()
     }
 
     /// Ground-truth total power: system wall power plus fan power.
     #[must_use]
     pub fn total_power(&self) -> Watts {
-        self.system_power() + self.fan_power()
+        self.core.total_power()
     }
 
     /// Accumulated system + fan energy since construction or the last
     /// [`Server::reset_accounting`].
     #[must_use]
     pub fn total_energy(&self) -> Joules {
-        self.system_energy + self.fan_energy
+        self.core.total_energy()
     }
 
     /// Accumulated fan energy.
     #[must_use]
     pub fn fan_energy(&self) -> Joules {
-        self.fan_energy
+        self.core.fan_energy()
     }
 
     /// Accumulated system (wall) energy.
     #[must_use]
     pub fn system_energy(&self) -> Joules {
-        self.system_energy
+        self.core.system_energy()
     }
 
     /// Highest instantaneous total power observed.
     #[must_use]
     pub fn peak_power(&self) -> Watts {
-        self.peak_power
+        self.core.peak_power()
     }
 
     /// Time over which energy has been accumulated.
     #[must_use]
     pub fn accounted_time(&self) -> SimDuration {
-        self.accounted
+        self.core.accounted_time()
     }
 
     /// The telemetry harness (read side).
@@ -541,31 +348,31 @@ impl Server {
     /// Mean actual fan speed.
     #[must_use]
     pub fn actual_rpm(&self) -> Rpm {
-        self.fans.mean_rpm()
+        self.core.actual_rpm()
     }
 
     /// Last applied fan command.
     #[must_use]
     pub fn commanded_rpm(&self) -> Rpm {
-        self.fans.commanded()
+        self.core.commanded_rpm()
     }
 
     /// Number of accepted fan speed changes.
     #[must_use]
     pub fn fan_speed_changes(&self) -> u64 {
-        self.fans.speed_changes()
+        self.core.fan_speed_changes()
     }
 
     /// How many times the thermal failsafe tripped.
     #[must_use]
     pub fn failsafe_activations(&self) -> u32 {
-        self.sp.activations()
+        self.core.failsafe_activations()
     }
 
     /// The activity level applied in the most recent step.
     #[must_use]
     pub fn current_activity(&self) -> Utilization {
-        self.last_activity
+        self.core.current_activity()
     }
 
     // ---- control ----------------------------------------------------
@@ -575,15 +382,13 @@ impl Server {
     /// While the thermal failsafe is engaged the command is recorded but
     /// overridden.
     pub fn command_fan_speed(&mut self, rpm: Rpm) {
-        if self.sp.is_engaged() {
+        if !self.core.command_fan_speed(rpm) {
             self.trace.record(
-                self.clock.now(),
+                self.core.now(),
                 "server",
                 format!("fan command {rpm:.0} ignored: failsafe engaged"),
             );
-            return;
         }
-        self.fans.command_all(self.clock.now(), rpm);
     }
 
     /// Re-pins the ambient (inlet) temperature — used for ambient-
@@ -595,23 +400,19 @@ impl Server {
     /// Propagates thermal-network errors (never expected for the
     /// built-in ambient node).
     pub fn set_ambient(&mut self, ambient: Celsius) -> Result<(), PlatformError> {
-        self.net.set_boundary(self.ambient_node, ambient)?;
-        Ok(())
+        self.core.set_ambient(ambient)
     }
 
     /// The current ambient (inlet) temperature.
     #[must_use]
     pub fn ambient(&self) -> Celsius {
-        self.net.temperature(&self.state, self.ambient_node)
+        self.core.ambient()
     }
 
     /// Resets energy, peak-power and timing accumulators (used between
     /// experiment phases; telemetry history is preserved).
     pub fn reset_accounting(&mut self) {
-        self.system_energy = Joules::ZERO;
-        self.fan_energy = Joules::ZERO;
-        self.peak_power = Watts::ZERO;
-        self.accounted = SimDuration::ZERO;
+        self.core.reset_accounting();
     }
 
     // ---- dynamics ---------------------------------------------------
@@ -627,63 +428,63 @@ impl Server {
         if dt.is_zero() {
             return Ok(());
         }
-        let end = self.clock.now() + dt;
-        self.last_activity = activity;
+        self.begin_step(dt, activity)?;
+        self.core.integrate(dt)?;
+        self.finish_step(dt)
+    }
 
-        // Fan supplies apply due commands; fans slew.
-        self.fans.advance(end, dt);
-        self.net.set_flow(self.chassis_flow, self.fans.flow())?;
-
-        // Thermal failsafe on ground-truth die temperature.
-        match self.sp.check(self.max_die_temperature()) {
-            SpAction::ForceMaxCooling => {
-                self.fans.command_all(self.clock.now(), self.config.max_rpm);
+    /// Phase 1 of a batch-integrated step: fan dynamics, failsafe,
+    /// component powers and accounting — everything up to (but not
+    /// including) the thermal integration, with failsafe transitions
+    /// traced. Follow with an external solve over
+    /// [`Server::split_thermal`] (or [`ServerCore::integrate`] through
+    /// [`Server::step`]) and then [`Server::finish_step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network failures.
+    pub fn begin_step(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+    ) -> Result<(), PlatformError> {
+        match self.core.begin_step(dt, activity)? {
+            SpTransition::ForcedMaxCooling => {
                 self.trace.record(
-                    self.clock.now(),
+                    self.core.now(),
                     "service-processor",
                     "failsafe: forcing maximum cooling",
                 );
             }
-            SpAction::Release => {
+            SpTransition::Released => {
                 self.trace
-                    .record(self.clock.now(), "service-processor", "failsafe released");
+                    .record(self.core.now(), "service-processor", "failsafe released");
             }
-            SpAction::None => {}
+            SpTransition::None => {}
         }
+        Ok(())
+    }
 
-        // Component powers from start-of-step temperatures. Each model
-        // is evaluated once and reused for both the thermal injection
-        // and the energy accounting (the leakage exponential is the
-        // single most expensive power-model term).
-        let mut cpu_p = Watts::ZERO;
-        for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
-            let die_t = self.net.temperature(&self.state, nodes.die);
-            let p = socket.power(activity, die_t);
-            cpu_p += p;
-            self.net.set_power(nodes.die, p)?;
+    /// The thermal network and mutable state as a batch lane — see
+    /// [`BatchSolver`](leakctl_thermal::BatchSolver). Valid between
+    /// [`Server::begin_step`] and [`Server::finish_step`].
+    #[must_use]
+    pub fn split_thermal(&mut self) -> (&ThermalNetwork, &mut ThermalState) {
+        self.core.split_thermal()
+    }
+
+    /// Phase 3 of a batch-integrated step: advances the clock and polls
+    /// CSTH telemetry on its cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates telemetry failures.
+    pub fn finish_step(&mut self, dt: SimDuration) -> Result<(), PlatformError> {
+        if dt.is_zero() {
+            return Ok(());
         }
-        let mut dimm_p = Watts::ZERO;
-        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
-            let p = bank.power(activity);
-            dimm_p += p;
-            self.net.set_power(node, p)?;
-        }
-        self.net.set_power(self.air_dimm, self.config.board_power)?;
-
-        // Energy accounting with start-of-step powers.
-        let dc = cpu_p + dimm_p + self.config.board_power;
-        let wall = self.config.psu.input_power(dc);
-        let fan_p = self.fan_power();
-        self.system_energy += wall * dt;
-        self.fan_energy += fan_p * dt;
-        self.peak_power = self.peak_power.max(wall + fan_p);
-        self.accounted += dt;
-
-        // Integrate the thermal network through the cached stepper.
-        self.stepper
-            .step(&self.net, &mut self.state, dt, self.config.integrator)?;
-        self.clock.advance_to(end).expect("time moves forward");
-
+        self.core.finish_step(dt);
+        let end = self.core.now();
         // CSTH polling.
         while self.poll.is_due(end) {
             self.poll_telemetry()?;
@@ -694,10 +495,11 @@ impl Server {
 
     /// Records one full telemetry sample at the current instant.
     fn poll_telemetry(&mut self) -> Result<(), PlatformError> {
-        let at = self.clock.now();
+        let at = self.core.now();
+        let core = &self.core;
         // CPU temperatures: two diodes per die.
-        for (s, nodes) in self.socket_nodes.iter().enumerate() {
-            let true_t = self.net.temperature(&self.state, nodes.die).degrees();
+        for (s, nodes) in core.socket_nodes.iter().enumerate() {
+            let true_t = core.net.temperature(&core.state, nodes.die).degrees();
             for d in 0..2 {
                 let idx = 2 * s + d;
                 let measured = self.sensors.cpu_temps[idx].measure(true_t);
@@ -706,12 +508,12 @@ impl Server {
             }
         }
         // DIMM temperatures: per-module offset around the bank node.
-        let per_bank = self.config.dimm_count / 2;
-        for i in 0..self.config.dimm_count {
+        let per_bank = core.config.dimm_count / 2;
+        for i in 0..core.config.dimm_count {
             let bank = i / per_bank;
-            let true_t = self
+            let true_t = core
                 .net
-                .temperature(&self.state, self.dimm_nodes[bank])
+                .temperature(&core.state, core.dimm_nodes[bank])
                 .degrees()
                 + self.sensors.dimm_offsets[i];
             let measured = self.sensors.dimm_temps[i].measure(true_t);
@@ -719,11 +521,11 @@ impl Server {
                 .record(self.channels.dimm_temps[i], at, measured)?;
         }
         // Per-core currents and per-socket voltages.
-        for (s, (socket, nodes)) in self.sockets.iter().zip(&self.socket_nodes).enumerate() {
-            let die_t = self.net.temperature(&self.state, nodes.die);
-            let i_true = socket.core_current(self.last_activity, die_t).value();
-            for c in 0..self.config.cores_per_socket {
-                let idx = s * self.config.cores_per_socket + c;
+        for (s, (socket, nodes)) in core.sockets.iter().zip(&core.socket_nodes).enumerate() {
+            let die_t = core.net.temperature(&core.state, nodes.die);
+            let i_true = socket.core_current(core.last_activity, die_t).value();
+            for c in 0..core.config.cores_per_socket {
+                let idx = s * core.config.cores_per_socket + c;
                 let measured = self.sensors.core_currents[idx].measure(i_true);
                 self.csth
                     .record(self.channels.core_currents[idx], at, measured)?;
@@ -735,14 +537,14 @@ impl Server {
             )?;
         }
         // System power, fan power, fan RPM.
-        let wall = self.system_power().value();
+        let wall = core.system_power().value();
         let wall_measured = self.sensors.system_power.measure(wall);
         self.csth
             .record(self.channels.system_power, at, wall_measured)?;
-        let fan_measured = self.sensors.fan_power.measure(self.fan_power().value());
+        let fan_measured = self.sensors.fan_power.measure(core.fan_power().value());
         self.csth
             .record(self.channels.fan_power, at, fan_measured)?;
-        let rpm_measured = self.sensors.fan_rpm.measure(self.actual_rpm().value());
+        let rpm_measured = self.sensors.fan_rpm.measure(core.actual_rpm().value());
         self.csth.record(self.channels.fan_rpm, at, rpm_measured)?;
         Ok(())
     }
@@ -762,63 +564,7 @@ impl Server {
         activity: Utilization,
         rpm: Rpm,
     ) -> Result<(Vec<Celsius>, Watts), PlatformError> {
-        let mut net = self.net.clone();
-        let rpm = rpm.clamp(self.config.min_rpm, self.config.max_rpm);
-        net.set_flow(self.chassis_flow, self.config.fans.flow(rpm))?;
-        for (bank, &node) in self.dimm_banks.iter().zip(&self.dimm_nodes) {
-            net.set_power(node, bank.power(activity))?;
-        }
-        net.set_power(self.air_dimm, self.config.board_power)?;
-
-        let mut temps: Vec<Celsius> = vec![self.config.ambient; self.sockets.len()];
-        let mut state = net.uniform_state(self.config.ambient);
-        // One solver for the whole fixed-point loop: flows are constant
-        // across iterations, so `G` is factored once and every
-        // iteration is a single back-substitution.
-        let mut solver = TransientSolver::new(&net);
-        for _ in 0..60 {
-            for (socket, nodes) in self.sockets.iter().zip(&self.socket_nodes) {
-                let idx = socket.id();
-                net.set_power(nodes.die, socket.power(activity, temps[idx]))?;
-            }
-            solver.steady_state_into(&net, &mut state)?;
-            let new_temps: Vec<Celsius> = self
-                .socket_nodes
-                .iter()
-                .map(|n| net.temperature(&state, n.die))
-                .collect();
-            // Leakage–temperature thermal runaway: the fixed point has
-            // no finite solution at this operating point.
-            if new_temps.iter().any(|t| !t.is_finite()) {
-                return Err(PlatformError::Thermal(
-                    leakctl_thermal::ThermalError::Diverged {
-                        name: "leakage-temperature fixed point".to_owned(),
-                    },
-                ));
-            }
-            let delta = new_temps
-                .iter()
-                .zip(&temps)
-                .map(|(a, b)| (a.degrees() - b.degrees()).abs())
-                .fold(0.0, f64::max);
-            temps = new_temps;
-            if delta < 1e-6 {
-                break;
-            }
-        }
-        let dc: Watts = self
-            .sockets
-            .iter()
-            .map(|s| s.power(activity, temps[s.id()]))
-            .sum::<Watts>()
-            + self
-                .dimm_banks
-                .iter()
-                .map(|b| b.power(activity))
-                .sum::<Watts>()
-            + self.config.board_power;
-        let _ = &state;
-        Ok((temps, dc))
+        self.core.steady_state_preview(activity, rpm)
     }
 }
 
@@ -969,6 +715,10 @@ mod tests {
         assert_eq!(s.csth().series(ch).len(), 10);
         let temps = s.measured_cpu_temps();
         assert_eq!(temps.len(), 4);
+        let mut reused = Vec::new();
+        s.measured_cpu_temps_into(&mut reused);
+        assert_eq!(temps, reused);
+        assert_eq!(s.measured_cpu_temps_iter().count(), 4);
         assert!(s.max_measured_cpu_temp().is_some());
         // Measured temps track the truth within sensor error.
         let truth = s.max_die_temperature().degrees();
@@ -988,8 +738,8 @@ mod tests {
     fn failsafe_trips_under_impossible_cooling() {
         // Cripple convection so the die overheats at min fan speed.
         let config = ServerConfig {
-            sink_conv_g_ref: ThermalConductance::new(0.8),
-            sink_conv_g_min: ThermalConductance::new(0.01),
+            sink_conv_g_ref: leakctl_units::ThermalConductance::new(0.8),
+            sink_conv_g_min: leakctl_units::ThermalConductance::new(0.01),
             ..ServerConfig::default()
         };
         let mut s = Server::new(config, 1).unwrap();
@@ -1121,5 +871,34 @@ mod tests {
         let t = s.now();
         s.step(SimDuration::ZERO, Utilization::FULL).unwrap();
         assert_eq!(s.now(), t);
+    }
+
+    #[test]
+    fn phased_step_bit_identical_to_plain_step() {
+        // The batch-integration protocol (begin / external-style
+        // integrate / finish) must reproduce Server::step exactly,
+        // telemetry included.
+        let mut phased = server();
+        let mut plain = server();
+        let dt = SimDuration::from_secs(1);
+        for i in 0..240 {
+            let act = if i % 50 < 25 {
+                Utilization::FULL
+            } else {
+                Utilization::IDLE
+            };
+            phased.begin_step(dt, act).unwrap();
+            {
+                let mut solver = leakctl_thermal::BatchSolver::new(phased.thermal_network());
+                let (net, state) = phased.split_thermal();
+                let mut lanes = [leakctl_thermal::BatchLane { net, state }];
+                solver.step(&mut lanes, dt).unwrap();
+            }
+            phased.finish_step(dt).unwrap();
+            plain.step(dt, act).unwrap();
+        }
+        assert_eq!(phased.max_die_temperature(), plain.max_die_temperature());
+        assert_eq!(phased.total_energy(), plain.total_energy());
+        assert_eq!(phased.measured_cpu_temps(), plain.measured_cpu_temps());
     }
 }

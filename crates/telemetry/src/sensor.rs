@@ -72,12 +72,21 @@ impl Default for SensorSpec {
     }
 }
 
+/// Gaussian draws precomputed per refill — one block serves that many
+/// polls of the channel, amortizing the Box–Muller transform (the
+/// dominant cost of a telemetry poll) without touching the per-sensor
+/// stream: the buffered values are exactly the next draws of this
+/// sensor's RNG, in order.
+const NOISE_BLOCK: usize = 16;
+
 /// A stateful sensor combining a [`SensorSpec`] with its own noise
 /// stream.
 ///
 /// Each sensor owns a forked RNG so adding or removing one sensor never
 /// changes the noise another sensor sees — a requirement for
-/// reproducible experiments.
+/// reproducible experiments. Noise is generated in blocks
+/// ([`SimRng::fill_gaussian`]) and consumed per measurement; the
+/// sequence of measurements is byte-identical to per-call draws.
 ///
 /// # Example
 ///
@@ -94,13 +103,20 @@ impl Default for SensorSpec {
 pub struct Sensor {
     spec: SensorSpec,
     rng: SimRng,
+    noise_buf: [f64; NOISE_BLOCK],
+    noise_pos: usize,
 }
 
 impl Sensor {
     /// Creates a sensor with its own noise stream.
     #[must_use]
     pub fn new(spec: SensorSpec, rng: SimRng) -> Self {
-        Self { spec, rng }
+        Self {
+            spec,
+            rng,
+            noise_buf: [0.0; NOISE_BLOCK],
+            noise_pos: NOISE_BLOCK,
+        }
     }
 
     /// An ideal pass-through sensor.
@@ -109,12 +125,25 @@ impl Sensor {
         Self::new(SensorSpec::ideal(), SimRng::seed(0))
     }
 
+    /// The next standard-normal draw from this sensor's stream, served
+    /// from the precomputed block.
+    #[inline]
+    fn next_noise(&mut self) -> f64 {
+        if self.noise_pos == NOISE_BLOCK {
+            self.rng.fill_gaussian(&mut self.noise_buf);
+            self.noise_pos = 0;
+        }
+        let z = self.noise_buf[self.noise_pos];
+        self.noise_pos += 1;
+        z
+    }
+
     /// Produces a measurement of `true_value`.
     pub fn measure(&mut self, true_value: f64) -> f64 {
         let spec = self.spec;
         let mut v = spec.gain * true_value + spec.offset;
         if spec.noise_sigma > 0.0 {
-            v += spec.noise_sigma * self.rng.next_gaussian();
+            v += spec.noise_sigma * self.next_noise();
         }
         if spec.quantization > 0.0 {
             v = (v / spec.quantization).round() * spec.quantization;
@@ -163,6 +192,25 @@ mod tests {
         let mut s = Sensor::new(spec, SimRng::seed(0));
         assert_eq!(s.measure(70.26), 70.5);
         assert_eq!(s.measure(70.24), 70.0);
+    }
+
+    #[test]
+    fn block_buffered_noise_matches_per_call_draws() {
+        // The buffered stream must be byte-identical to drawing one
+        // gaussian per measurement from the same forked RNG.
+        let mut rng = SimRng::seed(77);
+        let spec = SensorSpec::cpu_thermal_diode();
+        let child = rng.fork("cpu0");
+        let mut sensor = Sensor::new(spec, child.clone());
+        let mut reference_rng = child;
+        for i in 0..100 {
+            let true_t = 50.0 + (i as f64) * 0.1;
+            let got = sensor.measure(true_t);
+            let mut want =
+                spec.gain * true_t + spec.offset + spec.noise_sigma * reference_rng.next_gaussian();
+            want = (want / spec.quantization).round() * spec.quantization;
+            assert_eq!(got.to_bits(), want.to_bits(), "sample {i}");
+        }
     }
 
     #[test]

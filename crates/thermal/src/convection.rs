@@ -79,6 +79,17 @@ impl ConvectionModel {
         }
     }
 
+    /// Bit-exact parameter fingerprint, used by the network's structural
+    /// hash so identically-built networks can share factorizations.
+    pub(crate) fn param_bits(&self) -> [u64; 4] {
+        [
+            self.g_ref.value().to_bits(),
+            self.flow_ref.value().to_bits(),
+            self.exponent.to_bits(),
+            self.g_min.value().to_bits(),
+        ]
+    }
+
     /// A model with the standard turbulent exponent (0.8) and a floor of
     /// 5 % of the reference conductance.
     #[must_use]

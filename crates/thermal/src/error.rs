@@ -36,6 +36,10 @@ pub enum ThermalError {
         /// Name of the first offending node.
         name: String,
     },
+    /// A packed batch step requires every lane to share one flow
+    /// signature (use the per-lane `BatchSolver::step` API for fleets
+    /// with diverged fan speeds).
+    MixedBatchSignatures,
 }
 
 impl fmt::Display for ThermalError {
@@ -54,6 +58,10 @@ impl fmt::Display for ThermalError {
             Self::Diverged { name } => write!(
                 f,
                 "integration diverged at node {name} (reduce the step or use an implicit method)"
+            ),
+            Self::MixedBatchSignatures => write!(
+                f,
+                "packed batch step requires all lanes to share one flow signature"
             ),
         }
     }

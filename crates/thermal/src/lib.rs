@@ -49,13 +49,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
+mod batch;
 mod convection;
 mod error;
 pub mod linalg;
 mod network;
 mod solver;
+pub mod sparse;
 mod stepper;
 
+pub use backend::{AutoBackend, CsrBackend, DenseBackend, SolverBackend, CSR_NODE_THRESHOLD};
+pub use batch::{BatchLane, BatchSolver, PackedLanes};
 pub use convection::ConvectionModel;
 pub use error::ThermalError;
 pub use network::{
@@ -63,6 +68,13 @@ pub use network::{
 };
 pub use solver::Integrator;
 pub use stepper::TransientSolver;
+
+/// A [`TransientSolver`] pinned to the dense backend (explicit choice;
+/// [`TransientSolver::new`] auto-selects).
+pub type DenseTransientSolver = TransientSolver<DenseBackend>;
+
+/// A [`TransientSolver`] pinned to the CSR sparse backend.
+pub type CsrTransientSolver = TransientSolver<CsrBackend>;
 
 /// Specific heat capacity of air at constant pressure, J/(kg·K).
 pub const AIR_SPECIFIC_HEAT: f64 = 1006.0;

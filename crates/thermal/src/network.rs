@@ -260,6 +260,7 @@ impl ThermalNetworkBuilder {
             }
         }
         let powers = vec![0.0; self.nodes.len()];
+        let structure_hash = structure_hash(&self.nodes, &self.edges, self.channels.len());
         Ok(ThermalNetwork {
             nodes: self.nodes,
             edges: self.edges,
@@ -270,8 +271,64 @@ impl ThermalNetworkBuilder {
             power_gen: next_generation(),
             boundary_gen: next_generation(),
             topology_id: next_generation(),
+            structure_hash,
         })
     }
+}
+
+/// Deterministic fingerprint of a network's *structural constants*:
+/// node kinds and capacitances, edge endpoints/direction/coupling
+/// parameters, and the channel count. Runtime-mutable inputs (powers,
+/// flows, boundary temperatures) and cosmetic data (names) are
+/// excluded, so two networks built through the same sequence of builder
+/// calls share the hash even when their runtime inputs have diverged —
+/// the property the batch solver needs to share one factorization
+/// across a fleet of independently built, identically configured
+/// servers.
+fn structure_hash(nodes: &[NodeData], edges: &[Edge], channel_count: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        // FNV-1a over 64-bit words.
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(nodes.len() as u64);
+    mix(channel_count as u64);
+    for node in nodes {
+        match node.kind {
+            NodeKind::Capacitive { capacitance, slot } => {
+                mix(1);
+                mix(capacitance.to_bits());
+                mix(slot as u64);
+            }
+            NodeKind::Boundary { .. } => mix(2),
+        }
+    }
+    mix(edges.len() as u64);
+    for edge in edges {
+        mix(edge.a as u64);
+        mix(edge.b as u64);
+        mix(u64::from(edge.directed));
+        match edge.coupling {
+            Coupling::Conductance(g) => {
+                mix(3);
+                mix(g.value().to_bits());
+            }
+            Coupling::Convective { channel, model } => {
+                mix(4);
+                mix(channel.0 as u64);
+                for bits in model.param_bits() {
+                    mix(bits);
+                }
+            }
+            Coupling::Advective { channel, fraction } => {
+                mix(5);
+                mix(channel.0 as u64);
+                mix(fraction.to_bits());
+            }
+        }
+    }
+    h
 }
 
 /// The temperature state of a network's capacitive nodes.
@@ -309,6 +366,14 @@ impl ThermalState {
     pub fn is_finite(&self) -> bool {
         self.temps.iter().all(|t| t.is_finite())
     }
+
+    /// The raw per-slot temperatures, in slot order (°C) — read slots
+    /// through [`ThermalNetwork::temperature`] for node-id access;
+    /// batch consumers and equivalence tests use this direct view.
+    #[must_use]
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps
+    }
 }
 
 /// A lumped RC thermal network with runtime-settable power injections,
@@ -330,6 +395,11 @@ pub struct ThermalNetwork {
     // (their topology is identical), never bumped — lets a solver
     // reject networks it was not built for.
     topology_id: u64,
+    // Structural fingerprint shared by *identically built* networks
+    // (see `structure_hash`); unlike `topology_id` it does not
+    // distinguish separate builds of the same topology, which is what
+    // lets a batch solver pool independently constructed servers.
+    structure_hash: u64,
 }
 
 impl ThermalNetwork {
@@ -503,6 +573,23 @@ impl ThermalNetwork {
         self.topology_id
     }
 
+    /// Structural fingerprint over node kinds/capacitances, edges and
+    /// coupling parameters (runtime inputs and names excluded).
+    /// Identically built networks share it even across separate builds —
+    /// the compatibility key for [`BatchSolver`](crate::BatchSolver).
+    #[must_use]
+    pub fn structure_hash(&self) -> u64 {
+        self.structure_hash
+    }
+
+    /// Appends the bit pattern of every channel flow, in channel order —
+    /// the value-level part of a shared-factorization key: two
+    /// structurally identical networks with equal flow signatures
+    /// assemble the exact same conductance matrix.
+    pub(crate) fn flow_signature_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.channels.iter().map(|ch| ch.flow.to_bits()));
+    }
+
     /// Generation of the last real flow change (conductance matrix `G`
     /// and the boundary source both depend on flows).
     pub(crate) fn flow_generation(&self) -> u64 {
@@ -552,6 +639,20 @@ impl ThermalNetwork {
             "assembly buffers must match the network dimension"
         );
         g_mat.fill(0.0);
+        self.assemble_conductance_with(&mut |r, c, v| g_mat.add_to(r, c, v), s_bound);
+    }
+
+    /// Generic-sink counterpart of [`Self::assemble_conductance_into`]:
+    /// streams the conductance-matrix contributions `(row, col, +=v)` to
+    /// `add` (the caller provides storage — dense or CSR) and writes the
+    /// boundary-coupling source into `s_bound`. Both the edge order and
+    /// the accumulation order are identical to the dense path, so any
+    /// storage that accumulates exactly reproduces its values.
+    pub(crate) fn assemble_conductance_with(
+        &self,
+        add: &mut impl FnMut(usize, usize, f64),
+        s_bound: &mut [f64],
+    ) {
         s_bound.fill(0.0);
         for edge in &self.edges {
             let g = self.edge_conductance(edge);
@@ -565,14 +666,40 @@ impl ThermalNetwork {
                 if edge.directed { &ends[1..] } else { &ends[..] };
             for &(receiver, other) in orientations {
                 if let NodeKind::Capacitive { slot: rs, .. } = self.nodes[receiver].kind {
-                    g_mat.add_to(rs, rs, g);
+                    add(rs, rs, g);
                     match self.nodes[other].kind {
                         NodeKind::Capacitive { slot: os, .. } => {
-                            g_mat.add_to(rs, os, -g);
+                            add(rs, os, -g);
                         }
                         NodeKind::Boundary { temp } => {
                             s_bound[rs] += g * temp;
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes only the boundary-coupling source vector into `s_bound`,
+    /// skipping matrix assembly. Iterates edges in the same order with
+    /// the same accumulation as [`Self::assemble_conductance_with`], so
+    /// the result is bit-identical to the `s_bound` that a full assembly
+    /// would produce — the batch solver uses this to refresh per-server
+    /// sources while sharing one conductance matrix across the fleet.
+    pub(crate) fn assemble_boundary_source_into(&self, s_bound: &mut [f64]) {
+        s_bound.fill(0.0);
+        for edge in &self.edges {
+            let g = self.edge_conductance(edge);
+            if g <= 0.0 {
+                continue;
+            }
+            let ends = [(edge.a, edge.b), (edge.b, edge.a)];
+            let orientations: &[(usize, usize)] =
+                if edge.directed { &ends[1..] } else { &ends[..] };
+            for &(receiver, other) in orientations {
+                if let NodeKind::Capacitive { slot: rs, .. } = self.nodes[receiver].kind {
+                    if let NodeKind::Boundary { temp } = self.nodes[other].kind {
+                        s_bound[rs] += g * temp;
                     }
                 }
             }

@@ -1,9 +1,10 @@
-//! Zero-allocation transient stepping engine.
+//! Zero-allocation transient stepping engine, generic over a solver
+//! backend.
 //!
 //! The stateless [`ThermalNetwork::step`] reassembles the linear system
-//! and (for the implicit method) runs a full O(n³) LU factorization on
-//! every call. Long transient integrations — the paper's 80-minute runs
-//! at 1-second steps, and the dense characterization sweeps behind the
+//! and (for the implicit method) runs a full factorization on every
+//! call. Long transient integrations — the paper's 80-minute runs at
+//! 1-second steps, and the dense characterization sweeps behind the
 //! LUT — spend almost all of their time in stretches where *nothing*
 //! about the system changes: fans hold a constant flow, powers update
 //! but only move the source vector, and the step size is fixed.
@@ -19,9 +20,16 @@
 //!    boundary-coupling source, invalidated by flow or boundary
 //!    changes;
 //! 2. the power-injection source vector, invalidated by power changes;
-//! 3. the LU factorization of `(C + h·G)`, keyed on `(h, flow)` — the
-//!    common constant-fan/constant-dt stretches pay only an O(n²)
+//! 3. the factorization of `(C + h·G)`, keyed on `(h, flow)` — the
+//!    common constant-fan/constant-dt stretches pay only a
 //!    back-substitution per step, with zero heap allocation.
+//!
+//! The matrix storage and factorization live behind a pluggable
+//! [`SolverBackend`]: dense LU for single-server networks and CSR
+//! sparse LU (with a cached symbolic analysis) for rack-scale ones. The
+//! default [`AutoBackend`] picks by node count, so existing call sites
+//! transparently go sparse at scale while small networks keep the
+//! historical bit-exact dense path.
 //!
 //! The stateless `step()`/`run()` API remains available as a thin
 //! wrapper that builds a throwaway solver, so one code path produces
@@ -29,18 +37,20 @@
 
 use leakctl_units::SimDuration;
 
+use crate::backend::{AutoBackend, SolverBackend};
 use crate::error::ThermalError;
-use crate::linalg::{LuFactors, Matrix};
 use crate::network::{ThermalNetwork, ThermalState};
 use crate::solver::Integrator;
 
 /// Reusable stepping engine bound to one [`ThermalNetwork`]'s topology.
 ///
-/// Create it once per network with [`TransientSolver::new`] and drive
-/// every step of a transient through it. The solver may be used with
-/// the network it was built from *or any clone of it* — caches key on
-/// globally unique generation numbers, so switching between clones is
-/// always correct (at worst it costs a re-assembly).
+/// Create it once per network with [`TransientSolver::new`] (automatic
+/// dense/CSR backend selection) or [`TransientSolver::with_backend`]
+/// (explicit backend), and drive every step of a transient through it.
+/// The solver may be used with the network it was built from *or any
+/// clone of it* — caches key on globally unique generation numbers, so
+/// switching between clones is always correct (at worst it costs a
+/// re-assembly).
 ///
 /// # Example
 ///
@@ -72,13 +82,14 @@ use crate::solver::Integrator;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct TransientSolver {
+pub struct TransientSolver<B: SolverBackend = AutoBackend> {
     n: usize,
     /// Structural identity of the network this solver was built for
     /// (shared by clones); guards the fixed sparsity/capacitance data.
     topology_id: u64,
+    /// Matrix storage + factorization engine (dense or CSR).
+    backend: B,
     // ---- cached assembly -------------------------------------------
-    g: Matrix,
     s_bound: Vec<f64>,
     s_power: Vec<f64>,
     /// Combined source `s = s_power + s_bound`, refreshed when either
@@ -87,17 +98,11 @@ pub struct TransientSolver {
     c: Vec<f64>,
     cond_key: Option<(u64, u64)>,
     power_key: Option<u64>,
-    // ---- cached factorizations -------------------------------------
-    /// Backward-Euler system `(C + h·G)` build workspace.
-    be_m: Matrix,
-    be_lu: Option<LuFactors>,
+    // ---- factorization keys ----------------------------------------
+    /// Backward-Euler `(C + h·G)` factorization key: `(h, flow)`.
     be_key: Option<(u64, u64)>,
-    /// Steady-state factorization of `G` itself.
-    ss_lu: Option<LuFactors>,
+    /// Steady-state `G` factorization key: flow generation.
     ss_key: Option<u64>,
-    // ---- structural sparsity (fixed at build) ----------------------
-    nbr_offsets: Vec<usize>,
-    nbr_cols: Vec<usize>,
     // ---- step workspaces -------------------------------------------
     rhs: Vec<f64>,
     x: Vec<f64>,
@@ -108,38 +113,38 @@ pub struct TransientSolver {
     tmp: Vec<f64>,
 }
 
-impl TransientSolver {
-    /// Builds a solver sized for `net`, with all caches cold.
+impl TransientSolver<AutoBackend> {
+    /// Builds a solver sized for `net` with all caches cold, selecting
+    /// the backend automatically: dense below
+    /// [`CSR_NODE_THRESHOLD`](crate::backend::CSR_NODE_THRESHOLD) state
+    /// nodes, CSR sparse at or above it.
     #[must_use]
     pub fn new(net: &ThermalNetwork) -> Self {
+        Self::with_backend(net)
+    }
+}
+
+impl<B: SolverBackend> TransientSolver<B> {
+    /// Builds a solver for `net` over an explicitly chosen backend —
+    /// see [`DenseTransientSolver`](crate::DenseTransientSolver) and
+    /// [`CsrTransientSolver`](crate::CsrTransientSolver).
+    #[must_use]
+    pub fn with_backend(net: &ThermalNetwork) -> Self {
         let n = net.state_count();
         let mut c = vec![0.0; n];
         net.capacitances_into(&mut c);
-        let nbrs = net.slot_adjacency();
-        let mut nbr_offsets = Vec::with_capacity(n + 1);
-        let mut nbr_cols = Vec::new();
-        nbr_offsets.push(0);
-        for row in &nbrs {
-            nbr_cols.extend_from_slice(row);
-            nbr_offsets.push(nbr_cols.len());
-        }
         Self {
             n,
             topology_id: net.topology_id(),
-            g: Matrix::zeros(n, n),
+            backend: B::build(net),
             s_bound: vec![0.0; n],
             s_power: vec![0.0; n],
             s: vec![0.0; n],
             c,
             cond_key: None,
             power_key: None,
-            be_m: Matrix::zeros(n, n),
-            be_lu: None,
             be_key: None,
-            ss_lu: None,
             ss_key: None,
-            nbr_offsets,
-            nbr_cols,
             rhs: vec![0.0; n],
             x: vec![0.0; n],
             gt: vec![0.0; n],
@@ -150,12 +155,17 @@ impl TransientSolver {
         }
     }
 
+    /// `true` when the selected backend stores the system sparsely.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.backend.is_sparse()
+    }
+
     /// Panics unless `net` is the network this solver was built for (or
     /// a clone of it). The fixed per-solver data — capacitances and the
-    /// structural sparsity used by the exponential integrator — is only
-    /// valid for that topology, so a structurally different network of
-    /// the same dimension must be rejected rather than silently
-    /// mis-stepped.
+    /// backend's structural sparsity — is only valid for that topology,
+    /// so a structurally different network of the same dimension must
+    /// be rejected rather than silently mis-stepped.
     fn check_topology(&self, net: &ThermalNetwork) {
         assert_eq!(
             net.topology_id(),
@@ -170,7 +180,7 @@ impl TransientSolver {
         let cond_key = (net.flow_generation(), net.boundary_generation());
         let mut source_stale = false;
         if self.cond_key != Some(cond_key) {
-            net.assemble_conductance_into(&mut self.g, &mut self.s_bound);
+            self.backend.assemble_conductance(net, &mut self.s_bound);
             self.cond_key = Some(cond_key);
             source_stale = true;
         }
@@ -192,7 +202,7 @@ impl TransientSolver {
     ///
     /// Identical semantics to [`ThermalNetwork::step`]; after warm-up
     /// the call is allocation-free, and with unchanged `(dt, flows)`
-    /// the implicit method reuses the cached LU factorization.
+    /// the implicit method reuses the cached factorization.
     ///
     /// # Errors
     ///
@@ -227,26 +237,26 @@ impl TransientSolver {
         let h = dt.as_secs_f64();
         match method {
             Integrator::ForwardEuler => {
-                derivative_into(&self.g, &self.s, &self.c, &state.temps, &mut self.gt);
+                derivative_into(&self.backend, &self.s, &self.c, &state.temps, &mut self.gt);
                 for (t, d) in state.temps.iter_mut().zip(&self.gt) {
                     *t += h * d;
                 }
             }
             Integrator::Rk4 => {
-                derivative_into(&self.g, &self.s, &self.c, &state.temps, &mut self.k1);
+                derivative_into(&self.backend, &self.s, &self.c, &state.temps, &mut self.k1);
                 for i in 0..n {
                     self.tmp[i] = state.temps[i] + 0.5 * h * self.k1[i];
                 }
-                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.k2);
+                derivative_into(&self.backend, &self.s, &self.c, &self.tmp, &mut self.k2);
                 for i in 0..n {
                     self.tmp[i] = state.temps[i] + 0.5 * h * self.k2[i];
                 }
-                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.k3);
+                derivative_into(&self.backend, &self.s, &self.c, &self.tmp, &mut self.k3);
                 for i in 0..n {
                     self.tmp[i] = state.temps[i] + h * self.k3[i];
                 }
                 // k4 lands in `x`, reusing the solve workspace.
-                derivative_into(&self.g, &self.s, &self.c, &self.tmp, &mut self.x);
+                derivative_into(&self.backend, &self.s, &self.c, &self.tmp, &mut self.x);
                 for i in 0..n {
                     state.temps[i] +=
                         h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.x[i]);
@@ -254,14 +264,14 @@ impl TransientSolver {
             }
             Integrator::ExponentialEuler => {
                 for i in 0..n {
-                    let a = self.g.get(i, i) / self.c[i];
+                    let a = self.backend.g_diag(i) / self.c[i];
                     // Off-diagonal inflow frozen at start-of-step
                     // values; only structurally coupled slots
                     // contribute, so the scan is sparse.
                     let mut inflow = self.s[i];
-                    for &j in &self.nbr_cols[self.nbr_offsets[i]..self.nbr_offsets[i + 1]] {
-                        inflow -= self.g.get(i, j) * state.temps[j];
-                    }
+                    self.backend.g_offdiag_row(i, |j, g| {
+                        inflow -= g * state.temps[j];
+                    });
                     let r = inflow / self.c[i];
                     self.x[i] = if a.abs() < 1e-300 {
                         state.temps[i] + r * h
@@ -276,30 +286,12 @@ impl TransientSolver {
                 // (C + h·G)·T' = C·T + h·s
                 let key = (h.to_bits(), net.flow_generation());
                 if self.be_key != Some(key) {
-                    for r in 0..n {
-                        for col in 0..n {
-                            let mut v = h * self.g.get(r, col);
-                            if r == col {
-                                v += self.c[r];
-                            }
-                            self.be_m.set(r, col, v);
-                        }
-                    }
-                    let factored = if let Some(factors) = self.be_lu.as_mut() {
-                        self.be_m.lu_into(factors)
-                    } else {
-                        self.be_m.lu().map(|factors| {
-                            self.be_lu = Some(factors);
-                        })
-                    };
-                    if factored.is_err() {
+                    if let Err(err) = self.backend.factor_be(&self.c, h) {
                         self.be_key = None;
-                        self.be_lu = None;
-                        return Err(ThermalError::SingularSystem);
+                        return Err(err);
                     }
                     self.be_key = Some(key);
                 }
-                let factors = self.be_lu.as_ref().expect("factorization cached above");
                 for (((rhs, &ci), &ti), &si) in self
                     .rhs
                     .iter_mut()
@@ -309,9 +301,7 @@ impl TransientSolver {
                 {
                     *rhs = ci * ti + h * si;
                 }
-                factors
-                    .solve_into(&self.rhs, &mut self.x)
-                    .map_err(|_| ThermalError::SingularSystem)?;
+                self.backend.solve_be_into(&self.rhs, &mut self.x)?;
                 std::mem::swap(&mut state.temps, &mut self.x);
             }
         }
@@ -355,7 +345,7 @@ impl TransientSolver {
     /// current inputs, writing into `state` — the cached counterpart of
     /// [`ThermalNetwork::steady_state`]. `G`'s factorization is reused
     /// while flows stay constant, so fixed-point iterations that only
-    /// move powers (e.g. the leakage–temperature loop) pay one O(n²)
+    /// move powers (e.g. the leakage–temperature loop) pay one
     /// back-substitution per iteration.
     ///
     /// # Errors
@@ -382,33 +372,25 @@ impl TransientSolver {
         self.refresh(net);
         let key = net.flow_generation();
         if self.ss_key != Some(key) {
-            let factored = if let Some(factors) = self.ss_lu.as_mut() {
-                self.g.lu_into(factors)
-            } else {
-                self.g.lu().map(|factors| {
-                    self.ss_lu = Some(factors);
-                })
-            };
-            if factored.is_err() {
+            if let Err(err) = self.backend.factor_steady() {
                 self.ss_key = None;
-                self.ss_lu = None;
-                return Err(ThermalError::SingularSystem);
+                return Err(err);
             }
             self.ss_key = Some(key);
         }
-        self.ss_lu
-            .as_ref()
-            .expect("factorization cached above")
-            .solve_into(&self.s, &mut state.temps)
-            .map_err(|_| ThermalError::SingularSystem)
+        self.backend.solve_steady_into(&self.s, &mut state.temps)
     }
 }
 
 /// `dT/dt = C⁻¹·(s − G·T)`, written into `out` without allocating.
-fn derivative_into(g_mat: &Matrix, s: &[f64], c: &[f64], temps: &[f64], out: &mut [f64]) {
-    g_mat
-        .mul_vec_into(temps, out)
-        .expect("assemble produces consistent dimensions");
+fn derivative_into<B: SolverBackend>(
+    backend: &B,
+    s: &[f64],
+    c: &[f64],
+    temps: &[f64],
+    out: &mut [f64],
+) {
+    backend.mul_g_into(temps, out);
     for i in 0..out.len() {
         out[i] = (s[i] - out[i]) / c[i];
     }
@@ -417,6 +399,7 @@ fn derivative_into(g_mat: &Matrix, s: &[f64], c: &[f64], temps: &[f64], out: &mu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{CsrBackend, DenseBackend};
     use crate::network::{Coupling, ThermalNetworkBuilder};
     use leakctl_units::{AirFlow, Celsius, ThermalCapacitance, ThermalConductance, Watts};
 
@@ -475,6 +458,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn csr_backend_matches_dense_backend() {
+        for method in [
+            Integrator::ForwardEuler,
+            Integrator::Rk4,
+            Integrator::ExponentialEuler,
+            Integrator::BackwardEuler,
+        ] {
+            let (mut net, die, ch) = two_node();
+            let mut dense = TransientSolver::<DenseBackend>::with_backend(&net);
+            let mut csr = TransientSolver::<CsrBackend>::with_backend(&net);
+            assert!(!dense.is_sparse() && csr.is_sparse());
+            let mut sd = net.uniform_state(Celsius::new(24.0));
+            let mut sc = net.uniform_state(Celsius::new(24.0));
+            let dt = SimDuration::from_millis(500);
+            for step in 0..300 {
+                if step == 80 {
+                    net.set_flow(ch, AirFlow::from_cfm(440.0)).unwrap();
+                }
+                if step == 160 {
+                    net.set_power(die, Watts::new(95.0)).unwrap();
+                }
+                dense.step(&net, &mut sd, dt, method).unwrap();
+                csr.step(&net, &mut sc, dt, method).unwrap();
+            }
+            for (a, b) in sd.temps.iter().zip(&sc.temps) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "{method:?}: dense {a} vs csr {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_steady_state_matches_dense() {
+        let (net, die, _) = two_node();
+        let mut dense = TransientSolver::<DenseBackend>::with_backend(&net);
+        let mut csr = TransientSolver::<CsrBackend>::with_backend(&net);
+        let mut sd = net.uniform_state(Celsius::new(0.0));
+        let mut sc = net.uniform_state(Celsius::new(0.0));
+        dense.steady_state_into(&net, &mut sd).unwrap();
+        csr.steady_state_into(&net, &mut sc).unwrap();
+        let a = net.temperature(&sd, die).degrees();
+        let b = net.temperature(&sc, die).degrees();
+        assert!((a - b).abs() < 1e-10, "dense {a} vs csr {b}");
+    }
+
+    #[test]
+    fn auto_backend_selects_by_node_count() {
+        let (net, _, _) = two_node();
+        assert!(!TransientSolver::new(&net).is_sparse());
+        // A long chain above the threshold must auto-select CSR.
+        let mut b = ThermalNetworkBuilder::new();
+        let amb = b.add_boundary("amb", Celsius::new(24.0));
+        let mut prev = b.add_node("n0", ThermalCapacitance::new(10.0));
+        b.connect(
+            prev,
+            amb,
+            Coupling::Conductance(ThermalConductance::new(1.0)),
+        )
+        .unwrap();
+        for i in 1..crate::backend::CSR_NODE_THRESHOLD {
+            let node = b.add_node(&format!("n{i}"), ThermalCapacitance::new(10.0));
+            b.connect(
+                node,
+                prev,
+                Coupling::Conductance(ThermalConductance::new(2.0)),
+            )
+            .unwrap();
+            prev = node;
+        }
+        let big = b.build().unwrap();
+        let mut solver = TransientSolver::new(&big);
+        assert!(solver.is_sparse());
+        // And it steps/solves sanely.
+        let mut state = big.uniform_state(Celsius::new(24.0));
+        solver
+            .step(
+                &big,
+                &mut state,
+                SimDuration::from_secs(1),
+                Integrator::BackwardEuler,
+            )
+            .unwrap();
+        assert!(state.is_finite());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Equivalence properties for the solver backends and the batch
+//! engine: whatever path steps the network — dense per-server, CSR
+//! sparse, per-lane batched or packed batched — the trajectory must
+//! match the dense per-server reference to ≤ 1e-12 relative, across
+//! randomized topologies, batch sizes and mid-run input changes.
+
+use leakctl_thermal::{
+    BatchLane, BatchSolver, Coupling, CsrTransientSolver, DenseTransientSolver, Integrator,
+    PackedLanes, ThermalNetwork, ThermalNetworkBuilder,
+};
+use leakctl_units::{AirFlow, Celsius, SimDuration, ThermalCapacitance, ThermalConductance, Watts};
+use proptest::prelude::*;
+
+const ALL_INTEGRATORS: [Integrator; 4] = [
+    Integrator::ForwardEuler,
+    Integrator::Rk4,
+    Integrator::ExponentialEuler,
+    Integrator::BackwardEuler,
+];
+
+/// Handles into a randomized multi-branch network.
+struct Rig {
+    net: ThermalNetwork,
+    dies: Vec<leakctl_thermal::NodeId>,
+    boundary: leakctl_thermal::NodeId,
+    channel: leakctl_thermal::FlowChannelId,
+}
+
+/// Builds a randomized multi-branch network: `branches` die→sink chains
+/// convecting into a shared air node that couples to ambient, with one
+/// flow channel driving every convective edge. Identical parameters
+/// build structurally identical networks (shared `structure_hash`), so
+/// repeated calls can be pooled in one batch.
+fn build_rig(
+    branches: usize,
+    caps: &[f64],
+    conductances: &[f64],
+    powers: &[f64],
+    ambient: f64,
+    cfm: f64,
+) -> Rig {
+    let mut b = ThermalNetworkBuilder::new();
+    let air = b.add_node("air", ThermalCapacitance::new(20.0 + caps[0]));
+    let amb = b.add_boundary("ambient", Celsius::new(ambient));
+    let channel = b.add_flow_channel("chassis");
+    b.connect(
+        air,
+        amb,
+        Coupling::Conductance(ThermalConductance::new(conductances[0])),
+    )
+    .unwrap();
+    b.connect_directed(
+        amb,
+        air,
+        Coupling::Advective {
+            channel,
+            fraction: 1.0,
+        },
+    )
+    .unwrap();
+    let mut dies = Vec::new();
+    for i in 0..branches {
+        let die = b.add_node(&format!("die{i}"), ThermalCapacitance::new(caps[1 + 2 * i]));
+        let sink = b.add_node(
+            &format!("sink{i}"),
+            ThermalCapacitance::new(caps[2 + 2 * i]),
+        );
+        b.connect(
+            die,
+            sink,
+            Coupling::Conductance(ThermalConductance::new(conductances[1 + i])),
+        )
+        .unwrap();
+        let model = leakctl_thermal::ConvectionModel::turbulent(
+            ThermalConductance::new(conductances[1 + branches + i]),
+            AirFlow::from_cfm(300.0),
+        );
+        b.connect(sink, air, Coupling::Convective { channel, model })
+            .unwrap();
+        dies.push(die);
+    }
+    let mut net = b.build().unwrap();
+    net.set_flow(channel, AirFlow::from_cfm(cfm)).unwrap();
+    for (die, p) in dies.iter().zip(powers) {
+        net.set_power(*die, Watts::new(*p)).unwrap();
+    }
+    Rig {
+        net,
+        dies,
+        boundary: amb,
+        channel,
+    }
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+            "{what}: {x} vs reference {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The CSR backend must track the dense backend to ≤ 1e-12 on the
+    /// same randomized network, for every integrator, across mid-run
+    /// flow, power and boundary changes that invalidate each cache
+    /// layer and force sparse refactorizations.
+    #[test]
+    fn csr_backend_tracks_dense_across_random_topologies(
+        branches in 1usize..4,
+        caps in prop::collection::vec(20.0..900.0f64, 9),
+        conductances in prop::collection::vec(0.8..12.0f64, 9),
+        powers in prop::collection::vec(0.0..150.0f64, 4),
+        ambient in 15.0..35.0f64,
+        cfm in 60.0..500.0f64,
+        flow_change_at in 10usize..40,
+        power_change_at in 10usize..40,
+        boundary_change_at in 10usize..40,
+        dt_ms in 200u64..1500,
+    ) {
+        for method in ALL_INTEGRATORS {
+            let mut rig = build_rig(branches, &caps, &conductances, &powers, ambient, cfm);
+            let mut dense = DenseTransientSolver::with_backend(&rig.net);
+            let mut csr = CsrTransientSolver::with_backend(&rig.net);
+            let mut sd = rig.net.uniform_state(Celsius::new(ambient));
+            let mut sc = rig.net.uniform_state(Celsius::new(ambient));
+            let dt = SimDuration::from_millis(dt_ms);
+            let mut diverged = false;
+            for step in 0..60 {
+                if step == flow_change_at {
+                    rig.net.set_flow(rig.channel, AirFlow::from_cfm(cfm * 1.7)).unwrap();
+                }
+                if step == power_change_at {
+                    rig.net.set_power(rig.dies[0], Watts::new(180.0)).unwrap();
+                }
+                if step == boundary_change_at {
+                    rig.net.set_boundary(rig.boundary, Celsius::new(ambient + 4.0)).unwrap();
+                }
+                // An explicit method may legitimately diverge on a
+                // stiff draw — both backends must then diverge
+                // together.
+                let dense_result = dense.step(&rig.net, &mut sd, dt, method);
+                let csr_result = csr.step(&rig.net, &mut sc, dt, method);
+                prop_assert_eq!(
+                    dense_result.is_err(),
+                    csr_result.is_err(),
+                    "{:?}: dense {:?} vs csr {:?}",
+                    method,
+                    dense_result,
+                    csr_result
+                );
+                if dense_result.is_err() {
+                    diverged = true;
+                    break;
+                }
+            }
+            if !diverged {
+                assert_close(sc.temperatures(), sd.temperatures(), &format!("{method:?}"));
+            }
+        }
+    }
+
+    /// Batched stepping — per-lane lanes and the packed fast path —
+    /// must track independent dense per-server solvers to ≤ 1e-12
+    /// across batch sizes and mid-run per-lane flow/power divergence.
+    /// (The per-lane path additionally guarantees bit-identity; this
+    /// property pins the public ≤ 1e-12 contract.)
+    #[test]
+    fn batched_tracks_dense_per_server(
+        batch in 1usize..5,
+        branches in 1usize..3,
+        caps in prop::collection::vec(20.0..900.0f64, 7),
+        conductances in prop::collection::vec(0.8..12.0f64, 7),
+        base_power in 20.0..120.0f64,
+        ambient in 15.0..35.0f64,
+        cfm in 60.0..500.0f64,
+        flow_change_at in 5usize..30,
+        power_change_at in 5usize..30,
+    ) {
+        let powers: Vec<f64> = (0..branches).map(|i| base_power + 7.0 * i as f64).collect();
+        let mut rigs: Vec<Rig> = (0..batch)
+            .map(|_| build_rig(branches, &caps, &conductances, &powers, ambient, cfm))
+            .collect();
+        // Diverge lane powers so right-hand sides differ.
+        for (lane, rig) in rigs.iter_mut().enumerate() {
+            rig.net
+                .set_power(rig.dies[0], Watts::new(base_power + 11.0 * lane as f64))
+                .unwrap();
+        }
+        let dt = SimDuration::from_secs(1);
+
+        // Reference: one dense solver per lane.
+        let mut reference: Vec<_> = rigs
+            .iter()
+            .map(|r| {
+                (
+                    DenseTransientSolver::with_backend(&r.net),
+                    r.net.uniform_state(Celsius::new(ambient)),
+                )
+            })
+            .collect();
+        // Per-lane batch path.
+        let mut batch_solver = BatchSolver::new(&rigs[0].net);
+        let mut batch_states: Vec<_> = rigs
+            .iter()
+            .map(|r| r.net.uniform_state(Celsius::new(ambient)))
+            .collect();
+        // Packed path runs while flows stay homogeneous.
+        let mut packed_solver = BatchSolver::new(&rigs[0].net);
+        let mut packed = PackedLanes::pack(&batch_states);
+        let mut packed_live = true;
+
+        for step in 0..50 {
+            if step == power_change_at {
+                let rig = &mut rigs[0];
+                rig.net.set_power(rig.dies[0], Watts::new(200.0)).unwrap();
+            }
+            if step == flow_change_at && batch > 1 {
+                // Split the batch into two flow groups mid-run; the
+                // packed fast path refuses exactly then.
+                let rig = &mut rigs[1];
+                rig.net.set_flow(rig.channel, AirFlow::from_cfm(cfm * 2.1)).unwrap();
+            }
+            for (rig, (solver, state)) in rigs.iter().zip(reference.iter_mut()) {
+                solver.step(&rig.net, state, dt, Integrator::BackwardEuler).unwrap();
+            }
+            let mut lanes: Vec<BatchLane<'_>> = rigs
+                .iter()
+                .zip(batch_states.iter_mut())
+                .map(|(rig, state)| BatchLane { net: &rig.net, state })
+                .collect();
+            batch_solver.step(&mut lanes, dt).unwrap();
+            if packed_live {
+                let nets: Vec<ThermalNetwork> = rigs.iter().map(|r| r.net.clone()).collect();
+                match packed_solver.step_packed(&nets, &mut packed, dt) {
+                    Ok(()) => {}
+                    Err(leakctl_thermal::ThermalError::MixedBatchSignatures) => {
+                        assert!(step == flow_change_at && batch > 1, "only on divergence");
+                        packed_live = false;
+                    }
+                    Err(other) => panic!("unexpected packed error: {other}"),
+                }
+            }
+        }
+        for (lane, ((_, ref_state), batch_state)) in
+            reference.iter().zip(&batch_states).enumerate()
+        {
+            assert_close(
+                batch_state.temperatures(),
+                ref_state.temperatures(),
+                &format!("lane {lane} (per-lane batch)"),
+            );
+        }
+        if packed_live {
+            let mut unpacked: Vec<_> = rigs
+                .iter()
+                .map(|r| r.net.uniform_state(Celsius::new(0.0)))
+                .collect();
+            packed.unpack_into(&mut unpacked);
+            for (lane, ((_, ref_state), state)) in
+                reference.iter().zip(&unpacked).enumerate()
+            {
+                assert_close(
+                    state.temperatures(),
+                    ref_state.temperatures(),
+                    &format!("lane {lane} (packed batch)"),
+                );
+            }
+        }
+    }
+
+    /// At rack scale (above the CSR auto-selection threshold) the
+    /// sparse backend must track dense on a long randomized chain,
+    /// including a mid-run flow change that forces a numeric
+    /// refactorization over the cached symbolic analysis.
+    #[test]
+    fn csr_tracks_dense_at_rack_scale(
+        sections in 25usize..45,
+        cap_scale in 0.5..2.0f64,
+        g_chain in 2.0..9.0f64,
+        power in 10.0..90.0f64,
+        cfm in 80.0..400.0f64,
+        flow_change_at in 5usize..20,
+    ) {
+        // A chain of die→sink pairs hanging off a shared duct of air
+        // nodes: 3·sections + 1 > 64 state nodes for every drawn size.
+        let mut b = ThermalNetworkBuilder::new();
+        let amb = b.add_boundary("amb", Celsius::new(22.0));
+        let channel = b.add_flow_channel("duct");
+        let mut upstream = b.add_node("plenum", ThermalCapacitance::new(50.0 * cap_scale));
+        b.connect(
+            upstream,
+            amb,
+            Coupling::Conductance(ThermalConductance::new(1.0)),
+        )
+        .unwrap();
+        b.connect_directed(
+            amb,
+            upstream,
+            Coupling::Advective { channel, fraction: 1.0 },
+        )
+        .unwrap();
+        let mut dies = Vec::new();
+        for i in 0..sections {
+            let air = b.add_node(&format!("air{i}"), ThermalCapacitance::new(15.0 * cap_scale));
+            let die = b.add_node(&format!("die{i}"), ThermalCapacitance::new(80.0 * cap_scale));
+            let sink = b.add_node(&format!("sink{i}"), ThermalCapacitance::new(300.0 * cap_scale));
+            b.connect(
+                die,
+                sink,
+                Coupling::Conductance(ThermalConductance::new(g_chain)),
+            )
+            .unwrap();
+            let model = leakctl_thermal::ConvectionModel::turbulent(
+                ThermalConductance::new(3.0),
+                AirFlow::from_cfm(300.0),
+            );
+            b.connect(sink, air, Coupling::Convective { channel, model }).unwrap();
+            b.connect_directed(
+                upstream,
+                air,
+                Coupling::Advective { channel, fraction: 1.0 },
+            )
+            .unwrap();
+            b.connect(
+                air,
+                amb,
+                Coupling::Conductance(ThermalConductance::new(0.3)),
+            )
+            .unwrap();
+            dies.push(die);
+            upstream = air;
+        }
+        let mut net = b.build().unwrap();
+        assert!(net.state_count() >= leakctl_thermal::CSR_NODE_THRESHOLD);
+        net.set_flow(channel, AirFlow::from_cfm(cfm)).unwrap();
+        for (i, die) in dies.iter().enumerate() {
+            net.set_power(*die, Watts::new(power + (i % 5) as f64)).unwrap();
+        }
+        // The auto backend must pick CSR here.
+        let auto = leakctl_thermal::TransientSolver::new(&net);
+        assert!(auto.is_sparse());
+
+        let mut dense = DenseTransientSolver::with_backend(&net);
+        let mut csr = CsrTransientSolver::with_backend(&net);
+        let mut sd = net.uniform_state(Celsius::new(22.0));
+        let mut sc = net.uniform_state(Celsius::new(22.0));
+        let dt = SimDuration::from_secs(1);
+        for step in 0..30 {
+            if step == flow_change_at {
+                net.set_flow(channel, AirFlow::from_cfm(cfm * 1.6)).unwrap();
+            }
+            dense.step(&net, &mut sd, dt, Integrator::BackwardEuler).unwrap();
+            csr.step(&net, &mut sc, dt, Integrator::BackwardEuler).unwrap();
+        }
+        assert_close(sc.temperatures(), sd.temperatures(), "rack-scale chain");
+        // Steady states agree too (G factorization path).
+        let mut ssd = net.uniform_state(Celsius::new(0.0));
+        let mut ssc = net.uniform_state(Celsius::new(0.0));
+        dense.steady_state_into(&net, &mut ssd).unwrap();
+        csr.steady_state_into(&net, &mut ssc).unwrap();
+        assert_close(ssc.temperatures(), ssd.temperatures(), "rack-scale steady state");
+    }
+}
