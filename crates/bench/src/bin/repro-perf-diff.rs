@@ -15,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use leakctl_bench::perf::parse_steps_per_sec;
+use leakctl_bench::perf::{diff_reports, parse_steps_per_sec};
 
 /// Allowed fractional steps/sec loss before the gate fails.
 const DEFAULT_THRESHOLD: f64 = 0.20;
@@ -56,33 +56,15 @@ fn main() -> ExitCode {
         "== perf regression gate (>{:.0}% loss fails) ==",
         threshold * 100.0
     );
-    let mut failed = false;
-    for (name, new_sps) in &new {
-        match old.iter().find(|(n, _)| n == name) {
-            Some((_, old_sps)) => {
-                let ratio = new_sps / old_sps.max(1e-12);
-                let verdict = if ratio < 1.0 - threshold {
-                    failed = true;
-                    "REGRESSION"
-                } else if ratio > 1.0 + threshold {
-                    "improved"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "{name:<28} {old_sps:>14.0} -> {new_sps:>14.0} steps/s ({:+6.1}%)  {verdict}",
-                    (ratio - 1.0) * 100.0
-                );
-            }
-            None => println!("{name:<28} {:>14} -> {new_sps:>14.0} steps/s (new)", "-"),
-        }
+    // The comparison policy lives in `leakctl_bench::perf::diff_reports`
+    // (unit-tested there): shared names gate on the threshold, names
+    // present in only one report — newly added or dropped measurements
+    // — are listed but never fail.
+    let report = diff_reports(&old, &new, threshold);
+    for line in &report.lines {
+        println!("{line}");
     }
-    for (name, _) in &old {
-        if !new.iter().any(|(n, _)| n == name) {
-            println!("{name:<28} dropped from report");
-        }
-    }
-    if failed {
+    if report.failed {
         eprintln!(
             "perf gate FAILED: steps/sec regression beyond {:.0}%",
             threshold * 100.0

@@ -446,20 +446,45 @@ impl RackKernel {
     ///
     /// Panics when a step fails (the kernel networks are regular).
     pub fn step_batched_dynamic(&mut self, steps: u64) {
-        use leakctl_units::{SimDuration, Watts};
+        use leakctl_units::SimDuration;
         let dt = SimDuration::from_secs(1);
         for _ in 0..steps {
-            self.tick += 1;
-            for (lane, (net, lane_dies)) in self.nets.iter_mut().zip(&self.dies).enumerate() {
-                for (s, &die) in lane_dies.iter().enumerate() {
-                    let wobble = ((self.tick * 7 + lane as u64 * 13 + s as u64) % 100) as f64;
-                    net.set_power(die, Watts::new(80.0 + 0.01 * wobble))
-                        .expect("power");
-                }
-            }
+            self.wobble_powers();
             self.solver
                 .step_packed(&self.nets, &mut self.packed, dt)
                 .expect("batch step succeeds");
+        }
+    }
+
+    /// One tick of the dynamic workload driver: perturbs every lane's
+    /// die powers with a cheap per-(step, lane, die) wobble (mask
+    /// instead of modulo so the driver loop stays out of the measured
+    /// engine's way). Shared by the dynamic benchmark and the
+    /// `mutate_only` profiling breakdown so they always drive the same
+    /// mutation stream.
+    fn wobble_powers(&mut self) {
+        use leakctl_units::Watts;
+        self.tick += 1;
+        for (lane, (net, lane_dies)) in self.nets.iter_mut().zip(&self.dies).enumerate() {
+            for (s, &die) in lane_dies.iter().enumerate() {
+                let wobble = f64::from(
+                    (self.tick as u32)
+                        .wrapping_mul(7)
+                        .wrapping_add(lane as u32 * 13 + s as u32)
+                        & 127,
+                );
+                net.set_power(die, Watts::new(80.0 + 0.01 * wobble))
+                    .expect("power");
+            }
+        }
+    }
+
+    /// Profiling helper: runs the dynamic mutation loop without
+    /// stepping (measures driver-side `set_power` cost alone, over the
+    /// exact mutation stream `step_batched_dynamic` drives).
+    pub fn mutate_only(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.wobble_powers();
         }
     }
 
@@ -468,6 +493,155 @@ impl RackKernel {
     #[must_use]
     pub fn max_temperature(&self) -> leakctl_units::Celsius {
         leakctl_units::Celsius::new(self.packed.max_temperature())
+    }
+}
+
+/// A rack of identical server-topology lanes stepped through the
+/// thread-sharded packed engine
+/// ([`ShardedBatchSolver`](leakctl_thermal::ShardedBatchSolver)) — the
+/// kernel behind the `repro-rack` thread sweep and the `rack_sharded`
+/// criterion group. Results are bit-identical to [`RackKernel`] for
+/// any thread count; only wall-clock changes.
+#[derive(Debug)]
+pub struct ShardedRackKernel {
+    nets: Vec<leakctl_thermal::ThermalNetwork>,
+    lanes: leakctl_thermal::ShardedLanes,
+    solver: leakctl_thermal::ShardedBatchSolver,
+}
+
+impl ShardedRackKernel {
+    /// Builds a kernel of `servers` lanes sharded across `threads`
+    /// workers (same lane construction as [`RackKernel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static topology, known to
+    /// build).
+    #[must_use]
+    pub fn new(servers: usize, threads: usize) -> Self {
+        use leakctl_thermal::{ShardPlan, ShardedBatchSolver, ShardedLanes};
+        use leakctl_units::{AirFlow, Celsius, Watts};
+        let mut nets = Vec::with_capacity(servers);
+        let mut states = Vec::with_capacity(servers);
+        for lane in 0..servers {
+            let (mut net, lane_dies, flow) = server_like_network(2);
+            net.set_flow(flow, AirFlow::from_cfm(250.0)).expect("flow");
+            for (s, &die) in lane_dies.iter().enumerate() {
+                net.set_power(die, Watts::new(80.0 + lane as f64 * 0.1 + s as f64))
+                    .expect("power");
+            }
+            states.push(net.uniform_state(Celsius::new(24.0)));
+            nets.push(net);
+        }
+        let plan = ShardPlan::new(threads);
+        let solver = ShardedBatchSolver::with_plan(&nets[0], plan);
+        let lanes = ShardedLanes::pack(&states, &plan);
+        Self {
+            nets,
+            lanes,
+            solver,
+        }
+    }
+
+    /// Number of shards the lane block splits into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.lanes.shard_count()
+    }
+
+    /// Advances every lane by `steps` backward-Euler seconds with
+    /// inputs frozen: one serial prepare, then every worker runs its
+    /// shard's full step sequence with zero cross-thread
+    /// synchronization — the measurement behind `parallel_speedup_x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel networks are regular).
+    pub fn step_many(&mut self, steps: u64) {
+        use leakctl_units::SimDuration;
+        self.solver
+            .step_many(
+                &self.nets,
+                &mut self.lanes,
+                steps,
+                SimDuration::from_secs(1),
+            )
+            .expect("sharded step succeeds");
+    }
+
+    /// The hottest lane temperature (consume the result so benchmark
+    /// loops are not optimized away).
+    #[must_use]
+    pub fn max_temperature(&self) -> leakctl_units::Celsius {
+        leakctl_units::Celsius::new(self.lanes.max_temperature())
+    }
+}
+
+/// A mixed-SKU rack (1/2/3-socket server topologies interleaved)
+/// stepped through hash-grouped heterogeneous batching
+/// ([`HeteroBatch`](leakctl_thermal::HeteroBatch)) — the kernel behind
+/// the `heterogeneous_fleet` criterion group.
+#[derive(Debug)]
+pub struct HeteroRackKernel {
+    nets: Vec<leakctl_thermal::ThermalNetwork>,
+    batch: leakctl_thermal::HeteroBatch,
+}
+
+impl HeteroRackKernel {
+    /// Builds `servers` lanes cycling through 1-, 2- and 3-socket
+    /// SKUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static topology, known to
+    /// build).
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        use leakctl_thermal::{HeteroBatch, ShardPlan};
+        use leakctl_units::{AirFlow, Celsius, Watts};
+        let mut nets = Vec::with_capacity(servers);
+        let mut states = Vec::with_capacity(servers);
+        for lane in 0..servers {
+            let sockets = 1 + lane % 3;
+            let (mut net, lane_dies, flow) = server_like_network(sockets);
+            net.set_flow(flow, AirFlow::from_cfm(250.0)).expect("flow");
+            for (s, &die) in lane_dies.iter().enumerate() {
+                net.set_power(die, Watts::new(70.0 + lane as f64 * 0.1 + s as f64))
+                    .expect("power");
+            }
+            states.push(net.uniform_state(Celsius::new(24.0)));
+            nets.push(net);
+        }
+        let batch = HeteroBatch::pack(&nets, &states, ShardPlan::new(1));
+        Self { nets, batch }
+    }
+
+    /// Number of structure-hash groups (SKUs).
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.batch.group_count()
+    }
+
+    /// Advances every lane by `steps` backward-Euler seconds, each SKU
+    /// group batching through its own shared factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel networks are regular).
+    pub fn step(&mut self, steps: u64) {
+        use leakctl_units::SimDuration;
+        for _ in 0..steps {
+            self.batch
+                .step(&self.nets, SimDuration::from_secs(1))
+                .expect("hetero step succeeds");
+        }
+    }
+
+    /// The hottest lane temperature (consume the result so benchmark
+    /// loops are not optimized away).
+    #[must_use]
+    pub fn max_temperature(&self) -> leakctl_units::Celsius {
+        leakctl_units::Celsius::new(self.batch.max_temperature())
     }
 }
 
@@ -607,6 +781,61 @@ pub mod perf {
         Some(out)
     }
 
+    /// Outcome of comparing two perf reports.
+    #[derive(Debug)]
+    pub struct DiffReport {
+        /// One human-readable line per measurement.
+        pub lines: Vec<String>,
+        /// `true` when some *shared* measurement lost more than the
+        /// threshold. Measurements present in only one report — newly
+        /// added benches, renamed or dropped ones — are listed but
+        /// never fail the gate, so adding a measurement does not
+        /// require seeding history.
+        pub failed: bool,
+    }
+
+    /// Compares `(name, steps_per_sec)` lists by name with an allowed
+    /// fractional loss of `threshold` — the policy behind the
+    /// `repro-perf-diff` CI gate.
+    #[must_use]
+    pub fn diff_reports(
+        old: &[(String, f64)],
+        new: &[(String, f64)],
+        threshold: f64,
+    ) -> DiffReport {
+        let mut lines = Vec::new();
+        let mut failed = false;
+        for (name, new_sps) in new {
+            match old.iter().find(|(n, _)| n == name) {
+                Some((_, old_sps)) => {
+                    let ratio = new_sps / old_sps.max(1e-12);
+                    let verdict = if ratio < 1.0 - threshold {
+                        failed = true;
+                        "REGRESSION"
+                    } else if ratio > 1.0 + threshold {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    lines.push(format!(
+                        "{name:<28} {old_sps:>14.0} -> {new_sps:>14.0} steps/s ({:+6.1}%)  {verdict}",
+                        (ratio - 1.0) * 100.0
+                    ));
+                }
+                None => lines.push(format!(
+                    "{name:<28} {:>14} -> {new_sps:>14.0} steps/s (new)",
+                    "-"
+                )),
+            }
+        }
+        for (name, _) in old {
+            if !new.iter().any(|(n, _)| n == name) {
+                lines.push(format!("{name:<28} dropped from report"));
+            }
+        }
+        DiffReport { lines, failed }
+    }
+
     /// Parses the `(name, steps_per_sec)` pairs out of a
     /// `leakctl-perf/v1` document (line-oriented; the format is our
     /// own renderer's). Used by the `repro-perf-diff` regression gate.
@@ -675,6 +904,47 @@ mod tests {
     }
 
     #[test]
+    fn sharded_kernel_bit_identical_to_packed_kernel() {
+        let mut packed = RackKernel::new(36);
+        packed.step_batched(200);
+        for threads in [1usize, 4] {
+            let mut sharded = ShardedRackKernel::new(36, threads);
+            sharded.step_many(200);
+            assert_eq!(
+                sharded.max_temperature().degrees().to_bits(),
+                packed.max_temperature().degrees().to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_kernel_groups_skus_and_warms_up() {
+        let mut kernel = HeteroRackKernel::new(12);
+        assert_eq!(kernel.group_count(), 3, "1/2/3-socket SKUs");
+        kernel.step(200);
+        let max = kernel.max_temperature().degrees();
+        assert!((30.0..100.0).contains(&max), "dies should warm, got {max}");
+    }
+
+    #[test]
+    fn perf_diff_tolerates_added_and_dropped_names() {
+        use perf::diff_reports;
+        let old = vec![("alpha".to_owned(), 1000.0), ("gone".to_owned(), 5.0)];
+        let new = vec![
+            ("alpha".to_owned(), 900.0),
+            ("brand_new_measurement".to_owned(), 123.0),
+        ];
+        let report = diff_reports(&old, &new, 0.20);
+        assert!(!report.failed, "10% loss and a new name must pass");
+        assert!(report.lines.iter().any(|l| l.contains("(new)")));
+        assert!(report.lines.iter().any(|l| l.contains("dropped")));
+        // A real regression on a shared name still fails.
+        let bad = vec![("alpha".to_owned(), 500.0)];
+        assert!(diff_reports(&old, &bad, 0.20).failed);
+    }
+
+    #[test]
     fn perf_report_merge_and_parse_round_trip() {
         use perf::{merge_into_json, parse_steps_per_sec, render_json, PerfResult};
         let a = PerfResult {
@@ -715,5 +985,39 @@ mod tests {
         // A quick contribution flips the document flag.
         assert!(remerged.contains("\"quick\": true"));
         assert!(merge_into_json("not a perf report", &[a], false).is_none());
+    }
+}
+
+#[cfg(test)]
+mod profiling {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "manual profiling harness"]
+    fn dynamic_vs_constant_breakdown() {
+        let mut kernel = RackKernel::new(128);
+        kernel.step_batched_dynamic(1);
+        let t = Instant::now();
+        kernel.step_batched_dynamic(5000);
+        println!(
+            "dynamic  : {:>9.1} ns/step",
+            t.elapsed().as_nanos() as f64 / 5000.0
+        );
+        let t = Instant::now();
+        kernel.step_batched(5000);
+        println!(
+            "constant : {:>9.1} ns/step",
+            t.elapsed().as_nanos() as f64 / 5000.0
+        );
+        // set_power cost alone: drive the same mutation loop without stepping.
+        let mut kernel2 = RackKernel::new(128);
+        let t = Instant::now();
+        kernel2.mutate_only(5000);
+        println!(
+            "set_power: {:>9.1} ns/step",
+            t.elapsed().as_nanos() as f64 / 5000.0
+        );
+        assert!(kernel.max_temperature().degrees() > 0.0);
     }
 }

@@ -1,5 +1,5 @@
 //! A rack-scale fleet of digital-twin servers stepped through the
-//! shared-factorization batch engine.
+//! thread-sharded, shared-factorization batch engine.
 //!
 //! [`Fleet`] supersedes the original scalar `Rack` (which stepped each
 //! server's thermal network through its own per-server solve) while
@@ -7,24 +7,66 @@
 //! physics is unchanged and bit-identical: per-server fan dynamics,
 //! failsafe, power models and telemetry run exactly as in
 //! `Server::step`; only the thermal integration is hoisted out and
-//! solved for all servers at once through one
-//! [`BatchSolver`](leakctl_thermal::BatchSolver) factorization per
-//! `(dt, flow)` group ([`leakctl_thermal::BatchSolver`] lanes are
-//! bit-identical to scalar stepping, so a fleet of one reproduces the
-//! single-server trajectory to the last bit).
+//! solved for all servers at once.
+//!
+//! The stepping engine works in three layers:
+//!
+//! - **Hash groups.** Servers are partitioned by their thermal
+//!   network's [`structure_hash`](leakctl_thermal::ThermalNetwork::structure_hash)
+//!   (mixed-SKU fleets via [`Fleet::from_configs`]); each group batches
+//!   through its own shared `(dt, flow)` factorization instead of
+//!   falling back to scalar stepping.
+//! - **Resident packed state.** While a group's fan flows agree
+//!   (the common fleet regime), its thermal state lives in slot-major
+//!   [`ShardedLanes`] blocks *between* steps: no per-step
+//!   gather/scatter. Each step syncs only the CPU-die slots back into
+//!   the servers (the slots per-server dynamics read); a lane is fully
+//!   unpacked only on the steps whose telemetry poll actually reads it,
+//!   or when [`Fleet::server`]/[`Fleet::server_mut`] is called. When
+//!   flows diverge (per-server fan commands), the group transparently
+//!   falls back to the per-lane batch API and re-packs once flows
+//!   re-converge.
+//! - **Shard workers.** Large groups split into per-shard lane blocks
+//!   ([`ShardPlan`], thread count from `LEAKCTL_THREADS` or the
+//!   machine) and each step's two parallel phases — per-server begin
+//!   (fans, failsafe, powers, accounting) and refresh+solve+finish —
+//!   run one [`std::thread::scope`] worker per shard. Results are
+//!   bit-identical for any thread or shard count.
 //!
 //! Inlet coupling follows the original model: all servers share one
 //! inlet whose temperature drifts with the rack's total heat (exhaust
 //! recirculation) — the "real-life data center" setting the paper's
 //! conclusion points toward.
 
+use std::ops::Range;
+use std::thread;
+
 use leakctl_platform::{PlatformError, Server, ServerConfig};
-use leakctl_thermal::{BatchLane, BatchSolver, Integrator};
+use leakctl_thermal::{
+    group_by_structure_hash, BatchLane, Integrator, ShardPlan, ShardedBatchSolver, ShardedLanes,
+    StepKernel, ThermalError, ThermalState,
+};
 use leakctl_units::{Celsius, Joules, Rpm, SimDuration, TempDelta, Utilization, Watts};
 
 use crate::error::CoreError;
 
-/// A rack of identical servers with inlet-temperature coupling:
+/// One structure-hash group: a contiguous run of (storage-ordered)
+/// servers sharing a topology, batched through one sharded solver.
+#[derive(Debug)]
+struct FleetGroup {
+    /// Contiguous storage range of this group's servers.
+    range: Range<usize>,
+    solver: ShardedBatchSolver,
+    /// Packed thermal state — authoritative while `Some` (flows
+    /// homogeneous); `None` while the group steps through the per-lane
+    /// fallback (diverged fans) or before the first step.
+    lanes: Option<ShardedLanes>,
+    /// State slots of the CPU die nodes (identical across the group's
+    /// topology): the only slots synced back every step.
+    die_slots: Vec<usize>,
+}
+
+/// A rack of servers with inlet-temperature coupling:
 ///
 /// ```text
 /// T_inlet = T_room + r · P_rack
@@ -34,10 +76,10 @@ use crate::error::CoreError;
 /// recirculates to the inlet (0 for perfect containment; a few mK/W for
 /// a poorly sealed aisle).
 ///
-/// With the default backward-Euler integrator, every step batches the
-/// whole fleet's thermal solves through shared factorizations; other
-/// integrators fall back to per-server stepping (there is no
-/// factorization to share).
+/// With the default backward-Euler integrator, every step batches each
+/// hash group's thermal solves through shared factorizations on the
+/// packed sharded engine; other integrators fall back to per-server
+/// stepping (there is no factorization to share).
 ///
 /// # Example
 ///
@@ -58,10 +100,18 @@ use crate::error::CoreError;
 /// ```
 #[derive(Debug)]
 pub struct Fleet {
+    /// Servers in storage order: hash groups first (each contiguous),
+    /// then scalar-integrated servers.
     servers: Vec<Server>,
+    /// `index_map[original] = storage` — public indices are original
+    /// construction order.
+    index_map: Vec<usize>,
     room: Celsius,
     recirculation_k_per_w: f64,
-    batch: BatchSolver,
+    groups: Vec<FleetGroup>,
+    /// Storage indices stepped per-server (non-backward-Euler
+    /// integrators: no factorization to share).
+    scalar_members: Range<usize>,
 }
 
 impl Fleet {
@@ -79,7 +129,52 @@ impl Fleet {
         recirculation_k_per_w: f64,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        if count == 0 {
+        let configs = vec![config; count];
+        Self::with_plan(&configs, recirculation_k_per_w, seed, Self::default_plan())
+    }
+
+    /// Builds a heterogeneous (mixed-SKU) fleet: server `i` is built
+    /// from `configs[i]` (seeded `seed + i`). Servers are grouped by
+    /// thermal-topology hash, and each group batches through its own
+    /// shared factorizations — a room of several SKUs still steps
+    /// batched within each SKU. The room temperature is taken from the
+    /// first config's ambient.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::new`].
+    pub fn from_configs(
+        configs: &[ServerConfig],
+        recirculation_k_per_w: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::with_plan(configs, recirculation_k_per_w, seed, Self::default_plan())
+    }
+
+    /// The environment's thread plan, widened for fleet stepping:
+    /// `Fleet::step` spawns its scoped workers twice per step (begin
+    /// phase, then solve+finish), so shards need enough per-server
+    /// dynamics work to amortize the spawns — a wider floor than the
+    /// thermal-only kernels use. [`Fleet::with_plan`] honors a
+    /// caller's plan verbatim.
+    fn default_plan() -> ShardPlan {
+        ShardPlan::from_env().with_min_lanes_per_shard(32)
+    }
+
+    /// As [`Fleet::from_configs`], with an explicit thread/shard plan
+    /// instead of the environment's (results are bit-identical for any
+    /// plan; this is a performance/test knob).
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::new`].
+    pub fn with_plan(
+        configs: &[ServerConfig],
+        recirculation_k_per_w: f64,
+        seed: u64,
+        plan: ShardPlan,
+    ) -> Result<Self, CoreError> {
+        if configs.is_empty() {
             return Err(CoreError::Invalid {
                 what: "fleet needs at least one server".to_owned(),
             });
@@ -89,15 +184,65 @@ impl Fleet {
                 what: "recirculation coefficient must be non-negative".to_owned(),
             });
         }
-        let servers = (0..count)
-            .map(|i| Server::new(config.clone(), seed.wrapping_add(i as u64)))
-            .collect::<Result<Vec<_>, PlatformError>>()?;
-        let batch = BatchSolver::new(servers[0].thermal_network());
+        let built = configs
+            .iter()
+            .enumerate()
+            .map(|(i, config)| Server::new(config.clone(), seed.wrapping_add(i as u64)))
+            .collect::<Result<Vec<Server>, PlatformError>>()?;
+        let room = configs[0].ambient;
+
+        // Partition original indices: batched servers by first-seen
+        // structure hash (the shared `group_by_structure_hash` policy),
+        // explicit-integrator servers to the scalar tail. Storage order
+        // = concatenated groups, then scalars, so every group is one
+        // contiguous, shardable server run.
+        let (batched_list, scalar_list): (Vec<usize>, Vec<usize>) = (0..built.len())
+            .partition(|&i| built[i].config().integrator == Integrator::BackwardEuler);
+        let member_lists: Vec<Vec<usize>> = group_by_structure_hash(
+            batched_list
+                .iter()
+                .map(|&i| built[i].thermal_network().structure_hash()),
+        )
+        .into_iter()
+        .map(|positions| positions.into_iter().map(|p| batched_list[p]).collect())
+        .collect();
+        let mut index_map = vec![0usize; built.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(built.len());
+        let mut groups = Vec::with_capacity(member_lists.len());
+        for members in &member_lists {
+            let start = order.len();
+            order.extend_from_slice(members);
+            groups.push((start..order.len(), members[0]));
+        }
+        let scalar_start = order.len();
+        order.extend_from_slice(&scalar_list);
+        for (storage, &original) in order.iter().enumerate() {
+            index_map[original] = storage;
+        }
+        let mut by_storage: Vec<Option<Server>> = built.into_iter().map(Some).collect();
+        let servers: Vec<Server> = order
+            .iter()
+            .map(|&original| by_storage[original].take().expect("each server moved once"))
+            .collect();
+        let groups = groups
+            .into_iter()
+            .map(|(range, template_original)| {
+                let template = &servers[index_map[template_original]];
+                FleetGroup {
+                    range,
+                    solver: ShardedBatchSolver::with_plan(template.thermal_network(), plan),
+                    lanes: None,
+                    die_slots: template.core().die_state_slots(),
+                }
+            })
+            .collect();
         Ok(Self {
-            room: config.ambient,
             servers,
+            index_map,
+            room,
             recirculation_k_per_w,
-            batch,
+            groups,
+            scalar_members: scalar_start..order.len(),
         })
     }
 
@@ -113,6 +258,13 @@ impl Fleet {
         self.servers.is_empty()
     }
 
+    /// Number of structure-hash groups batching through shared
+    /// factorizations (1 for a homogeneous fleet).
+    #[must_use]
+    pub fn hash_group_count(&self) -> usize {
+        self.groups.len()
+    }
+
     /// Commands every server's fans.
     pub fn command_all(&mut self, rpm: Rpm) {
         for server in &mut self.servers {
@@ -120,25 +272,91 @@ impl Fleet {
         }
     }
 
-    /// Access to an individual server (e.g. to attach per-server
-    /// controllers).
+    /// Access to an individual server (e.g. to read per-server
+    /// telemetry or ground truth). Takes `&mut self` because the
+    /// fleet's thermal state lives packed in the batch engine between
+    /// steps: this lazily syncs the server's full state first.
     #[must_use]
-    pub fn server(&self, index: usize) -> Option<&Server> {
-        self.servers.get(index)
+    pub fn server(&mut self, index: usize) -> Option<&Server> {
+        if index >= self.servers.len() {
+            return None;
+        }
+        let storage = self.index_map[index];
+        self.sync_server_state(storage);
+        Some(&self.servers[storage])
     }
 
-    /// Mutable access to an individual server.
+    /// Mutable access to an individual server (e.g. to attach
+    /// per-server controllers). Syncs the server's full state and drops
+    /// the owning group's packed residency (the caller may mutate state
+    /// the packed copy would shadow); the group re-packs on the next
+    /// step.
     #[must_use]
     pub fn server_mut(&mut self, index: usize) -> Option<&mut Server> {
-        self.servers.get_mut(index)
+        if index >= self.servers.len() {
+            return None;
+        }
+        let storage = self.index_map[index];
+        if let Some(g) = self.group_of(storage) {
+            let range = self.groups[g].range.clone();
+            Self::evict_group(&mut self.groups[g], &mut self.servers[range]);
+        }
+        Some(&mut self.servers[storage])
     }
 
-    /// Number of shared factorizations currently live in the batch
-    /// engine (1 while the whole fleet runs one `(dt, flow)` operating
-    /// point; one per distinct per-server fan speed otherwise).
+    /// Unpacks every resident group's packed temperatures back into
+    /// the per-server states (residency is kept; reads stay cheap until
+    /// the next divergence).
+    pub fn sync_states(&mut self) {
+        for group in &mut self.groups {
+            if let Some(lanes) = group.lanes.as_ref() {
+                for (offset, server) in self.servers[group.range.clone()].iter_mut().enumerate() {
+                    let (_, state) = server.split_thermal();
+                    lanes.unpack_lane_into(offset, state);
+                }
+            }
+        }
+    }
+
+    /// The hash group owning a storage index, if any.
+    fn group_of(&self, storage: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.range.contains(&storage))
+    }
+
+    /// Syncs one server's full thermal state from its group's packed
+    /// block (no-op when the group is not resident).
+    fn sync_server_state(&mut self, storage: usize) {
+        if let Some(g) = self.group_of(storage) {
+            let group = &self.groups[g];
+            if let Some(lanes) = group.lanes.as_ref() {
+                let offset = storage - group.range.start;
+                let (_, state) = self.servers[storage].split_thermal();
+                lanes.unpack_lane_into(offset, state);
+            }
+        }
+    }
+
+    /// Unpacks a group's packed state into its servers and drops
+    /// residency. `members` is exactly the group's server run
+    /// (`servers[group.range]` in storage coordinates — callers that
+    /// hold the full vector slice it first).
+    fn evict_group(group: &mut FleetGroup, members: &mut [Server]) {
+        if let Some(lanes) = group.lanes.take() {
+            assert_eq!(members.len(), group.range.len(), "group member slice");
+            for (offset, server) in members.iter_mut().enumerate() {
+                let (_, state) = server.split_thermal();
+                lanes.unpack_lane_into(offset, state);
+            }
+        }
+    }
+
+    /// Number of shared factorizations currently live across the batch
+    /// engines (1 while a homogeneous fleet runs one `(dt, flow)`
+    /// operating point; one per distinct per-server fan speed — and
+    /// per SKU — otherwise).
     #[must_use]
     pub fn batch_group_count(&self) -> usize {
-        self.batch.group_count()
+        self.groups.iter().map(|g| g.solver.group_count()).sum()
     }
 
     /// Advances every server by `dt` at the same activity level, then
@@ -149,37 +367,130 @@ impl Fleet {
     /// Propagates platform failures.
     pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
         let inlet = self.inlet_temperature();
-        if self.servers[0].config().integrator == Integrator::BackwardEuler {
-            // Batched path: per-server dynamics, one shared thermal
-            // solve per (dt, flow) group across the fleet.
-            for server in &mut self.servers {
+        // Explicit integrators have no factorization to share.
+        for server in &mut self.servers[self.scalar_members.clone()] {
+            server.set_ambient(inlet)?;
+            server.step(dt, activity)?;
+        }
+        for g in 0..self.groups.len() {
+            self.step_group(g, dt, activity, inlet)?;
+        }
+        Ok(())
+    }
+
+    /// One hash group's step: parallel begin phase, serial
+    /// homogeneity/factorization, parallel refresh+solve+finish — or
+    /// the per-lane fallback while the group's fans disagree.
+    fn step_group(
+        &mut self,
+        g: usize,
+        dt: SimDuration,
+        activity: Utilization,
+        inlet: Celsius,
+    ) -> Result<(), CoreError> {
+        let group = &mut self.groups[g];
+        let servers = &mut self.servers[group.range.clone()];
+        let count = servers.len();
+        let plan = *group.solver.plan();
+
+        // ---- phase A: per-server dynamics (fans, failsafe, powers,
+        // accounting) — independent per server, sharded when resident.
+        let shard_ranges: Vec<Range<usize>> = match group.lanes.as_ref() {
+            Some(lanes) if lanes.shard_count() > 1 => (0..lanes.shard_count())
+                .map(|i| lanes.shard_range(i))
+                .collect(),
+            _ => std::iter::once(0..count).collect(),
+        };
+        if shard_ranges.len() == 1 {
+            for server in servers.iter_mut() {
                 server.set_ambient(inlet)?;
                 server.begin_step(dt, activity)?;
             }
-            {
-                let mut lanes: Vec<BatchLane<'_>> = self
-                    .servers
-                    .iter_mut()
-                    .map(|server| {
-                        let (net, state) = server.split_thermal();
-                        BatchLane { net, state }
-                    })
-                    .collect();
-                self.batch
-                    .step(&mut lanes, dt)
-                    .map_err(PlatformError::from)?;
-            }
-            for server in &mut self.servers {
-                server.finish_step(dt)?;
-            }
         } else {
-            // Explicit integrators have no factorization to share.
-            for server in &mut self.servers {
-                server.set_ambient(inlet)?;
-                server.step(dt, activity)?;
-            }
+            run_sharded(servers, &shard_ranges, |chunk| {
+                for server in chunk {
+                    server.set_ambient(inlet)?;
+                    server.begin_step(dt, activity)?;
+                }
+                Ok(())
+            })?;
         }
-        Ok(())
+        if dt.is_zero() {
+            return Ok(());
+        }
+
+        // ---- phase B (serial): flow homogeneity + shared
+        // factorization for the whole group.
+        match group
+            .solver
+            .prepare(|i| servers[i].thermal_network(), count, dt)
+        {
+            Ok(kernel) => {
+                if group.lanes.is_none() {
+                    // Flows (re-)converged: state becomes packed-resident.
+                    let states: Vec<ThermalState> =
+                        servers.iter().map(|s| s.thermal_state().clone()).collect();
+                    group.lanes = Some(ShardedLanes::pack(&states, &plan));
+                }
+                let lanes = group.lanes.as_mut().expect("packed above");
+                // ---- phase C: refresh + blocked solve + die-slot
+                // sync + finish, one worker per shard.
+                let die_slots = &group.die_slots;
+                let mut shards: Vec<(Range<usize>, _)> = lanes.shards_mut().collect();
+                if shards.len() == 1 {
+                    let (_, shard) = &mut shards[0];
+                    finish_shard(&kernel, shard, servers, die_slots, dt)?;
+                } else {
+                    let results =
+                        thread::scope(|scope| {
+                            let mut handles = Vec::with_capacity(shards.len());
+                            let mut rest = &mut servers[..];
+                            for (range, shard) in &mut shards {
+                                let (chunk, tail) = rest.split_at_mut(range.len());
+                                rest = tail;
+                                let kernel = &kernel;
+                                handles.push(scope.spawn(move || {
+                                    finish_shard(kernel, shard, chunk, die_slots, dt)
+                                }));
+                            }
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("shard worker must not panic"))
+                                .collect::<Vec<_>>()
+                        });
+                    for result in results {
+                        result?;
+                    }
+                }
+                Ok(())
+            }
+            Err(ThermalError::MixedBatchSignatures) => {
+                // Per-server fan commands diverged: state returns to
+                // the servers and the group steps through the
+                // mixed-signature per-lane engine (same factorization
+                // cache) until flows re-converge.
+                Self::evict_group(group, servers);
+                {
+                    let mut lanes_vec: Vec<BatchLane<'_>> = servers
+                        .iter_mut()
+                        .map(|server| {
+                            let (net, state) = server.split_thermal();
+                            BatchLane { net, state }
+                        })
+                        .collect();
+                    group
+                        .solver
+                        .lane_solver_mut()
+                        .step(&mut lanes_vec, dt)
+                        .map_err(PlatformError::from)?;
+                }
+                for server in servers.iter_mut() {
+                    server.finish_step(dt)?;
+                }
+                Ok(())
+            }
+            Err(other) => Err(CoreError::from(PlatformError::from(other))),
+        }
     }
 
     /// The current shared inlet temperature.
@@ -189,16 +500,27 @@ impl Fleet {
         self.room + drift
     }
 
-    /// Total fleet power (system + fans across all servers).
+    /// Total fleet power (system + fans across all servers), summed in
+    /// *original* server order: storage order groups servers by hash,
+    /// and float addition is order-sensitive, so summing storage-order
+    /// would bitwise-diverge a mixed-SKU fleet from the scalar
+    /// reference loop the bit-identity tests compare against.
     #[must_use]
     pub fn total_power(&self) -> Watts {
-        self.servers.iter().map(Server::total_power).sum()
+        self.index_map
+            .iter()
+            .map(|&storage| self.servers[storage].total_power())
+            .sum()
     }
 
-    /// Total fleet energy since construction.
+    /// Total fleet energy since construction (original server order,
+    /// see [`Fleet::total_power`]).
     #[must_use]
     pub fn total_energy(&self) -> Joules {
-        self.servers.iter().map(Server::total_energy).sum()
+        self.index_map
+            .iter()
+            .map(|&storage| self.servers[storage].total_energy())
+            .sum()
     }
 
     /// The hottest die anywhere in the fleet.
@@ -209,6 +531,63 @@ impl Fleet {
             .map(Server::max_die_temperature)
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
     }
+}
+
+/// Runs `work` over each shard's server chunk on scoped workers,
+/// reporting the lowest shard's failure.
+fn run_sharded<F>(
+    servers: &mut [Server],
+    ranges: &[Range<usize>],
+    work: F,
+) -> Result<(), PlatformError>
+where
+    F: Fn(&mut [Server]) -> Result<(), PlatformError> + Sync,
+{
+    let results = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest = servers;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let work = &work;
+            handles.push(scope.spawn(move || work(chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker must not panic"))
+            .collect::<Vec<_>>()
+    });
+    results.into_iter().collect()
+}
+
+/// Phase C for one shard: lane-major source refresh + blocked solve
+/// through the shared factors, then per server the cheap die-slot sync
+/// (full unpack only when this step's telemetry poll reads the state)
+/// and the clock/telemetry finish.
+fn finish_shard(
+    kernel: &StepKernel<'_, leakctl_thermal::AutoBackend>,
+    shard: &mut leakctl_thermal::PackedLanes,
+    chunk: &mut [Server],
+    die_slots: &[usize],
+    dt: SimDuration,
+) -> Result<(), PlatformError> {
+    kernel
+        .step_shard(shard, |i| chunk[i].thermal_network())
+        .map_err(PlatformError::from)?;
+    for (i, server) in chunk.iter_mut().enumerate() {
+        let end = server.now() + dt;
+        let poll_due = server.telemetry_poll_pending(end);
+        {
+            let (_, state) = server.split_thermal();
+            if poll_due {
+                shard.unpack_lane_into(i, state);
+            } else {
+                shard.copy_lane_slots_into(i, die_slots, state);
+            }
+        }
+        server.finish_step(dt)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -225,11 +604,13 @@ mod tests {
             Fleet::new(ServerConfig::default(), 2, -1.0, 1),
             Err(CoreError::Invalid { .. })
         ));
-        let fleet = Fleet::new(ServerConfig::default(), 3, 0.001, 1).unwrap();
+        let mut fleet = Fleet::new(ServerConfig::default(), 3, 0.001, 1).unwrap();
         assert_eq!(fleet.len(), 3);
         assert!(!fleet.is_empty());
+        assert_eq!(fleet.hash_group_count(), 1, "homogeneous fleet, one SKU");
         assert!(fleet.server(0).is_some());
         assert!(fleet.server(3).is_none());
+        assert!(fleet.server_mut(3).is_none());
     }
 
     #[test]
@@ -301,9 +682,9 @@ mod tests {
     #[test]
     fn batched_fleet_bit_identical_to_scalar_server_loop() {
         // The batch engine must not change the physics: a fleet stepped
-        // through shared factorizations reproduces an identically
-        // seeded scalar Server::step loop bit for bit — energy,
-        // temperatures and telemetry alike.
+        // through resident packed storage and shared factorizations
+        // reproduces an identically seeded scalar Server::step loop bit
+        // for bit — energy, temperatures and telemetry alike.
         let count = 3;
         let k = 0.002;
         let mut fleet = Fleet::new(ServerConfig::default(), count, k, 11).unwrap();
@@ -343,12 +724,201 @@ mod tests {
                 "server {i} die temperature"
             );
             assert_eq!(a.total_energy(), b.total_energy(), "server {i} energy");
+            let a_temps = fleet.server(i).unwrap().measured_cpu_temps();
+            assert_eq!(a_temps, b.measured_cpu_temps(), "server {i} telemetry");
+            // Full ground-truth state (air/sink nodes included) syncs
+            // lazily through the accessor.
+            for socket in 0..2 {
+                assert_eq!(
+                    fleet.server(i).unwrap().sink_temperature(socket).unwrap(),
+                    b.sink_temperature(socket).unwrap(),
+                    "server {i} socket {socket} sink"
+                );
+                assert_eq!(
+                    fleet.server(i).unwrap().air_temperature(socket).unwrap(),
+                    b.air_temperature(socket).unwrap(),
+                    "server {i} socket {socket} air"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_results_bit_identical_across_thread_and_shard_counts() {
+        // The work partition is a pure performance knob: any thread
+        // count and shard width must reproduce the exact same fleet
+        // trajectory. 33 servers so multi-shard plans actually split.
+        let run = |threads: usize, min_width: usize| {
+            let configs = vec![ServerConfig::default(); 33];
+            let plan = ShardPlan::new(threads).with_min_lanes_per_shard(min_width);
+            let mut fleet = Fleet::with_plan(&configs, 0.001, 21, plan).unwrap();
+            fleet.command_all(Rpm::new(2700.0));
+            let dt = SimDuration::from_secs(1);
+            for step in 0..150 {
+                let act = if step % 40 < 20 {
+                    Utilization::FULL
+                } else {
+                    Utilization::IDLE
+                };
+                fleet.step(dt, act).unwrap();
+            }
+            let telemetry: Vec<_> = (0..33)
+                .map(|i| fleet.server(i).unwrap().measured_cpu_temps())
+                .collect();
+            (fleet.total_energy(), fleet.max_die_temperature(), telemetry)
+        };
+        let reference = run(1, 16);
+        for (threads, width) in [(2, 4), (8, 1), (3, 7)] {
+            let got = run(threads, width);
+            assert_eq!(got.0, reference.0, "energy, threads {threads}");
+            assert_eq!(got.1, reference.1, "die temp, threads {threads}");
+            assert_eq!(got.2, reference.2, "telemetry, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_fleet_batches_within_hash_groups() {
+        // A mixed-SKU rack: single-socket and dual-socket servers.
+        // Each SKU batches through its own shared factorization and the
+        // trajectories stay bit-identical to a scalar loop.
+        let one_socket = ServerConfig {
+            sockets: 1,
+            process_sigma: vec![1.0],
+            ..ServerConfig::default()
+        };
+        let two_socket = ServerConfig::default();
+        let configs: Vec<ServerConfig> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    one_socket.clone()
+                } else {
+                    two_socket.clone()
+                }
+            })
+            .collect();
+        let k = 0.001;
+        let mut fleet = Fleet::from_configs(&configs, k, 31).unwrap();
+        assert_eq!(fleet.hash_group_count(), 2, "two SKUs, two hash groups");
+        fleet.command_all(Rpm::new(3000.0));
+
+        let mut reference: Vec<Server> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Server::new(c.clone(), 31 + i as u64).unwrap())
+            .collect();
+        for server in &mut reference {
+            server.command_fan_speed(Rpm::new(3000.0));
+        }
+        let room = configs[0].ambient;
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..400 {
+            fleet.step(dt, Utilization::FULL).unwrap();
+            let total: Watts = reference.iter().map(Server::total_power).sum();
+            let inlet = room + TempDelta::new(k * total.value());
+            for server in &mut reference {
+                server.set_ambient(inlet).unwrap();
+                server.step(dt, Utilization::FULL).unwrap();
+            }
+        }
+        assert_eq!(
+            fleet.batch_group_count(),
+            2,
+            "one shared factorization per SKU"
+        );
+        for (i, b) in reference.iter().enumerate() {
+            let a = fleet.server(i).unwrap();
             assert_eq!(
-                a.measured_cpu_temps(),
+                a.max_die_temperature(),
+                b.max_die_temperature(),
+                "server {i} die temperature"
+            );
+            assert_eq!(a.total_energy(), b.total_energy(), "server {i} energy");
+            assert_eq!(
+                fleet.server(i).unwrap().measured_cpu_temps(),
                 b.measured_cpu_temps(),
                 "server {i} telemetry"
             );
         }
+    }
+
+    #[test]
+    fn hetero_group_fan_divergence_falls_back_and_recovers() {
+        // Regression: a *non-first* hash group whose fans diverge while
+        // packed-resident must evict cleanly (sub-slice coordinates)
+        // and keep stepping bit-identically through the per-lane
+        // fallback.
+        let one_socket = ServerConfig {
+            sockets: 1,
+            process_sigma: vec![1.0],
+            ..ServerConfig::default()
+        };
+        let two_socket = ServerConfig::default();
+        let configs: Vec<ServerConfig> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    one_socket.clone()
+                } else {
+                    two_socket.clone()
+                }
+            })
+            .collect();
+        let mut fleet = Fleet::from_configs(&configs, 0.0, 17).unwrap();
+        assert_eq!(fleet.hash_group_count(), 2);
+        fleet.command_all(Rpm::new(3000.0));
+        let dt = SimDuration::from_secs(1);
+        // Let both groups go packed-resident.
+        for _ in 0..120 {
+            fleet.step(dt, Utilization::FULL).unwrap();
+        }
+        // Diverge fans inside the *second* storage group (the 2-socket
+        // SKU sits after the 1-socket run): one hot, one cold.
+        fleet
+            .server_mut(1)
+            .unwrap()
+            .command_fan_speed(Rpm::new(1800.0));
+        fleet
+            .server_mut(3)
+            .unwrap()
+            .command_fan_speed(Rpm::new(4200.0));
+        for _ in 0..600 {
+            fleet.step(dt, Utilization::FULL).unwrap();
+        }
+        // Scalar reference run, same seeds and command schedule.
+        let mut reference: Vec<Server> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Server::new(c.clone(), 17 + i as u64).unwrap())
+            .collect();
+        for server in &mut reference {
+            server.command_fan_speed(Rpm::new(3000.0));
+        }
+        let room = configs[0].ambient;
+        for _ in 0..120 {
+            for server in &mut reference {
+                server.set_ambient(room).unwrap();
+                server.step(dt, Utilization::FULL).unwrap();
+            }
+        }
+        reference[1].command_fan_speed(Rpm::new(1800.0));
+        reference[3].command_fan_speed(Rpm::new(4200.0));
+        for _ in 0..600 {
+            for server in &mut reference {
+                server.set_ambient(room).unwrap();
+                server.step(dt, Utilization::FULL).unwrap();
+            }
+        }
+        for (i, b) in reference.iter().enumerate() {
+            let a = fleet.server(i).unwrap();
+            assert_eq!(
+                a.max_die_temperature(),
+                b.max_die_temperature(),
+                "server {i} die temperature"
+            );
+            assert_eq!(a.total_energy(), b.total_energy(), "server {i} energy");
+        }
+        let hot = fleet.server(1).unwrap().max_die_temperature();
+        let cold = fleet.server(3).unwrap().max_die_temperature();
+        assert!(hot.degrees() - cold.degrees() > 10.0, "fans diverged");
     }
 
     #[test]
@@ -364,6 +934,22 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(fleet.batch_group_count(), 0, "batch engine unused");
+        assert_eq!(fleet.hash_group_count(), 0, "no batched groups");
         assert!(fleet.max_die_temperature().degrees() > 25.0);
+    }
+
+    #[test]
+    fn sync_states_exposes_packed_temperatures() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 2, 0.0, 13).unwrap();
+        for _ in 0..120 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        fleet.sync_states();
+        // After an explicit sync the servers' full states are current:
+        // air nodes must have warmed above ambient.
+        let air = fleet.server(0).unwrap().air_temperature(0).unwrap();
+        assert!(air.degrees() > 24.0, "air node stale at {air}");
     }
 }

@@ -1,0 +1,23 @@
+//! Pins the Test-3 Default 80-minute run's total energy to the exact
+//! value the perf work inherited — the engine's "physics unchanged"
+//! canary across stepping-engine rewrites.
+
+use leakctl::prelude::*;
+use leakctl_workload::suite;
+
+#[test]
+fn test3_default_energy_bit_stable() {
+    let options = RunOptions::default();
+    let (_, profile) = suite::all(42)
+        .into_iter()
+        .find(|(name, _)| *name == "Test-3")
+        .expect("suite has Test-3");
+    let mut controller = FixedSpeedController::paper_default();
+    let outcome = run_experiment(&options, profile, &mut controller, 42).unwrap();
+    let kwh = outcome.metrics.total_energy.as_kwh().value();
+    assert_eq!(
+        format!("{kwh:.12}"),
+        "0.724237241408",
+        "Test-3 Default energy drifted: {kwh:.15}"
+    );
+}

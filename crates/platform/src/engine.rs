@@ -277,6 +277,23 @@ impl ServerCore {
         &self.net
     }
 
+    /// The state-vector slots of the CPU die nodes, in socket order —
+    /// the slots per-step dynamics read (failsafe, power models,
+    /// leakage). A fleet engine keeping thermal state resident in
+    /// packed batch storage syncs exactly these slots back into the
+    /// core each step and defers full unpacks to telemetry reads.
+    #[must_use]
+    pub fn die_state_slots(&self) -> Vec<usize> {
+        self.socket_nodes
+            .iter()
+            .map(|n| {
+                self.net
+                    .state_slot(n.die)
+                    .expect("die nodes are capacitive")
+            })
+            .collect()
+    }
+
     /// Ground-truth die temperature of `socket`.
     ///
     /// # Errors
@@ -573,6 +590,13 @@ impl ServerCore {
     #[must_use]
     pub fn split_thermal(&mut self) -> (&ThermalNetwork, &mut ThermalState) {
         (&self.net, &mut self.state)
+    }
+
+    /// The thermal state (read side) — e.g. for packing a fleet's
+    /// states into batch storage.
+    #[must_use]
+    pub fn thermal_state(&self) -> &ThermalState {
+        &self.state
     }
 
     /// Phase 3 of a step: advances the simulation clock by `dt`.

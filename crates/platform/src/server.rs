@@ -197,6 +197,13 @@ impl Server {
         self.core.thermal_network()
     }
 
+    /// The thermal state (read side) — e.g. for packing a fleet's
+    /// states into batch storage.
+    #[must_use]
+    pub fn thermal_state(&self) -> &ThermalState {
+        self.core.thermal_state()
+    }
+
     /// Ground-truth die temperature of `socket`.
     ///
     /// # Errors
@@ -471,6 +478,16 @@ impl Server {
     #[must_use]
     pub fn split_thermal(&mut self) -> (&ThermalNetwork, &mut ThermalState) {
         self.core.split_thermal()
+    }
+
+    /// `true` when a step ending at `end` will poll CSTH telemetry —
+    /// i.e. when [`Server::finish_step`] will read the full thermal
+    /// state (die *and* DIMM nodes). Fleet engines that keep state
+    /// resident in packed batch storage use this to unpack a lane only
+    /// on the steps whose telemetry actually looks at it.
+    #[must_use]
+    pub fn telemetry_poll_pending(&self, end: SimInstant) -> bool {
+        self.poll.is_due(end)
     }
 
     /// Phase 3 of a batch-integrated step: advances the clock and polls

@@ -28,6 +28,8 @@
 //! integrators have no factorization to share; step those lanes
 //! individually.
 
+use std::borrow::Borrow;
+
 use leakctl_units::SimDuration;
 
 use crate::backend::{AutoBackend, SolverBackend};
@@ -62,12 +64,35 @@ pub struct PackedLanes {
     batch: usize,
     /// Temperatures, `temps[slot * batch + lane]`.
     temps: Vec<f64>,
-    /// Combined per-lane sources `s = s_power + s_bound`, same layout.
+    /// Combined per-lane sources `s = s_power + s_bound`,
+    /// `s[slot * batch + lane]` — the layout the per-step RHS build
+    /// streams over.
     s: Vec<f64>,
-    /// Cached halves of `s`, same layout — so a power-only change
-    /// refreshes without re-walking the boundary edges and vice versa.
-    s_power: Vec<f64>,
-    s_bound: Vec<f64>,
+    /// *Lane-major* staging halves of `s`
+    /// (`stage_power[lane * n + slot]`): a lane's source assembly
+    /// writes one contiguous `n`-slice instead of `n` stride-`batch`
+    /// scatters, and a dense refresh (every lane changed, the dynamic
+    /// fleet regime) recombines into `s` with one cache-friendly
+    /// transpose pass over an L1-resident staging block. Cached halves
+    /// are kept separate so a power-only change refreshes without
+    /// re-walking the boundary edges and vice versa.
+    stage_power: Vec<f64>,
+    stage_bound: Vec<f64>,
+    /// Lanes whose staging changed this refresh and still need their
+    /// `s` column recombined.
+    dirty: Vec<bool>,
+    /// `false` while `s` lags the staging buffers (a dense refresh
+    /// defers the recombine: the RHS build reads the staging directly
+    /// that step, and `s` is rebuilt lazily on the next sparse/clean
+    /// step).
+    s_valid: bool,
+    /// Slot → node index map of the (shared) topology, captured at the
+    /// first refresh and keyed on the structure hash it was captured
+    /// under (re-captured if a different-topology solver ever drives
+    /// this block): power staging then reads each lane's raw power
+    /// array directly instead of re-deriving the mapping per lane.
+    slot_map: Vec<usize>,
+    slot_map_key: Option<u64>,
     // Per-lane source-cache keys (same invalidation protocol as the
     // scalar solver).
     cond_keys: Vec<Option<(u64, u64)>>,
@@ -78,9 +103,10 @@ pub struct PackedLanes {
     /// `true` while every lane is known to share the reference flow
     /// signature.
     homogeneous: bool,
-    // Per-lane assembly scratch.
-    sp: Vec<f64>,
-    sb: Vec<f64>,
+    // Per-shard solve workspaces (each packed block owns its own, so
+    // shards solve concurrently without touching the solver).
+    rhs: Vec<f64>,
+    acc: Vec<f64>,
 }
 
 impl PackedLanes {
@@ -107,14 +133,18 @@ impl PackedLanes {
             batch,
             temps,
             s: vec![0.0; n * batch],
-            s_power: vec![0.0; n * batch],
-            s_bound: vec![0.0; n * batch],
+            stage_power: vec![0.0; n * batch],
+            stage_bound: vec![0.0; n * batch],
+            dirty: vec![false; batch],
+            s_valid: true,
+            slot_map: Vec::new(),
+            slot_map_key: None,
             cond_keys: vec![None; batch],
             power_keys: vec![None; batch],
             flow_gens: vec![0; batch],
             homogeneous: false,
-            sp: vec![0.0; n],
-            sb: vec![0.0; n],
+            rhs: vec![0.0; n * batch],
+            acc: vec![0.0; batch],
         }
     }
 
@@ -149,6 +179,215 @@ impl PackedLanes {
     #[must_use]
     pub fn max_temperature(&self) -> f64 {
         self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Writes one lane's packed temperatures back into `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range or `state` has the wrong
+    /// dimension.
+    pub fn unpack_lane_into(&self, lane: usize, state: &mut ThermalState) {
+        assert!(lane < self.batch, "lane out of range");
+        assert_eq!(state.temps.len(), self.n, "lane state dimension");
+        for (slot, t) in state.temps.iter_mut().enumerate() {
+            *t = self.temps[slot * self.batch + lane];
+        }
+    }
+
+    /// Copies only the given state slots of one lane into `state` —
+    /// the cheap sync fleet engines use per step for the few slots
+    /// (CPU dies) that per-server dynamics read, deferring the full
+    /// unpack to telemetry boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` or a slot is out of range or `state` has the
+    /// wrong dimension.
+    pub fn copy_lane_slots_into(&self, lane: usize, slots: &[usize], state: &mut ThermalState) {
+        assert!(lane < self.batch, "lane out of range");
+        assert_eq!(state.temps.len(), self.n, "lane state dimension");
+        for &slot in slots {
+            state.temps[slot] = self.temps[slot * self.batch + lane];
+        }
+    }
+
+    /// One packed temperature, `(lane, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` or `slot` is out of range.
+    #[must_use]
+    pub fn lane_temperature(&self, lane: usize, slot: usize) -> f64 {
+        assert!(lane < self.batch && slot < self.n, "lane/slot out of range");
+        self.temps[slot * self.batch + lane]
+    }
+
+    /// Refreshes the packed source block from each lane's network,
+    /// change-driven on the networks' invalidation generations.
+    /// Returns `true` when any lane's flow generation moved (the caller
+    /// must then recheck flow homogeneity).
+    ///
+    /// A stale lane assembles into its contiguous *lane-major* staging
+    /// slice; afterwards the dirty columns of the slot-major `s` block
+    /// are recombined — one dense transpose pass over the L1-resident
+    /// staging block when most lanes changed (the dynamic fleet
+    /// regime), or per-lane strided column updates when changes are
+    /// sparse. Values and addition order match the scalar solver's
+    /// `s = s_power + s_bound` exactly, so trajectories stay
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a lane's network does not match `structure_hash` or
+    /// the packed dimension.
+    pub(crate) fn refresh_sources<'n, F>(&mut self, net_of: F, structure_hash: u64) -> bool
+    where
+        F: Fn(usize) -> &'n ThermalNetwork,
+    {
+        let n = self.n;
+        let batch = self.batch;
+        if self.slot_map_key != Some(structure_hash) {
+            self.slot_map.clear();
+            self.slot_map.extend_from_slice(net_of(0).slot_to_node());
+            self.slot_map_key = Some(structure_hash);
+        }
+        let mut flows_moved = false;
+        let mut dirty_count = 0usize;
+        for lane in 0..batch {
+            let net = net_of(lane);
+            assert_eq!(
+                net.structure_hash(),
+                structure_hash,
+                "lane network is not structurally identical to the batch template"
+            );
+            assert_eq!(net.state_count(), n, "lane network dimension");
+            let flow_gen = net.flow_generation();
+            if self.flow_gens[lane] != flow_gen {
+                self.flow_gens[lane] = flow_gen;
+                flows_moved = true;
+            }
+            let cond_key = (flow_gen, net.boundary_generation());
+            let power_key = net.power_generation();
+            let mut stale = false;
+            if self.cond_keys[lane] != Some(cond_key) {
+                net.assemble_boundary_source_into(&mut self.stage_bound[lane * n..(lane + 1) * n]);
+                self.cond_keys[lane] = Some(cond_key);
+                stale = true;
+            }
+            if self.power_keys[lane] != Some(power_key) {
+                let powers = net.powers_raw();
+                for (stage, &node) in self.stage_power[lane * n..(lane + 1) * n]
+                    .iter_mut()
+                    .zip(&self.slot_map)
+                {
+                    *stage = powers[node];
+                }
+                self.power_keys[lane] = Some(power_key);
+                stale = true;
+            }
+            if stale && !self.dirty[lane] {
+                self.dirty[lane] = true;
+                dirty_count += 1;
+            }
+        }
+        if dirty_count == 0 && self.s_valid {
+            return flows_moved;
+        }
+        if dirty_count * 2 >= batch {
+            // Dense refresh (the dynamic fleet regime: most lanes
+            // changed): defer the recombine entirely — the RHS build
+            // reads the staging block directly this step, skipping one
+            // full write+read pass over `s`.
+            self.s_valid = false;
+        } else if !self.s_valid || dirty_count * 4 >= batch {
+            // Recombine every column in one transpose pass —
+            // contiguous writes per slot row, gather reads from a
+            // staging block small enough to stay cache-resident. Clean
+            // columns are rewritten with their (identical) staged
+            // values, which is exact.
+            for slot in 0..n {
+                let row = slot * batch;
+                let s_row = &mut self.s[row..row + batch];
+                for (lane, s) in s_row.iter_mut().enumerate() {
+                    let at = lane * n + slot;
+                    *s = self.stage_power[at] + self.stage_bound[at];
+                }
+            }
+            self.s_valid = true;
+        } else {
+            for lane in 0..batch {
+                if !self.dirty[lane] {
+                    continue;
+                }
+                for slot in 0..n {
+                    let at = lane * n + slot;
+                    self.s[slot * batch + lane] = self.stage_power[at] + self.stage_bound[at];
+                }
+            }
+        }
+        self.dirty[..batch].fill(false);
+        flows_moved
+    }
+
+    /// Builds the backward-Euler right-hand side `C·T + h·s` for every
+    /// lane and solves the block through `backend`'s cached `(C + h·G)`
+    /// factors, advancing the packed temperatures in place. The whole
+    /// step streams over contiguous slot-major rows; per-lane
+    /// arithmetic is bit-identical to a scalar solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] when the backend holds
+    /// no valid factors and [`ThermalError::Diverged`] (named through
+    /// `net_of`) on a non-finite result.
+    pub(crate) fn solve_be_block<'n, B, F>(
+        &mut self,
+        backend: &B,
+        c: &[f64],
+        h: f64,
+        net_of: F,
+    ) -> Result<(), ThermalError>
+    where
+        B: SolverBackend,
+        F: Fn(usize) -> &'n ThermalNetwork,
+    {
+        let n = self.n;
+        let batch = self.batch;
+        if self.s_valid {
+            for (slot, &ci) in c.iter().enumerate() {
+                let row = slot * batch;
+                let temps = &self.temps[row..row + batch];
+                let s_row = &self.s[row..row + batch];
+                for ((r, &t), &si) in self.rhs[row..row + batch].iter_mut().zip(temps).zip(s_row) {
+                    *r = ci * t + h * si;
+                }
+            }
+        } else {
+            // Deferred recombine: fold `s = s_power + s_bound` into the
+            // RHS build straight from the lane-major staging (same
+            // operand order as the recombine pass, so values are
+            // bit-identical).
+            for (slot, &ci) in c.iter().enumerate() {
+                let row = slot * batch;
+                let temps = &self.temps[row..row + batch];
+                for (lane, (r, &t)) in self.rhs[row..row + batch].iter_mut().zip(temps).enumerate()
+                {
+                    let at = lane * n + slot;
+                    let si = self.stage_power[at] + self.stage_bound[at];
+                    *r = ci * t + h * si;
+                }
+            }
+        }
+        backend.solve_be_block_into(&self.rhs, &mut self.temps, batch, &mut self.acc)?;
+        if let Some(bad) = self.temps.iter().position(|t| !t.is_finite()) {
+            let slot = bad / batch;
+            let lane = bad % batch;
+            return Err(ThermalError::Diverged {
+                name: net_of(lane).slot_name(slot).to_owned(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -532,9 +771,9 @@ impl<B: SolverBackend + Clone> BatchSolver<B> {
     ///
     /// Panics when `nets` does not match the packed batch shape or a
     /// network is not structurally identical to the template.
-    pub fn step_packed(
+    pub fn step_packed<N: Borrow<ThermalNetwork>>(
         &mut self,
-        nets: &[ThermalNetwork],
+        nets: &[N],
         packed: &mut PackedLanes,
         dt: SimDuration,
     ) -> Result<(), ThermalError> {
@@ -550,72 +789,70 @@ impl<B: SolverBackend + Clone> BatchSolver<B> {
         );
         assert_eq!(packed.n, n, "packed dimension must match the template");
         let h = dt.as_secs_f64();
-        let h_bits = h.to_bits();
-        self.step_counter += 1;
 
-        // ---- per-lane source refresh (strided, change-driven) -------
-        let mut flows_moved = false;
-        for (lane, net) in nets.iter().enumerate() {
-            assert_eq!(
-                net.structure_hash(),
-                self.structure_hash,
-                "lane network is not structurally identical to the batch template"
-            );
-            let flow_gen = net.flow_generation();
-            if packed.flow_gens[lane] != flow_gen {
-                packed.flow_gens[lane] = flow_gen;
-                flows_moved = true;
-            }
-            let cond_key = (flow_gen, net.boundary_generation());
-            let power_key = net.power_generation();
-            let cond_stale = packed.cond_keys[lane] != Some(cond_key);
-            let power_stale = packed.power_keys[lane] != Some(power_key);
-            if cond_stale {
-                net.assemble_boundary_source_into(&mut packed.sb);
-                for slot in 0..n {
-                    packed.s_bound[slot * batch + lane] = packed.sb[slot];
-                }
-                packed.cond_keys[lane] = Some(cond_key);
-            }
-            if power_stale {
-                net.assemble_power_into(&mut packed.sp);
-                for slot in 0..n {
-                    packed.s_power[slot * batch + lane] = packed.sp[slot];
-                }
-                packed.power_keys[lane] = Some(power_key);
-            }
-            if cond_stale || power_stale {
-                for slot in 0..n {
-                    let at = slot * batch + lane;
-                    packed.s[at] = packed.s_power[at] + packed.s_bound[at];
-                }
-            }
-        }
+        // ---- per-lane source refresh (lane-major, change-driven) ----
+        let flows_moved = packed.refresh_sources(|lane| nets[lane].borrow(), self.structure_hash);
 
         // ---- homogeneity + shared factorization ---------------------
         if flows_moved || !packed.homogeneous {
-            self.sig_scratch.clear();
-            nets[0].flow_signature_into(&mut self.sig_scratch);
-            let reference_len = self.sig_scratch.len();
-            // A network with no flow channels has an empty signature:
-            // trivially homogeneous (and `chunks(0)` would panic).
-            if reference_len > 0 {
-                for net in &nets[1..] {
-                    net.flow_signature_into(&mut self.sig_scratch);
-                }
-                let (reference, rest) = self.sig_scratch.split_at(reference_len);
-                if !rest.chunks(reference_len).all(|sig| sig == reference) {
-                    packed.homogeneous = false;
-                    return Err(ThermalError::MixedBatchSignatures);
-                }
+            if !self.flows_homogeneous(|lane| nets[lane].borrow(), batch) {
+                packed.homogeneous = false;
+                return Err(ThermalError::MixedBatchSignatures);
             }
             packed.homogeneous = true;
             self.packed_group = None;
         }
+        let group_idx = self.ensure_shared_group(nets[0].borrow(), h)?;
+
+        // ---- contiguous rhs build + blocked solve -------------------
+        packed.solve_be_block(&self.groups[group_idx].backend, &self.c, h, |lane| {
+            nets[lane].borrow()
+        })
+    }
+
+    /// `true` when the first `count` lanes all carry the same flow
+    /// values (the shared-factorization precondition of the packed
+    /// paths). A network with no flow channels has an empty signature:
+    /// trivially homogeneous.
+    pub(crate) fn flows_homogeneous<'n, F>(&mut self, net_of: F, count: usize) -> bool
+    where
+        F: Fn(usize) -> &'n ThermalNetwork,
+    {
+        self.sig_scratch.clear();
+        net_of(0).flow_signature_into(&mut self.sig_scratch);
+        let reference_len = self.sig_scratch.len();
+        if reference_len == 0 {
+            return true;
+        }
+        for lane in 1..count {
+            net_of(lane).flow_signature_into(&mut self.sig_scratch);
+        }
+        let (reference, rest) = self.sig_scratch.split_at(reference_len);
+        rest.chunks(reference_len).all(|sig| sig == reference)
+    }
+
+    /// Resolves the one shared factorization every homogeneous lane
+    /// steps through: sticky while `(dt, representative flow
+    /// generation, group table epoch)` are unchanged, otherwise a
+    /// signature lookup and — on miss — a fresh factorization from the
+    /// representative network. Bumps the step counter and the group's
+    /// LRU stamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::SingularSystem`] when the factorization
+    /// fails.
+    pub(crate) fn ensure_shared_group(
+        &mut self,
+        representative: &ThermalNetwork,
+        h: f64,
+    ) -> Result<usize, ThermalError> {
+        let h_bits = h.to_bits();
+        self.step_counter += 1;
         let sticky = self.packed_group.and_then(|(idx, epoch, hb, fg)| {
             (epoch == self.groups_epoch
                 && hb == h_bits
-                && fg == nets[0].flow_generation()
+                && fg == representative.flow_generation()
                 && idx < self.groups.len())
             .then_some(idx)
         });
@@ -623,7 +860,7 @@ impl<B: SolverBackend + Clone> BatchSolver<B> {
             Some(idx) => idx,
             None => {
                 self.sig_scratch.clear();
-                nets[0].flow_signature_into(&mut self.sig_scratch);
+                representative.flow_signature_into(&mut self.sig_scratch);
                 let found = self
                     .groups
                     .iter()
@@ -636,46 +873,42 @@ impl<B: SolverBackend + Clone> BatchSolver<B> {
                         &self.backend_template,
                         &self.c,
                         &mut self.s_bound_scratch,
-                        &nets[0],
+                        representative,
                         (h_bits, self.sig_scratch.clone()),
                         h,
                         self.step_counter,
                     )?,
                 };
-                self.packed_group =
-                    Some((idx, self.groups_epoch, h_bits, nets[0].flow_generation()));
+                self.packed_group = Some((
+                    idx,
+                    self.groups_epoch,
+                    h_bits,
+                    representative.flow_generation(),
+                ));
                 idx
             }
         };
+        self.groups[group_idx].last_used = self.step_counter;
+        Ok(group_idx)
+    }
 
-        // ---- contiguous rhs build + blocked solve -------------------
-        if self.rhs_block.len() < n * batch {
-            self.rhs_block.resize(n * batch, 0.0);
-            self.acc.resize(batch, 0.0);
-        }
-        let rhs = &mut self.rhs_block[..n * batch];
-        for slot in 0..n {
-            let ci = self.c[slot];
-            let row = slot * batch;
-            let temps = &packed.temps[row..row + batch];
-            let s_row = &packed.s[row..row + batch];
-            for ((r, &t), &si) in rhs[row..row + batch].iter_mut().zip(temps).zip(s_row) {
-                *r = ci * t + h * si;
-            }
-        }
-        let group = &mut self.groups[group_idx];
-        group.last_used = self.step_counter;
-        group
-            .backend
-            .solve_be_block_into(rhs, &mut packed.temps, batch, &mut self.acc[..batch])?;
-        if let Some(bad) = packed.temps.iter().position(|t| !t.is_finite()) {
-            let slot = bad / batch;
-            let lane = bad % batch;
-            return Err(ThermalError::Diverged {
-                name: nets[lane].slot_name(slot).to_owned(),
-            });
-        }
-        Ok(())
+    /// The backend (with its cached `(C + h·G)` factors) behind a group
+    /// index from [`Self::ensure_shared_group`] — read-only, so shard
+    /// workers can solve through it concurrently.
+    pub(crate) fn group_backend(&self, idx: usize) -> &B {
+        &self.groups[idx].backend
+    }
+
+    /// The per-slot capacitances of the template topology.
+    pub(crate) fn capacitances(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// The template's structural fingerprint
+    /// ([`ThermalNetwork::structure_hash`]); every lane must match it.
+    #[must_use]
+    pub fn template_structure_hash(&self) -> u64 {
+        self.structure_hash
     }
 
     /// Creates (or recycles, past [`MAX_GROUPS`]) a group: clones the

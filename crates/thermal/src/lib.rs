@@ -55,6 +55,7 @@ mod convection;
 mod error;
 pub mod linalg;
 mod network;
+mod shard;
 mod solver;
 pub mod sparse;
 mod stepper;
@@ -65,6 +66,10 @@ pub use convection::ConvectionModel;
 pub use error::ThermalError;
 pub use network::{
     Coupling, FlowChannelId, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
+};
+pub use shard::{
+    group_by_structure_hash, HeteroBatch, ShardPlan, ShardedBatchSolver, ShardedLanes, StepKernel,
+    THREADS_ENV,
 };
 pub use solver::Integrator;
 pub use stepper::TransientSolver;

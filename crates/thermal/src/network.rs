@@ -78,10 +78,58 @@ struct Channel {
 /// reuse the same generation number — a [`TransientSolver`]
 /// (crate::TransientSolver) keyed on stale generations therefore cannot
 /// collide with a different input set.
+///
+/// To keep per-mutation cost off the atomic (a fleet refreshing
+/// hundreds of die powers per step would otherwise serialize on it),
+/// each network leases a private *block* of generations at a time
+/// ([`GenLease`]) and mints from it locally; the atomic is touched once
+/// per [`GEN_BLOCK`] mutations. Uniqueness is preserved because blocks
+/// are disjoint and a lease is never shared: cloning a network
+/// explicitly drops the lease, forcing the clone onto a fresh block.
 static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Generations leased from [`GENERATION`] per refill.
+const GEN_BLOCK: u64 = 1024;
 
 fn next_generation() -> u64 {
     GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A network's private allotment of generation numbers.
+#[derive(Debug)]
+struct GenLease {
+    next: u64,
+    remaining: u64,
+}
+
+impl GenLease {
+    const fn empty() -> Self {
+        Self {
+            next: 0,
+            remaining: 0,
+        }
+    }
+
+    /// Mints a process-unique, per-network-monotone generation.
+    fn mint(&mut self) -> u64 {
+        if self.remaining == 0 {
+            self.next = GENERATION.fetch_add(GEN_BLOCK, Ordering::Relaxed);
+            self.remaining = GEN_BLOCK;
+        }
+        let g = self.next;
+        self.next += 1;
+        self.remaining -= 1;
+        g
+    }
+}
+
+impl Clone for GenLease {
+    /// A lease is exclusive: the clone starts empty and refills from
+    /// its own block, so a network and its clone can never mint the
+    /// same generation.
+    fn clone(&self) -> Self {
+        Self::empty()
+    }
 }
 
 /// Incrementally builds a [`ThermalNetwork`].
@@ -272,6 +320,7 @@ impl ThermalNetworkBuilder {
             boundary_gen: next_generation(),
             topology_id: next_generation(),
             structure_hash,
+            gen_lease: GenLease::empty(),
         })
     }
 }
@@ -400,6 +449,9 @@ pub struct ThermalNetwork {
     // distinguish separate builds of the same topology, which is what
     // lets a batch solver pool independently constructed servers.
     structure_hash: u64,
+    // Private generation allotment (see `GENERATION`); intentionally
+    // reset by `Clone`.
+    gen_lease: GenLease,
 }
 
 impl ThermalNetwork {
@@ -454,7 +506,7 @@ impl ThermalNetwork {
         let value = power.value();
         if self.powers[node.0].to_bits() != value.to_bits() {
             self.powers[node.0] = value;
-            self.power_gen = next_generation();
+            self.power_gen = self.gen_lease.mint();
         }
         Ok(())
     }
@@ -491,7 +543,7 @@ impl ThermalNetwork {
                 let value = temp.degrees();
                 if t.to_bits() != value.to_bits() {
                     *t = value;
-                    self.boundary_gen = next_generation();
+                    self.boundary_gen = self.gen_lease.mint();
                 }
                 Ok(())
             }
@@ -515,7 +567,7 @@ impl ThermalNetwork {
         let value = flow.value().max(0.0);
         if ch.flow.to_bits() != value.to_bits() {
             ch.flow = value;
-            self.flow_gen = next_generation();
+            self.flow_gen = self.gen_lease.mint();
         }
         Ok(())
     }
@@ -550,6 +602,23 @@ impl ThermalNetwork {
         match self.nodes[node.0].kind {
             NodeKind::Capacitive { slot, .. } => Celsius::new(state.temps[slot]),
             NodeKind::Boundary { temp } => Celsius::new(temp),
+        }
+    }
+
+    /// The state-vector slot of a capacitive node (`None` for boundary
+    /// nodes, which carry no state). Slots index
+    /// [`ThermalState::temperatures`] and the packed batch layouts —
+    /// fleet engines use this to read a few slots (e.g. CPU dies) out
+    /// of packed storage without unpacking whole states.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a foreign node id.
+    #[must_use]
+    pub fn state_slot(&self, node: NodeId) -> Option<usize> {
+        match self.nodes[node.0].kind {
+            NodeKind::Capacitive { slot, .. } => Some(slot),
+            NodeKind::Boundary { .. } => None,
         }
     }
 
@@ -606,6 +675,20 @@ impl ThermalNetwork {
     /// the source vector only).
     pub(crate) fn boundary_generation(&self) -> u64 {
         self.boundary_gen
+    }
+
+    /// The per-node power injections, indexed by node (not slot) — with
+    /// [`Self::slot_to_node`] this lets a batch refresh read a lane's
+    /// powers without the per-call indirection of
+    /// [`Self::assemble_power_into`].
+    pub(crate) fn powers_raw(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// The slot → node index map (fixed after build; identical across
+    /// identically built networks).
+    pub(crate) fn slot_to_node(&self) -> &[usize] {
+        &self.slot_to_node
     }
 
     /// Writes the per-slot capacitances into `c` (fixed after build).
