@@ -1,0 +1,55 @@
+//! Criterion bench for **room-scale** stepping: full machine rooms
+//! (per-rack fleets coupled through the CRAH/plenum/aisle air-volume
+//! network) and the room air network alone at CSR-scale rack counts.
+//!
+//! Run with `cargo bench -p leakctl-bench --bench room_scale`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leakctl_bench::{RoomAirKernel, RoomKernel};
+
+fn bench_room_scale(c: &mut Criterion) {
+    // One-shot shape report: the coupled room must develop gradients.
+    let mut probe = RoomKernel::new(1, 2, 8);
+    probe.step(300);
+    let room = probe.room();
+    eprintln!(
+        "[room_scale] 2-rack probe after 300 s: max die {:.1} C, return {:.1} C",
+        room.max_die_temperature().degrees(),
+        room.return_temperature().degrees()
+    );
+    assert!(room.max_die_temperature().degrees() > 30.0);
+    assert!(room.return_temperature().degrees() > 18.0);
+
+    let mut group = c.benchmark_group("room_scale");
+    group.sample_size(10);
+    const BLOCK: u64 = 60;
+    // Full coupled rooms: operator-split step (serial air network +
+    // cross-rack-sharded fleet phase), two floor sizes.
+    for (rows, cols, spr) in [(1usize, 4usize, 16usize), (2, 4, 32)] {
+        let servers = rows * cols * spr;
+        group.bench_function(format!("room{servers}_60steps"), |b| {
+            let mut kernel = RoomKernel::new(rows, cols, spr);
+            kernel.step(1);
+            b.iter(|| {
+                kernel.step(BLOCK);
+                kernel.room().max_die_temperature()
+            })
+        });
+    }
+    // The air network alone: dense (8 racks) vs CSR (64 racks, above
+    // the node threshold) with per-step power refresh.
+    for racks in [8usize, 64] {
+        group.bench_function(format!("room_air{racks}_200steps"), |b| {
+            let mut kernel = RoomAirKernel::new(racks);
+            kernel.step(1);
+            b.iter(|| {
+                kernel.step(200);
+                kernel.max_temperature()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_room_scale);
+criterion_main!(benches);

@@ -358,7 +358,8 @@ impl Default for SteppingKernel {
 }
 
 /// A rack of identical server-topology thermal networks stepped
-/// through one shared-factorization [`BatchSolver`] — the measurement
+/// through one shared-factorization
+/// [`BatchSolver`](leakctl_thermal::BatchSolver) — the measurement
 /// kernel behind the `rack_scale` criterion group and the `repro-rack`
 /// servers-stepped/sec report.
 ///
@@ -645,6 +646,145 @@ impl HeteroRackKernel {
     }
 }
 
+/// A full machine room (fleets coupled through the CRAH/plenum/aisle
+/// air network) at the canonical operating point — the kernel behind
+/// the `repro-room` servers-stepped/sec report and the `room_scale`
+/// criterion group. Construction matches [`RoomConfig`]'s defaults
+/// (two CRAH units, 18 °C supply, 10 % recirculation) with all fans
+/// pinned so throughput runs compare like for like.
+///
+/// [`RoomConfig`]: leakctl::room::RoomConfig
+#[derive(Debug)]
+pub struct RoomKernel {
+    room: leakctl::room::Room,
+}
+
+impl RoomKernel {
+    /// Builds a `rows × racks_per_row` room of `servers_per_rack`
+    /// default servers, seeded with [`REPRO_SEED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static configuration, known to
+    /// build).
+    #[must_use]
+    pub fn new(rows: usize, racks_per_row: usize, servers_per_rack: usize) -> Self {
+        use leakctl_units::Rpm;
+        let mut config = leakctl::room::RoomConfig::new(rows, racks_per_row, servers_per_rack);
+        config.seed = REPRO_SEED;
+        let mut room = leakctl::room::Room::new(config).expect("room builds");
+        room.command_all(Rpm::new(3000.0));
+        Self { room }
+    }
+
+    /// Total server count.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.room.servers()
+    }
+
+    /// Resets the room's energy accounting (after a warm-up, so
+    /// reported energies cover exactly the measured steps).
+    pub fn reset_accounting(&mut self) {
+        self.room.reset_accounting();
+    }
+
+    /// Advances the room by `steps` one-second full-load steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the canonical room is regular).
+    pub fn step(&mut self, steps: u64) {
+        use leakctl_units::{SimDuration, Utilization};
+        for _ in 0..steps {
+            self.room
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .expect("room step succeeds");
+        }
+    }
+
+    /// The simulated room (for metric extraction after a run).
+    #[must_use]
+    pub fn room(&self) -> &leakctl::room::Room {
+        &self.room
+    }
+}
+
+/// The room *air network alone* (no server fleets) with per-step
+/// wobbling rack powers — isolates the sparse air-volume solve the
+/// CSR backend carries at room scale. At 64+ racks the network crosses
+/// the CSR threshold.
+#[derive(Debug)]
+pub struct RoomAirKernel {
+    air: leakctl_thermal::RoomAirModel,
+    tick: u64,
+}
+
+impl RoomAirKernel {
+    /// Builds a `racks`-rack air model (18 °C supply, 15 %
+    /// recirculation, ~12 kW racks).
+    ///
+    /// # Panics
+    ///
+    /// Panics when construction fails (static spec, known to build).
+    #[must_use]
+    pub fn new(racks: usize) -> Self {
+        use leakctl_thermal::{RoomAirModel, RoomAirSpec};
+        use leakctl_units::{AirFlow, Celsius, Watts};
+        let spec = RoomAirSpec::uniform(
+            racks,
+            Celsius::new(18.0),
+            AirFlow::new(3.0 * racks as f64),
+            0.15,
+        );
+        let mut air = RoomAirModel::new(spec).expect("air model builds");
+        for r in 0..racks {
+            air.set_rack_power(r, Watts::new(12_000.0)).expect("power");
+        }
+        Self { air, tick: 0 }
+    }
+
+    /// `true` when the model runs on the CSR backend.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.air.is_sparse()
+    }
+
+    /// Advances the air network by `steps` one-second steps, wobbling
+    /// every rack's power each step (as live fleets do), so source
+    /// refresh is part of the measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a step fails (the kernel network is regular).
+    pub fn step(&mut self, steps: u64) {
+        use leakctl_units::{SimDuration, Watts};
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..steps {
+            self.tick += 1;
+            for r in 0..self.air.racks() {
+                let wobble = f64::from(
+                    (self.tick as u32)
+                        .wrapping_mul(7)
+                        .wrapping_add(r as u32 * 13)
+                        & 127,
+                );
+                self.air
+                    .set_rack_power(r, Watts::new(12_000.0 + 4.0 * wobble))
+                    .expect("power");
+            }
+            self.air.step(dt).expect("air step succeeds");
+        }
+    }
+
+    /// The hottest air-volume temperature (consume the result so
+    /// benchmark loops are not optimized away).
+    #[must_use]
+    pub fn max_temperature(&self) -> leakctl_units::Celsius {
+        self.air.state().max_temperature()
+    }
+}
+
 /// Machine-readable perf reporting shared by `repro-perf` and
 /// `repro-rack`: one JSON schema (`leakctl-perf/v1`), rendered by hand
 /// so the vendored no-op serde shim suffices, plus a merge helper so
@@ -925,6 +1065,25 @@ mod tests {
         kernel.step(200);
         let max = kernel.max_temperature().degrees();
         assert!((30.0..100.0).contains(&max), "dies should warm, got {max}");
+    }
+
+    #[test]
+    fn room_kernel_steps_and_accounts() {
+        let mut kernel = RoomKernel::new(1, 2, 2);
+        assert_eq!(kernel.servers(), 4);
+        kernel.step(180);
+        assert!(kernel.room().max_die_temperature().degrees() > 30.0);
+        assert!(kernel.room().cooling_energy().value() > 0.0);
+        assert!(kernel.room().total_energy() > kernel.room().it_energy());
+    }
+
+    #[test]
+    fn room_air_kernel_goes_sparse_at_scale() {
+        let mut large = RoomAirKernel::new(64);
+        assert!(large.is_sparse(), "130 air nodes must pick CSR");
+        large.step(120);
+        assert!(large.max_temperature().degrees() > 18.0);
+        assert!(!RoomAirKernel::new(8).is_sparse(), "small rooms stay dense");
     }
 
     #[test]

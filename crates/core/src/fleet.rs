@@ -367,6 +367,24 @@ impl Fleet {
     /// Propagates platform failures.
     pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
         let inlet = self.inlet_temperature();
+        self.step_with_inlet(dt, activity, inlet)
+    }
+
+    /// Advances every server by `dt` with an *externally supplied*
+    /// inlet temperature — the room-scale coupling point: a
+    /// [`Room`](crate::room::Room) reads each rack's cold-aisle air
+    /// volume from the room network and feeds it here, replacing the
+    /// scalar `T_room + r·P` drift that [`Fleet::step`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform failures.
+    pub fn step_with_inlet(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+        inlet: Celsius,
+    ) -> Result<(), CoreError> {
         // Explicit integrators have no factorization to share.
         for server in &mut self.servers[self.scalar_members.clone()] {
             server.set_ambient(inlet)?;
@@ -401,20 +419,12 @@ impl Fleet {
                 .collect(),
             _ => std::iter::once(0..count).collect(),
         };
-        if shard_ranges.len() == 1 {
-            for server in servers.iter_mut() {
-                server.set_ambient(inlet)?;
-                server.begin_step(dt, activity)?;
+        run_sharded(servers, &shard_ranges, |chunk, _| {
+            for server in chunk {
+                server.begin_step_with_inlet(dt, activity, inlet)?;
             }
-        } else {
-            run_sharded(servers, &shard_ranges, |chunk| {
-                for server in chunk {
-                    server.set_ambient(inlet)?;
-                    server.begin_step(dt, activity)?;
-                }
-                Ok(())
-            })?;
-        }
+            Ok::<(), PlatformError>(())
+        })?;
         if dt.is_zero() {
             return Ok(());
         }
@@ -523,34 +533,89 @@ impl Fleet {
             .sum()
     }
 
+    /// Resets every server's energy, peak-power and timing
+    /// accumulators (e.g. after a warm-up phase). Thermal state and
+    /// packed residency are untouched.
+    pub fn reset_accounting(&mut self) {
+        for server in &mut self.servers {
+            server.reset_accounting();
+        }
+    }
+
     /// The hottest die anywhere in the fleet.
     #[must_use]
     pub fn max_die_temperature(&self) -> Celsius {
-        self.servers
-            .iter()
-            .map(Server::max_die_temperature)
+        (0..self.servers.len())
+            .map(|storage| self.die_temp_at_storage(storage))
             .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Every server's hottest die temperature, in original index
+    /// order, appended into `out` (cleared first).
+    ///
+    /// Reads straight from the packed shard blocks while a group is
+    /// resident — no full-state unpack (which [`Fleet::server`] forces)
+    /// and no residency eviction (which [`Fleet::server_mut`] costs) —
+    /// so rack- and room-level controller loops can poll die
+    /// temperatures every decision period for free.
+    pub fn die_temps_view(&self, out: &mut Vec<Celsius>) {
+        out.clear();
+        out.extend(
+            self.index_map
+                .iter()
+                .map(|&storage| self.die_temp_at_storage(storage)),
+        );
+    }
+
+    /// One server's hottest die, from its group's packed block when
+    /// resident (authoritative between steps) or its own state
+    /// otherwise.
+    fn die_temp_at_storage(&self, storage: usize) -> Celsius {
+        if let Some(g) = self.group_of(storage) {
+            let group = &self.groups[g];
+            if let Some(lanes) = group.lanes.as_ref() {
+                let offset = storage - group.range.start;
+                let t = group
+                    .die_slots
+                    .iter()
+                    .map(|&slot| lanes.lane_temperature(offset, slot))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                return Celsius::new(t);
+            }
+        }
+        self.servers[storage].max_die_temperature()
     }
 }
 
-/// Runs `work` over each shard's server chunk on scoped workers,
-/// reporting the lowest shard's failure.
-fn run_sharded<F>(
-    servers: &mut [Server],
+/// Runs `work` over each shard's chunk of `items` — inline when there
+/// is a single range, one scoped worker per range otherwise — and
+/// reports the lowest shard's failure (deterministic regardless of
+/// completion order). `work` also receives its chunk's range so
+/// callers can slice per-item side arrays. Shared by the fleet's
+/// per-server phases (sharding servers within a rack) and the room's
+/// rack phase (sharding fleets across racks).
+pub(crate) fn run_sharded<T, E, F>(
+    items: &mut [T],
     ranges: &[Range<usize>],
     work: F,
-) -> Result<(), PlatformError>
+) -> Result<(), E>
 where
-    F: Fn(&mut [Server]) -> Result<(), PlatformError> + Sync,
+    T: Send,
+    E: Send,
+    F: Fn(&mut [T], Range<usize>) -> Result<(), E> + Sync,
 {
+    if ranges.len() <= 1 {
+        let full = 0..items.len();
+        return work(items, full);
+    }
     let results = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranges.len());
-        let mut rest = servers;
+        let mut rest = items;
         for range in ranges {
             let (chunk, tail) = rest.split_at_mut(range.len());
             rest = tail;
             let work = &work;
-            handles.push(scope.spawn(move || work(chunk)));
+            handles.push(scope.spawn(move || work(chunk, range.clone())));
         }
         handles
             .into_iter()
@@ -936,6 +1001,38 @@ mod tests {
         assert_eq!(fleet.batch_group_count(), 0, "batch engine unused");
         assert_eq!(fleet.hash_group_count(), 0, "no batched groups");
         assert!(fleet.max_die_temperature().degrees() > 25.0);
+    }
+
+    #[test]
+    fn die_temps_view_reads_packed_blocks_without_eviction() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 5, 0.001, 19).unwrap();
+        for _ in 0..200 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        // The view (read from packed residency) must agree with the
+        // full per-server accessor (which forces a lane sync)…
+        let mut view = Vec::new();
+        fleet.die_temps_view(&mut view);
+        assert_eq!(view.len(), 5);
+        for (i, &t) in view.iter().enumerate() {
+            assert_eq!(
+                t,
+                fleet.server(i).unwrap().max_die_temperature(),
+                "server {i}"
+            );
+        }
+        // …and reading it must not have perturbed anything.
+        let mut again = Vec::new();
+        fleet.die_temps_view(&mut again);
+        assert_eq!(view, again);
+        assert_eq!(
+            fleet.max_die_temperature(),
+            view.iter()
+                .copied()
+                .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod lut_pipeline;
 pub mod paper;
 pub mod rack;
 pub mod report;
+pub mod room;
 mod table1;
 
 pub use characterize::{
@@ -78,6 +79,7 @@ pub mod prelude {
     };
     pub use crate::fitting::{fit_models, FittedModels};
     pub use crate::lut_pipeline::build_lut_from_characterization;
+    pub use crate::room::{Room, RoomConfig};
     pub use crate::table1::{generate_table1, Table1, Table1Options};
     pub use leakctl_control::{
         BangBangController, FanController, FixedSpeedController, LookupTable, LutController,

@@ -1,0 +1,675 @@
+//! A machine room: many [`Fleet`]s coupled through a coarse air-volume
+//! network ([`RoomAirModel`]), stepped with cross-rack work sharding.
+//!
+//! This is the paper's "real-life data center" setting scaled out: the
+//! CRAH supply set-point, under-floor tile-flow distribution and
+//! hot-aisle recirculation determine each rack's inlet, the inlet
+//! drives leakage, and leakage feeds heat back into the room — the
+//! coupling the leakage/cooling co-optimization argument turns on.
+//!
+//! Each simulated step runs an operator split:
+//!
+//! 1. **Air phase (serial).** Every rack's dissipated power (from the
+//!    start-of-step fleet state) is injected into its hot-aisle volume
+//!    and the room network advances by `dt` through the cached
+//!    backward-Euler solver (sparse CSR once the room is large enough).
+//! 2. **Rack phase (parallel).** Each rack reads its cold-aisle
+//!    temperature as the inlet boundary and its [`Fleet`] advances by
+//!    `dt` — racks are sharded across scoped workers exactly like
+//!    [`ShardedBatchSolver`](leakctl_thermal::ShardedBatchSolver)
+//!    shards lanes within one rack, and since racks only interact
+//!    through the (serial) air phase, the room trajectory is
+//!    **bit-identical for any thread count** (`LEAKCTL_THREADS`).
+//!
+//! CRAH cooling work is accounted through a chilled-water COP model
+//! (`COP(T) = 0.0068·T² + 0.0008·T + 0.458`, the HP Utility Data
+//! Center model widely used in thermal-aware scheduling studies), so
+//! raising the supply set-point trades leakage against cooling energy —
+//! the room-scale version of the paper's Fig. 3 trade-off.
+
+use leakctl_platform::ServerConfig;
+use leakctl_thermal::{RoomAirModel, RoomAirSpec, ShardPlan};
+use leakctl_units::{AirFlow, Celsius, Joules, Rpm, SimDuration, Utilization, Watts};
+
+use crate::error::CoreError;
+use crate::fleet::{run_sharded, Fleet};
+
+/// Scenario builder for a [`Room`]: floor-grid geometry, CRAH
+/// placement, per-rack server fleets and the air-side couplings.
+///
+/// The floor is a `rows × racks_per_row` grid of racks. CRAH units sit
+/// along the wall in front of row 0; each rack's share of the
+/// under-floor airflow decays with its distance to the nearest CRAH
+/// (`1 / (1 + d / tile_decay)`, normalized), so far corners of the
+/// room run warmer — the coarse-grid stand-in for plenum pressure
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct RoomConfig {
+    /// Rack rows on the floor.
+    pub rows: usize,
+    /// Racks per row.
+    pub racks_per_row: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// Configuration shared by every server.
+    pub server: ServerConfig,
+    /// CRAH units along the row-0 wall (placement shapes tile flows).
+    pub crah_units: usize,
+    /// CRAH supply (set-point) temperature.
+    pub crah_supply: Celsius,
+    /// Through-flow each server draws; a rack's tile flow is its
+    /// placement-weighted share of `servers × airflow_per_server`.
+    pub airflow_per_server: AirFlow,
+    /// Hot-aisle recirculation fraction `β ∈ [0, 1)`.
+    pub recirculation_fraction: f64,
+    /// Distance-decay length (in rack pitches) of the tile-flow split.
+    pub tile_decay: f64,
+    /// Base seed; server `i` of rack `r` derives its sensor streams
+    /// from `seed + r·servers_per_rack + i`.
+    pub seed: u64,
+}
+
+impl RoomConfig {
+    /// A room of `rows × racks_per_row` racks of `servers_per_rack`
+    /// default servers, with two CRAH units, an 18 °C supply, 120 CFM
+    /// per server and 10 % recirculation.
+    #[must_use]
+    pub fn new(rows: usize, racks_per_row: usize, servers_per_rack: usize) -> Self {
+        Self {
+            rows,
+            racks_per_row,
+            servers_per_rack,
+            server: ServerConfig::default(),
+            crah_units: 2,
+            crah_supply: Celsius::new(18.0),
+            airflow_per_server: AirFlow::from_cfm(120.0),
+            recirculation_fraction: 0.1,
+            tile_decay: 6.0,
+            seed: 42,
+        }
+    }
+
+    /// Number of racks on the floor.
+    #[must_use]
+    pub fn racks(&self) -> usize {
+        self.rows * self.racks_per_row
+    }
+
+    /// Total server count.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.racks() * self.servers_per_rack
+    }
+
+    /// Per-rack tile flows: each rack's placement-weighted share of
+    /// the room's total airflow (see the type docs for the weighting).
+    #[must_use]
+    pub fn tile_flows(&self) -> Vec<AirFlow> {
+        let total = self.airflow_per_server.value() * self.servers() as f64;
+        let mut weights = Vec::with_capacity(self.racks());
+        for row in 0..self.rows {
+            for col in 0..self.racks_per_row {
+                let d = (0..self.crah_units.max(1))
+                    .map(|c| {
+                        let crah_col = (c as f64 + 0.5) * self.racks_per_row as f64
+                            / self.crah_units.max(1) as f64
+                            - 0.5;
+                        let dx = col as f64 - crah_col;
+                        let dy = row as f64 + 1.0;
+                        (dx * dx + dy * dy).sqrt()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                weights.push(1.0 / (1.0 + d / self.tile_decay));
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        weights
+            .into_iter()
+            .map(|w| AirFlow::new(total * w / sum))
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |what: &str| CoreError::Invalid {
+            what: what.to_owned(),
+        };
+        if self.rows == 0 || self.racks_per_row == 0 {
+            return Err(invalid("room needs at least one rack"));
+        }
+        if self.servers_per_rack == 0 {
+            return Err(invalid("racks need at least one server"));
+        }
+        if self.crah_units == 0 {
+            return Err(invalid("room needs at least one CRAH unit"));
+        }
+        if !(self.recirculation_fraction >= 0.0 && self.recirculation_fraction < 1.0) {
+            return Err(invalid("recirculation fraction must be in [0, 1)"));
+        }
+        if !(self.airflow_per_server.value() > 0.0 && self.airflow_per_server.value().is_finite()) {
+            return Err(invalid("per-server airflow must be positive"));
+        }
+        if !(self.tile_decay > 0.0 && self.tile_decay.is_finite()) {
+            return Err(invalid("tile decay length must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Chilled-water CRAH coefficient of performance at a supply
+/// temperature: `COP(T) = 0.0068·T² + 0.0008·T + 0.458` (HP Utility
+/// Data Center model). Higher set-points cool more efficiently — the
+/// counterweight to leakage in the room-scale energy balance.
+#[must_use]
+pub fn crah_cop(supply: Celsius) -> f64 {
+    let t = supply.degrees();
+    (0.0068 * t * t + 0.0008 * t + 0.458).max(0.1)
+}
+
+/// A machine room: one [`Fleet`] per rack, coupled through a
+/// [`RoomAirModel`], stepped with racks sharded across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use leakctl::room::{Room, RoomConfig};
+/// use leakctl_units::{SimDuration, Utilization};
+///
+/// # fn main() -> Result<(), leakctl::CoreError> {
+/// let mut room = Room::new(RoomConfig::new(1, 2, 4))?;
+/// for _ in 0..60 {
+///     room.step(SimDuration::from_secs(1), Utilization::FULL)?;
+/// }
+/// // Hot aisles run above the 18 °C supply once the racks heat up.
+/// assert!(room.hot_aisle_temperature(0).degrees() > 18.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Room {
+    fleets: Vec<Fleet>,
+    air: RoomAirModel,
+    /// Cross-rack work partition (racks per worker).
+    plan: ShardPlan,
+    crah_energy: Joules,
+    accounted: SimDuration,
+    servers_per_rack: usize,
+    /// Per-step scratch: rack activities / inlets (no per-step allocs).
+    activities: Vec<Utilization>,
+    inlets: Vec<Celsius>,
+}
+
+impl Room {
+    /// Builds the room with the environment's thread plan
+    /// (`LEAKCTL_THREADS`, else the machine) for cross-rack sharding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for an inconsistent config and
+    /// propagates construction failures.
+    pub fn new(config: RoomConfig) -> Result<Self, CoreError> {
+        Self::with_plan(config, ShardPlan::from_env())
+    }
+
+    /// As [`Room::new`] with an explicit cross-rack thread plan — a
+    /// pure performance knob: the room trajectory is bit-identical for
+    /// any plan (racks only interact through the serial air phase).
+    ///
+    /// # Errors
+    ///
+    /// As [`Room::new`].
+    pub fn with_plan(config: RoomConfig, plan: ShardPlan) -> Result<Self, CoreError> {
+        config.validate()?;
+        let racks = config.racks();
+        let spr = config.servers_per_rack;
+        // Each rack is a whole shard's worth of work: shard down to
+        // single racks. Within-rack sharding is disabled (plan of 1) —
+        // the room parallelizes across racks instead, and fleet
+        // trajectories are plan-independent, so this only moves work.
+        let plan = plan.with_min_lanes_per_shard(1);
+        let rack_configs = vec![config.server.clone(); spr];
+        let fleets = (0..racks)
+            .map(|r| {
+                Fleet::with_plan(
+                    &rack_configs,
+                    0.0,
+                    config.seed.wrapping_add((r * spr) as u64),
+                    ShardPlan::new(1),
+                )
+            })
+            .collect::<Result<Vec<Fleet>, CoreError>>()?;
+        let spec = RoomAirSpec::with_tile_flows(
+            config.crah_supply,
+            config.tile_flows(),
+            config.recirculation_fraction,
+        );
+        let air = RoomAirModel::new(spec).map_err(leakctl_platform::PlatformError::from)?;
+        Ok(Self {
+            fleets,
+            air,
+            plan,
+            crah_energy: Joules::ZERO,
+            accounted: SimDuration::ZERO,
+            servers_per_rack: spr,
+            activities: Vec::with_capacity(racks),
+            inlets: Vec::with_capacity(racks),
+        })
+    }
+
+    /// Number of racks.
+    #[must_use]
+    pub fn racks(&self) -> usize {
+        self.fleets.len()
+    }
+
+    /// Total server count.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.fleets.len() * self.servers_per_rack
+    }
+
+    /// Rack `rack`'s fleet (read side; per-server ground truth goes
+    /// through [`Fleet::server`] on the mutable accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range rack.
+    #[must_use]
+    pub fn fleet(&self, rack: usize) -> &Fleet {
+        &self.fleets[rack]
+    }
+
+    /// Mutable access to rack `rack`'s fleet (e.g. to attach
+    /// controllers or read synced per-server state).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range rack.
+    #[must_use]
+    pub fn fleet_mut(&mut self, rack: usize) -> &mut Fleet {
+        &mut self.fleets[rack]
+    }
+
+    /// The room air network (read side).
+    #[must_use]
+    pub fn air(&self) -> &RoomAirModel {
+        &self.air
+    }
+
+    /// Commands every fan in the room.
+    pub fn command_all(&mut self, rpm: Rpm) {
+        for fleet in &mut self.fleets {
+            fleet.command_all(rpm);
+        }
+    }
+
+    /// Re-pins the CRAH supply set-point (takes effect from the next
+    /// step's air phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors (never expected for the built-in
+    /// supply boundary).
+    pub fn set_crah_supply(&mut self, supply: Celsius) -> Result<(), CoreError> {
+        self.air
+            .set_supply(supply)
+            .map_err(leakctl_platform::PlatformError::from)?;
+        Ok(())
+    }
+
+    /// Re-balances one rack's tile flow (see
+    /// [`RoomAirModel::set_tile_flow`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates air-model errors (out-of-range rack, bad flow).
+    pub fn set_tile_flow(&mut self, rack: usize, flow: AirFlow) -> Result<(), CoreError> {
+        self.air
+            .set_tile_flow(rack, flow)
+            .map_err(leakctl_platform::PlatformError::from)?;
+        Ok(())
+    }
+
+    /// Advances the whole room by `dt` with every rack at the same
+    /// activity level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and solver failures.
+    pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
+        let racks = self.fleets.len();
+        self.activities.clear();
+        self.activities.resize(racks, activity);
+        let activities = std::mem::take(&mut self.activities);
+        let result = self.advance(dt, &activities);
+        self.activities = activities;
+        result
+    }
+
+    /// Advances the room by `dt` with per-rack activity levels — the
+    /// entry point thermal-aware job placement drives (hot corners get
+    /// the light work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] when `activities` does not have
+    /// one entry per rack, and propagates platform/solver failures.
+    pub fn step_racks(
+        &mut self,
+        dt: SimDuration,
+        activities: &[Utilization],
+    ) -> Result<(), CoreError> {
+        if activities.len() != self.fleets.len() {
+            return Err(CoreError::Invalid {
+                what: "one activity level per rack required".to_owned(),
+            });
+        }
+        self.advance(dt, activities)
+    }
+
+    /// One operator-split step: serial air phase, then the rack phase
+    /// sharded across scoped workers.
+    fn advance(&mut self, dt: SimDuration, activities: &[Utilization]) -> Result<(), CoreError> {
+        if dt.is_zero() {
+            return Ok(());
+        }
+        // ---- air phase (serial): inject start-of-step rack powers,
+        // advance the room network.
+        for (r, fleet) in self.fleets.iter().enumerate() {
+            self.air
+                .set_rack_power(r, fleet.total_power())
+                .map_err(leakctl_platform::PlatformError::from)?;
+        }
+        self.air
+            .step(dt)
+            .map_err(leakctl_platform::PlatformError::from)?;
+
+        // ---- rack phase (parallel): cold-aisle temperature → inlet
+        // boundary, one fleet step per rack, racks sharded across
+        // workers. Racks are independent within the step, so any
+        // partition is bit-identical.
+        self.inlets.clear();
+        self.inlets
+            .extend((0..self.fleets.len()).map(|r| self.air.cold_aisle_temperature(r)));
+        let ranges = self.plan.ranges(self.fleets.len());
+        let inlets = &self.inlets;
+        run_sharded(&mut self.fleets, &ranges, |chunk, range| {
+            for ((fleet, &inlet), &activity) in chunk
+                .iter_mut()
+                .zip(&inlets[range.clone()])
+                .zip(&activities[range])
+            {
+                fleet.step_with_inlet(dt, activity, inlet)?;
+            }
+            Ok::<(), CoreError>(())
+        })?;
+
+        // ---- CRAH cooling work over the step, through the COP at the
+        // current set-point.
+        let removed = self.air.crah_heat_removed().value().max(0.0);
+        let cop = crah_cop(self.air.supply_temperature());
+        self.crah_energy += Watts::new(removed / cop) * dt;
+        self.accounted += dt;
+        Ok(())
+    }
+
+    /// Rack `rack`'s cold-aisle (inlet) temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range rack.
+    #[must_use]
+    pub fn cold_aisle_temperature(&self, rack: usize) -> Celsius {
+        self.air.cold_aisle_temperature(rack)
+    }
+
+    /// Rack `rack`'s hot-aisle temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range rack.
+    #[must_use]
+    pub fn hot_aisle_temperature(&self, rack: usize) -> Celsius {
+        self.air.hot_aisle_temperature(rack)
+    }
+
+    /// The mixed return temperature at the CRAH intake.
+    #[must_use]
+    pub fn return_temperature(&self) -> Celsius {
+        self.air.return_temperature()
+    }
+
+    /// Total IT power (every fleet, rack order).
+    #[must_use]
+    pub fn total_power(&self) -> Watts {
+        self.fleets.iter().map(Fleet::total_power).sum()
+    }
+
+    /// Accumulated IT (server + fan) energy since construction.
+    #[must_use]
+    pub fn it_energy(&self) -> Joules {
+        self.fleets.iter().map(Fleet::total_energy).sum()
+    }
+
+    /// Accumulated CRAH cooling energy (heat removed over COP).
+    #[must_use]
+    pub fn cooling_energy(&self) -> Joules {
+        self.crah_energy
+    }
+
+    /// Total room energy: IT plus CRAH cooling work.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.it_energy() + self.crah_energy
+    }
+
+    /// Time the room has been stepped since construction or the last
+    /// [`Room::reset_accounting`].
+    #[must_use]
+    pub fn accounted_time(&self) -> SimDuration {
+        self.accounted
+    }
+
+    /// Resets all energy accounting — per-server accumulators, the
+    /// CRAH cooling energy and the accounted clock (e.g. after a
+    /// warm-up phase). Thermal state is untouched.
+    pub fn reset_accounting(&mut self) {
+        for fleet in &mut self.fleets {
+            fleet.reset_accounting();
+        }
+        self.crah_energy = Joules::ZERO;
+        self.accounted = SimDuration::ZERO;
+    }
+
+    /// The hottest die anywhere in the room (packed-block read path;
+    /// no unpacks).
+    #[must_use]
+    pub fn max_die_temperature(&self) -> Celsius {
+        self.fleets
+            .iter()
+            .map(Fleet::max_die_temperature)
+            .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Every rack's hottest die temperature, appended into `out`
+    /// (cleared first) — the controller-loop read path: like
+    /// [`Fleet::die_temps_view`] it reads straight from the packed
+    /// shard blocks, with no state unpacks and no residency eviction.
+    pub fn rack_max_die_temperatures(&self, out: &mut Vec<Celsius>) {
+        out.clear();
+        out.extend(self.fleets.iter().map(Fleet::max_die_temperature));
+    }
+
+    /// The rack whose hottest die is highest right now — the hot spot
+    /// a tile-flow or set-point controller would act on.
+    #[must_use]
+    pub fn hottest_rack(&self) -> usize {
+        (0..self.fleets.len())
+            .max_by(|&a, &b| {
+                self.fleets[a]
+                    .max_die_temperature()
+                    .partial_cmp(&self.fleets[b].max_die_temperature())
+                    .expect("die temps are finite")
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RoomConfig {
+        let mut config = RoomConfig::new(1, 2, 3);
+        config.crah_supply = Celsius::new(20.0);
+        config.recirculation_fraction = 0.2;
+        config
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(Room::new(RoomConfig::new(0, 2, 2)).is_err());
+        assert!(Room::new(RoomConfig::new(1, 0, 2)).is_err());
+        assert!(Room::new(RoomConfig::new(1, 2, 0)).is_err());
+        let mut bad = RoomConfig::new(1, 2, 2);
+        bad.recirculation_fraction = 1.0;
+        assert!(Room::new(bad).is_err());
+        let mut bad = RoomConfig::new(1, 2, 2);
+        bad.crah_units = 0;
+        assert!(Room::new(bad).is_err());
+        let mut bad = RoomConfig::new(1, 2, 2);
+        bad.airflow_per_server = AirFlow::ZERO;
+        assert!(Room::new(bad).is_err());
+
+        let room = Room::new(small()).unwrap();
+        assert_eq!(room.racks(), 2);
+        assert_eq!(room.servers(), 6);
+        assert_eq!(room.air().racks(), 2);
+    }
+
+    #[test]
+    fn tile_flows_decay_with_crah_distance() {
+        let mut config = RoomConfig::new(3, 4, 8);
+        config.crah_units = 1;
+        let flows = config.tile_flows();
+        assert_eq!(flows.len(), 12);
+        let total: f64 = flows.iter().map(|q| q.value()).sum();
+        let want = config.airflow_per_server.value() * config.servers() as f64;
+        assert!((total - want).abs() < 1e-9 * want, "split preserves total");
+        // Row 0 (next to the CRAH wall) out-draws row 2.
+        assert!(flows[0].value() > flows[8].value());
+        // Within a row, the tile under the CRAH out-draws the corner.
+        assert!(flows[1].value() > flows[3].value());
+    }
+
+    #[test]
+    fn room_warms_and_conserves_energy_at_steady_state() {
+        let mut room = Room::new(small()).unwrap();
+        room.command_all(Rpm::new(3000.0));
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..3_600 {
+            room.step(dt, Utilization::FULL).unwrap();
+        }
+        // Hot aisle above cold aisle above supply.
+        for r in 0..room.racks() {
+            assert!(room.hot_aisle_temperature(r) > room.cold_aisle_temperature(r));
+            assert!(room.cold_aisle_temperature(r).degrees() > 20.0);
+        }
+        // At (quasi-)steady state the CRAH extracts the IT dissipation.
+        let removed = room.air().crah_heat_removed().value();
+        let it = room.total_power().value();
+        assert!(
+            ((removed - it) / it).abs() < 1e-6,
+            "CRAH {removed} W vs IT {it} W"
+        );
+        // Energy accounting: IT + cooling, cooling > 0, time tracked.
+        assert!(room.cooling_energy() > Joules::ZERO);
+        assert_eq!(
+            room.total_energy(),
+            room.it_energy() + room.cooling_energy()
+        );
+        assert_eq!(room.accounted_time(), SimDuration::from_secs(3_600));
+        // Accounting resets cleanly (physics untouched).
+        let die = room.max_die_temperature();
+        room.reset_accounting();
+        assert_eq!(room.total_energy(), Joules::ZERO);
+        assert_eq!(room.accounted_time(), SimDuration::ZERO);
+        assert_eq!(room.max_die_temperature(), die);
+    }
+
+    #[test]
+    fn warmer_supply_trades_cooling_for_leakage() {
+        let run = |supply: f64| {
+            let mut config = small();
+            config.crah_supply = Celsius::new(supply);
+            let mut room = Room::with_plan(config, ShardPlan::new(1)).unwrap();
+            room.command_all(Rpm::new(3000.0));
+            for _ in 0..2_400 {
+                room.step(SimDuration::from_secs(1), Utilization::FULL)
+                    .unwrap();
+            }
+            room
+        };
+        let cold = run(16.0);
+        let warm = run(27.0);
+        // Warmer supply → hotter dies → more leakage → more IT energy…
+        assert!(warm.max_die_temperature() > cold.max_die_temperature());
+        assert!(warm.it_energy() > cold.it_energy());
+        // …but the CRAH works at a much better COP.
+        assert!(crah_cop(Celsius::new(27.0)) > crah_cop(Celsius::new(16.0)));
+        assert!(warm.cooling_energy() < cold.cooling_energy());
+    }
+
+    #[test]
+    fn per_rack_activities_shape_the_room() {
+        let mut room = Room::with_plan(small(), ShardPlan::new(2)).unwrap();
+        assert!(matches!(
+            room.step_racks(SimDuration::from_secs(1), &[Utilization::FULL]),
+            Err(CoreError::Invalid { .. })
+        ));
+        for _ in 0..1_800 {
+            room.step_racks(
+                SimDuration::from_secs(1),
+                &[Utilization::FULL, Utilization::IDLE],
+            )
+            .unwrap();
+        }
+        assert!(room.hot_aisle_temperature(0) > room.hot_aisle_temperature(1));
+        assert_eq!(room.hottest_rack(), 0);
+        let mut temps = Vec::new();
+        room.rack_max_die_temperatures(&mut temps);
+        assert_eq!(temps.len(), 2);
+        assert!(temps[0] > temps[1]);
+    }
+
+    #[test]
+    fn trajectory_bit_identical_across_rack_shard_plans() {
+        let run = |threads: usize| {
+            let mut config = RoomConfig::new(2, 2, 2);
+            config.recirculation_fraction = 0.25;
+            let mut room = Room::with_plan(config, ShardPlan::new(threads)).unwrap();
+            room.command_all(Rpm::new(2700.0));
+            let dt = SimDuration::from_secs(1);
+            for step in 0..200 {
+                let act = if step % 60 < 30 {
+                    Utilization::FULL
+                } else {
+                    Utilization::IDLE
+                };
+                room.step(dt, act).unwrap();
+            }
+            let aisles: Vec<u64> = (0..room.racks())
+                .map(|r| room.cold_aisle_temperature(r).degrees().to_bits())
+                .collect();
+            (
+                room.total_energy(),
+                room.max_die_temperature(),
+                room.cooling_energy(),
+                aisles,
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
+    }
+}

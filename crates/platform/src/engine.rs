@@ -572,6 +572,25 @@ impl ServerCore {
         Ok(transition)
     }
 
+    /// As [`ServerCore::begin_step`], first re-pinning the inlet
+    /// (ambient) boundary to an externally computed temperature — the
+    /// coupling hook room-scale air models drive: a fleet engine reads
+    /// its rack's cold-aisle volume and feeds it here every step,
+    /// replacing the scalar `T_inlet = T_room + r·P` approximation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network failures.
+    pub fn begin_step_with_inlet(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+        inlet: Celsius,
+    ) -> Result<SpTransition, PlatformError> {
+        self.set_ambient(inlet)?;
+        self.begin_step(dt, activity)
+    }
+
     /// Phase 2 of a step: integrates the thermal network by `dt`
     /// through the core's cached stepper.
     ///

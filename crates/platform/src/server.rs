@@ -472,6 +472,25 @@ impl Server {
         Ok(())
     }
 
+    /// As [`Server::begin_step`], first re-pinning the inlet (ambient)
+    /// boundary to an externally computed temperature — the per-step
+    /// coupling hook for room-scale air models, where a cold-aisle
+    /// volume (not the scalar `T_room + r·P` drift) supplies each
+    /// rack's inlet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-network failures.
+    pub fn begin_step_with_inlet(
+        &mut self,
+        dt: SimDuration,
+        activity: Utilization,
+        inlet: Celsius,
+    ) -> Result<(), PlatformError> {
+        self.core.set_ambient(inlet)?;
+        self.begin_step(dt, activity)
+    }
+
     /// The thermal network and mutable state as a batch lane — see
     /// [`BatchSolver`](leakctl_thermal::BatchSolver). Valid between
     /// [`Server::begin_step`] and [`Server::finish_step`].

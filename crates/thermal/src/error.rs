@@ -40,6 +40,12 @@ pub enum ThermalError {
     /// signature (use the per-lane `BatchSolver::step` API for fleets
     /// with diverged fan speeds).
     MixedBatchSignatures,
+    /// A room air-model spec was inconsistent (rack counts, tile
+    /// flows, recirculation fraction out of range).
+    InvalidRoom {
+        /// Description of the problem.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -63,6 +69,7 @@ impl fmt::Display for ThermalError {
                 f,
                 "packed batch step requires all lanes to share one flow signature"
             ),
+            Self::InvalidRoom { what } => write!(f, "invalid room spec: {what}"),
         }
     }
 }

@@ -55,6 +55,7 @@ mod convection;
 mod error;
 pub mod linalg;
 mod network;
+mod room;
 mod shard;
 mod solver;
 pub mod sparse;
@@ -67,6 +68,7 @@ pub use error::ThermalError;
 pub use network::{
     Coupling, FlowChannelId, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
 };
+pub use room::{RoomAirModel, RoomAirSpec};
 pub use shard::{
     group_by_structure_hash, HeteroBatch, ShardPlan, ShardedBatchSolver, ShardedLanes, StepKernel,
     THREADS_ENV,

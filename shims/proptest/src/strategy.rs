@@ -261,7 +261,7 @@ impl_tuple_strategy! {
     (A, B, C, D, E, F)
 }
 
-/// Element-count specification for [`vec`] (mirrors
+/// Element-count specification for [`vec()`] (mirrors
 /// `proptest::collection::SizeRange`).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
