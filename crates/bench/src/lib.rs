@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod setpoint;
+
 use leakctl::prelude::*;
 use leakctl::{
     build_lut_from_characterization, characterize, fit_models, CharacterizationData,
@@ -669,11 +671,13 @@ impl RoomKernel {
     /// build).
     #[must_use]
     pub fn new(rows: usize, racks_per_row: usize, servers_per_rack: usize) -> Self {
+        use leakctl::control::ControlAction;
         use leakctl_units::Rpm;
         let mut config = leakctl::room::RoomConfig::new(rows, racks_per_row, servers_per_rack);
         config.seed = REPRO_SEED;
         let mut room = leakctl::room::Room::new(config).expect("room builds");
-        room.command_all(Rpm::new(3000.0));
+        room.apply(&ControlAction::hold().with_fan_floor(Rpm::new(3000.0)))
+            .expect("fan floor applies");
         Self { room }
     }
 

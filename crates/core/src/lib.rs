@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod characterize;
+pub mod control;
 pub mod derating;
 mod error;
 mod experiment;
@@ -74,12 +75,16 @@ pub use table1::{generate_table1, Table1, Table1Options, Table1Row};
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::characterize::{characterize, CharacterizationData, CharacterizeOptions};
+    pub use crate::control::{
+        ControlAction, FixedSupplyController, LutSetPointController, MpcSetPointController,
+        RoomController, RoomObservation, TileFlowBalancer,
+    };
     pub use crate::experiment::{
         measure_idle_power, run_experiment, RunMetrics, RunOptions, RunOutcome,
     };
     pub use crate::fitting::{fit_models, FittedModels};
     pub use crate::lut_pipeline::build_lut_from_characterization;
-    pub use crate::room::{Room, RoomConfig};
+    pub use crate::room::{ControlStats, CopModel, Room, RoomConfig};
     pub use crate::table1::{generate_table1, Table1, Table1Options};
     pub use leakctl_control::{
         BangBangController, FanController, FixedSpeedController, LookupTable, LutController,

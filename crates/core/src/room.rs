@@ -31,6 +31,7 @@ use leakctl_platform::ServerConfig;
 use leakctl_thermal::{RoomAirModel, RoomAirSpec, ShardPlan};
 use leakctl_units::{AirFlow, Celsius, Joules, Rpm, SimDuration, Utilization, Watts};
 
+use crate::control::{ControlAction, RoomController, RoomObservation, SupplyPreview};
 use crate::error::CoreError;
 use crate::fleet::{run_sharded, Fleet};
 
@@ -64,6 +65,8 @@ pub struct RoomConfig {
     pub recirculation_fraction: f64,
     /// Distance-decay length (in rack pitches) of the tile-flow split.
     pub tile_decay: f64,
+    /// CRAH efficiency curve used for the cooling-energy accounting.
+    pub cop_model: CopModel,
     /// Base seed; server `i` of rack `r` derives its sensor streams
     /// from `seed + r·servers_per_rack + i`.
     pub seed: u64,
@@ -85,6 +88,7 @@ impl RoomConfig {
             airflow_per_server: AirFlow::from_cfm(120.0),
             recirculation_fraction: 0.1,
             tile_decay: 6.0,
+            cop_model: CopModel::HpChilledWater,
             seed: 42,
         }
     }
@@ -151,7 +155,69 @@ impl RoomConfig {
         if !(self.tile_decay > 0.0 && self.tile_decay.is_finite()) {
             return Err(invalid("tile decay length must be positive"));
         }
+        self.cop_model.validate()?;
         Ok(())
+    }
+}
+
+/// A pluggable CRAH coefficient-of-performance curve — how efficiently
+/// the cooling plant removes heat at a given supply set-point.
+///
+/// The default is the HP Utility Data Center chilled-water model (see
+/// [`crah_cop`]); the other variants let outdoor-temperature-dependent
+/// or economizer/free-cooling curves slot into [`RoomConfig`] (and
+/// into an MPC's cost model) without touching the room's accounting
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum CopModel {
+    /// `COP(T) = 0.0068·T² + 0.0008·T + 0.458`, the HP Utility Data
+    /// Center chilled-water curve ([`crah_cop`]).
+    #[default]
+    HpChilledWater,
+    /// A set-point-independent COP (e.g. a free-cooling regime pinned
+    /// by outdoor conditions).
+    Constant(f64),
+    /// An explicit quadratic `a·T² + b·T + c` in the supply
+    /// temperature (°C) — the shape chiller data sheets fit; floored
+    /// at 0.1 like the built-in curve.
+    Quadratic {
+        /// Quadratic coefficient.
+        a: f64,
+        /// Linear coefficient.
+        b: f64,
+        /// Constant term.
+        c: f64,
+    },
+}
+
+impl CopModel {
+    /// The coefficient of performance at a supply temperature (always
+    /// ≥ 0.1, so cooling energy stays finite and positive).
+    #[must_use]
+    pub fn cop(&self, supply: Celsius) -> f64 {
+        let t = supply.degrees();
+        let raw = match *self {
+            Self::HpChilledWater => return crah_cop(supply),
+            Self::Constant(cop) => cop,
+            Self::Quadratic { a, b, c } => a * t * t + b * t + c,
+        };
+        raw.max(0.1)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        let ok = match *self {
+            Self::HpChilledWater => true,
+            Self::Constant(cop) => cop.is_finite() && cop > 0.0,
+            Self::Quadratic { a, b, c } => a.is_finite() && b.is_finite() && c.is_finite(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::Invalid {
+                what: "COP model parameters must be finite and positive".to_owned(),
+            })
+        }
     }
 }
 
@@ -193,6 +259,10 @@ pub struct Room {
     crah_energy: Joules,
     accounted: SimDuration,
     servers_per_rack: usize,
+    cop_model: CopModel,
+    /// Mean activity commanded over the most recent step (surfaced to
+    /// controllers through [`RoomObservation::activity`]).
+    last_activity: Utilization,
     /// Per-step scratch: rack activities / inlets (no per-step allocs).
     activities: Vec<Utilization>,
     inlets: Vec<Celsius>,
@@ -250,6 +320,8 @@ impl Room {
             crah_energy: Joules::ZERO,
             accounted: SimDuration::ZERO,
             servers_per_rack: spr,
+            cop_model: config.cop_model,
+            last_activity: Utilization::IDLE,
             activities: Vec::with_capacity(racks),
             inlets: Vec::with_capacity(racks),
         })
@@ -296,10 +368,9 @@ impl Room {
     }
 
     /// Commands every fan in the room.
+    #[deprecated(note = "use `Room::apply` with `ControlAction::with_fan_floor`")]
     pub fn command_all(&mut self, rpm: Rpm) {
-        for fleet in &mut self.fleets {
-            fleet.command_all(rpm);
-        }
+        self.command_fans(rpm);
     }
 
     /// Re-pins the CRAH supply set-point (takes effect from the next
@@ -309,11 +380,9 @@ impl Room {
     ///
     /// Propagates network errors (never expected for the built-in
     /// supply boundary).
+    #[deprecated(note = "use `Room::apply` with `ControlAction::with_supply`")]
     pub fn set_crah_supply(&mut self, supply: Celsius) -> Result<(), CoreError> {
-        self.air
-            .set_supply(supply)
-            .map_err(leakctl_platform::PlatformError::from)?;
-        Ok(())
+        self.apply(&ControlAction::hold().with_supply(supply))
     }
 
     /// Re-balances one rack's tile flow (see
@@ -322,11 +391,189 @@ impl Room {
     /// # Errors
     ///
     /// Propagates air-model errors (out-of-range rack, bad flow).
+    #[deprecated(note = "use `Room::apply` with `ControlAction::with_tile_flows`")]
     pub fn set_tile_flow(&mut self, rack: usize, flow: AirFlow) -> Result<(), CoreError> {
+        if rack >= self.fleets.len() {
+            return Err(CoreError::Invalid {
+                what: "rack index out of range".to_owned(),
+            });
+        }
         self.air
             .set_tile_flow(rack, flow)
             .map_err(leakctl_platform::PlatformError::from)?;
         Ok(())
+    }
+
+    fn command_fans(&mut self, rpm: Rpm) {
+        for fleet in &mut self.fleets {
+            fleet.command_all(rpm);
+        }
+    }
+
+    /// Validates and atomically applies a typed room command — the one
+    /// write path controllers (and the future `leakctld` set-point
+    /// endpoint) drive. The whole action is validated before anything
+    /// is touched, so a rejected action never leaves the room
+    /// half-applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for a non-finite supply, a
+    /// tile-flow list whose length does not match the rack count, or a
+    /// non-positive/non-finite tile flow.
+    pub fn apply(&mut self, action: &ControlAction) -> Result<(), CoreError> {
+        let invalid = |what: &str| CoreError::Invalid {
+            what: what.to_owned(),
+        };
+        // ---- validate everything up front (atomicity).
+        if let Some(supply) = action.supply {
+            if !supply.degrees().is_finite() {
+                return Err(invalid("supply set-point must be finite"));
+            }
+        }
+        if let Some(flows) = &action.tile_flows {
+            if flows.len() != self.fleets.len() {
+                return Err(invalid("one tile flow per rack required"));
+            }
+            if flows
+                .iter()
+                .any(|q| !(q.value() > 0.0 && q.value().is_finite()))
+            {
+                return Err(invalid("tile flows must be positive and finite"));
+            }
+        }
+        if let Some(rpm) = action.fan_floor {
+            if !(rpm.value().is_finite() && rpm.value() >= 0.0) {
+                return Err(invalid("fan floor must be finite and non-negative"));
+            }
+        }
+        // ---- commit (every call below is now infallible by
+        // construction).
+        if let Some(supply) = action.supply {
+            self.air
+                .set_supply(supply)
+                .map_err(leakctl_platform::PlatformError::from)?;
+        }
+        if let Some(flows) = &action.tile_flows {
+            for (rack, &flow) in flows.iter().enumerate() {
+                self.air
+                    .set_tile_flow(rack, flow)
+                    .map_err(leakctl_platform::PlatformError::from)?;
+            }
+        }
+        if let Some(rpm) = action.fan_floor {
+            self.command_fans(rpm);
+        }
+        Ok(())
+    }
+
+    /// Fills `obs` with a read-only room snapshot — allocation-free
+    /// once the snapshot's vectors have reached capacity, and `&self`
+    /// throughout (die temperatures come straight from the packed
+    /// shard blocks), so telemetry pollers never contend for
+    /// `&mut Room`.
+    pub fn observe_into(&self, obs: &mut RoomObservation) {
+        let supply = self.air.supply_temperature();
+        let cop = self.cop_model.cop(supply);
+        obs.time = self.accounted;
+        obs.supply = supply;
+        obs.return_temp = self.air.return_temperature();
+        obs.recirculation = self.air.recirculation();
+        obs.activity = self.last_activity;
+        obs.it_power = self.total_power();
+        obs.cooling_power = Watts::new(self.air.crah_heat_removed().value().max(0.0) / cop);
+        obs.cop = cop;
+        obs.servers_per_rack = self.servers_per_rack;
+        let racks = self.fleets.len();
+        obs.cold_aisles.clear();
+        obs.cold_aisles
+            .extend((0..racks).map(|r| self.air.cold_aisle_temperature(r)));
+        obs.hot_aisles.clear();
+        obs.hot_aisles
+            .extend((0..racks).map(|r| self.air.hot_aisle_temperature(r)));
+        self.rack_max_die_temperatures(&mut obs.rack_die_max);
+        obs.tile_flows.clear();
+        obs.tile_flows
+            .extend((0..racks).map(|r| self.air.tile_flow(r).expect("rack index in range")));
+    }
+
+    /// A freshly allocated room snapshot (see [`Room::observe_into`]
+    /// for the reusable form).
+    #[must_use]
+    pub fn observe(&self) -> RoomObservation {
+        let mut obs = RoomObservation::new();
+        self.observe_into(&mut obs);
+        obs
+    }
+
+    /// Previews the steady per-rack cold-aisle temperatures under a
+    /// candidate supply set-point without disturbing the live
+    /// trajectory (see
+    /// [`RoomAirModel::preview_supply`]); returns the previewed CRAH
+    /// return temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for a non-finite candidate.
+    pub fn preview_supply(
+        &mut self,
+        supply: Celsius,
+        cold_aisles: &mut Vec<Celsius>,
+    ) -> Result<Celsius, CoreError> {
+        self.air
+            .preview_supply(supply, cold_aisles)
+            .map_err(|e| CoreError::Platform(e.into()))
+    }
+
+    /// Runs the closed control loop for `steps` steps of `dt`: every
+    /// [`RoomController::decision_period`] (and at time zero) the
+    /// controller observes a fresh snapshot — with the live air model
+    /// as its what-if oracle — and its action is applied atomically
+    /// before the room advances. `schedule` maps the step index to the
+    /// room-wide activity level.
+    ///
+    /// The trajectory is bit-identical for any thread plan: decisions
+    /// happen in the serial section between steps, and previews never
+    /// touch the live state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for a zero `dt` and propagates
+    /// apply/step failures.
+    pub fn run_controlled(
+        &mut self,
+        controller: &mut dyn RoomController,
+        dt: SimDuration,
+        steps: u64,
+        mut schedule: impl FnMut(u64) -> Utilization,
+    ) -> Result<ControlStats, CoreError> {
+        if dt.is_zero() {
+            return Err(CoreError::Invalid {
+                what: "controlled runs need a positive step".to_owned(),
+            });
+        }
+        let period = controller.decision_period();
+        let mut stats = ControlStats::default();
+        let mut obs = RoomObservation::new();
+        let mut since = period; // decide immediately at t = 0
+        for step in 0..steps {
+            if since >= period {
+                since = SimDuration::ZERO;
+                self.observe_into(&mut obs);
+                let action = {
+                    let mut preview = RoomSupplyPreview { air: &mut self.air };
+                    controller.observe(&obs, &mut preview)
+                };
+                stats.decisions += 1;
+                if !action.is_hold() {
+                    stats.applied += 1;
+                    self.apply(&action)?;
+                }
+            }
+            self.step(dt, schedule(step))?;
+            since += dt;
+        }
+        Ok(stats)
     }
 
     /// Advances the whole room by `dt` with every rack at the same
@@ -406,9 +653,12 @@ impl Room {
         // ---- CRAH cooling work over the step, through the COP at the
         // current set-point.
         let removed = self.air.crah_heat_removed().value().max(0.0);
-        let cop = crah_cop(self.air.supply_temperature());
+        let cop = self.cop_model.cop(self.air.supply_temperature());
         self.crah_energy += Watts::new(removed / cop) * dt;
         self.accounted += dt;
+        let mean = activities.iter().map(|a| a.as_fraction()).sum::<f64>()
+            / activities.len().max(1) as f64;
+        self.last_activity = Utilization::saturating_from_fraction(mean);
         Ok(())
     }
 
@@ -514,6 +764,37 @@ impl Room {
     }
 }
 
+/// Counters from a [`Room::run_controlled`] run: how often the
+/// controller was consulted and how often it commanded a change (a
+/// well-settled loop holds most of the time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Controller consultations (one per decision period plus `t = 0`).
+    pub decisions: u64,
+    /// Decisions that produced a non-hold action.
+    pub applied: u64,
+}
+
+/// [`SupplyPreview`] over the live room air model — the what-if oracle
+/// [`Room::run_controlled`] hands its controller. Previews solve into a
+/// scratch state and restore the boundary afterwards, so the live
+/// trajectory is untouched bit-for-bit.
+struct RoomSupplyPreview<'a> {
+    air: &'a mut RoomAirModel,
+}
+
+impl SupplyPreview for RoomSupplyPreview<'_> {
+    fn preview_supply(
+        &mut self,
+        supply: Celsius,
+        cold_aisles: &mut Vec<Celsius>,
+    ) -> Result<Celsius, CoreError> {
+        self.air
+            .preview_supply(supply, cold_aisles)
+            .map_err(|e| CoreError::Platform(e.into()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,10 +842,15 @@ mod tests {
         assert!(flows[1].value() > flows[3].value());
     }
 
+    fn pin_fans(room: &mut Room, rpm: f64) {
+        room.apply(&ControlAction::hold().with_fan_floor(Rpm::new(rpm)))
+            .unwrap();
+    }
+
     #[test]
     fn room_warms_and_conserves_energy_at_steady_state() {
         let mut room = Room::new(small()).unwrap();
-        room.command_all(Rpm::new(3000.0));
+        pin_fans(&mut room, 3000.0);
         let dt = SimDuration::from_secs(1);
         for _ in 0..3_600 {
             room.step(dt, Utilization::FULL).unwrap();
@@ -602,7 +888,7 @@ mod tests {
             let mut config = small();
             config.crah_supply = Celsius::new(supply);
             let mut room = Room::with_plan(config, ShardPlan::new(1)).unwrap();
-            room.command_all(Rpm::new(3000.0));
+            pin_fans(&mut room, 3000.0);
             for _ in 0..2_400 {
                 room.step(SimDuration::from_secs(1), Utilization::FULL)
                     .unwrap();
@@ -647,7 +933,7 @@ mod tests {
             let mut config = RoomConfig::new(2, 2, 2);
             config.recirculation_fraction = 0.25;
             let mut room = Room::with_plan(config, ShardPlan::new(threads)).unwrap();
-            room.command_all(Rpm::new(2700.0));
+            pin_fans(&mut room, 2700.0);
             let dt = SimDuration::from_secs(1);
             for step in 0..200 {
                 let act = if step % 60 < 30 {
@@ -671,5 +957,162 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(run(threads), reference, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn apply_validates_atomically() {
+        let mut room = Room::new(small()).unwrap();
+        let before_supply = room.air().supply_temperature();
+        let before_flows: Vec<AirFlow> = (0..room.racks())
+            .map(|r| room.air().tile_flow(r).unwrap())
+            .collect();
+
+        // A bad tile-flow list rejects the whole action: the (valid)
+        // supply half must not land either.
+        let bad = ControlAction::hold()
+            .with_supply(Celsius::new(24.0))
+            .with_tile_flows(vec![AirFlow::from_cfm(100.0)]);
+        assert!(matches!(room.apply(&bad), Err(CoreError::Invalid { .. })));
+        assert_eq!(room.air().supply_temperature(), before_supply);
+
+        let bad = ControlAction::hold()
+            .with_supply(Celsius::new(24.0))
+            .with_tile_flows(vec![AirFlow::ZERO, AirFlow::from_cfm(100.0)]);
+        assert!(matches!(room.apply(&bad), Err(CoreError::Invalid { .. })));
+        assert_eq!(room.air().supply_temperature(), before_supply);
+        for (r, &flow) in before_flows.iter().enumerate() {
+            assert_eq!(room.air().tile_flow(r).unwrap(), flow);
+        }
+
+        assert!(matches!(
+            room.apply(&ControlAction::hold().with_supply(Celsius::new(f64::NAN))),
+            Err(CoreError::Invalid { .. })
+        ));
+        assert!(matches!(
+            room.apply(&ControlAction::hold().with_fan_floor(Rpm::new(f64::NAN))),
+            Err(CoreError::Invalid { .. })
+        ));
+
+        // A fully valid action lands as a unit.
+        let flows: Vec<AirFlow> = before_flows
+            .iter()
+            .map(|q| AirFlow::new(q.value()))
+            .collect();
+        let good = ControlAction::hold()
+            .with_supply(Celsius::new(23.0))
+            .with_tile_flows(flows)
+            .with_fan_floor(Rpm::new(3300.0));
+        room.apply(&good).unwrap();
+        assert_eq!(room.air().supply_temperature(), Celsius::new(23.0));
+        // Hold is a no-op.
+        room.apply(&ControlAction::hold()).unwrap();
+        assert_eq!(room.air().supply_temperature(), Celsius::new(23.0));
+    }
+
+    #[test]
+    fn observation_snapshot_matches_room_state() {
+        let mut room = Room::new(small()).unwrap();
+        for _ in 0..600 {
+            room.step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        let mut obs = RoomObservation::new();
+        room.observe_into(&mut obs);
+        assert_eq!(obs.racks(), room.racks());
+        assert_eq!(obs.time, room.accounted_time());
+        assert_eq!(obs.supply, room.air().supply_temperature());
+        assert_eq!(obs.return_temp, room.return_temperature());
+        assert_eq!(obs.activity, Utilization::FULL);
+        assert_eq!(obs.it_power, room.total_power());
+        assert_eq!(obs.servers_per_rack, 3);
+        assert!((obs.recirculation - 0.2).abs() < 1e-12);
+        assert!(obs.cop > 0.0 && obs.cooling_power.value() > 0.0);
+        let mut dies = Vec::new();
+        room.rack_max_die_temperatures(&mut dies);
+        assert_eq!(obs.rack_die_max, dies);
+        assert_eq!(obs.max_die_temperature(), room.max_die_temperature());
+        assert_eq!(obs.hottest_rack(), room.hottest_rack());
+        for r in 0..room.racks() {
+            assert_eq!(obs.cold_aisles[r], room.cold_aisle_temperature(r));
+            assert_eq!(obs.hot_aisles[r], room.hot_aisle_temperature(r));
+        }
+        // Reusable: a second fill into the same buffers is identical.
+        let again = room.observe();
+        assert_eq!(again.rack_die_max, obs.rack_die_max);
+        assert_eq!(again.cold_aisles, obs.cold_aisles);
+    }
+
+    #[test]
+    fn pluggable_cop_model_drives_the_accounting() {
+        let run = |model: CopModel| {
+            let mut config = small();
+            config.cop_model = model;
+            let mut room = Room::with_plan(config, ShardPlan::new(1)).unwrap();
+            for _ in 0..900 {
+                room.step(SimDuration::from_secs(1), Utilization::FULL)
+                    .unwrap();
+            }
+            room.cooling_energy()
+        };
+        let default = run(CopModel::HpChilledWater);
+        let quad = run(CopModel::Quadratic {
+            a: 0.0068,
+            b: 0.0008,
+            c: 0.458,
+        });
+        // The explicit quadratic reproduces the built-in curve…
+        assert_eq!(default, quad);
+        // …and a flat high-COP plant (free cooling) charges far less
+        // than the ~3.2 the chilled-water curve gives at a 20 °C
+        // supply.
+        let flat = run(CopModel::Constant(10.0));
+        assert!(flat < default);
+
+        let mut bad = small();
+        bad.cop_model = CopModel::Constant(-1.0);
+        assert!(Room::new(bad).is_err());
+        let mut bad = small();
+        bad.cop_model = CopModel::Quadratic {
+            a: f64::NAN,
+            b: 0.0,
+            c: 1.0,
+        };
+        assert!(Room::new(bad).is_err());
+    }
+
+    #[test]
+    fn controlled_run_decides_on_schedule() {
+        use crate::control::FixedSupplyController;
+
+        let mut room = Room::new(small()).unwrap();
+        let mut ctl = FixedSupplyController::new(Celsius::new(22.0));
+        let dt = SimDuration::from_secs(30);
+        let stats = room
+            .run_controlled(&mut ctl, dt, 8, |_| Utilization::FULL)
+            .unwrap();
+        // 60 s period at 30 s steps over 4 min: decisions at t = 0,
+        // 60, 120, 180 s; only the first commands a change.
+        assert_eq!(stats.decisions, 4);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(room.air().supply_temperature(), Celsius::new(22.0));
+        assert_eq!(room.accounted_time(), SimDuration::from_secs(240));
+        assert!(matches!(
+            room.run_controlled(&mut ctl, SimDuration::ZERO, 1, |_| Utilization::FULL),
+            Err(CoreError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_route_through_apply() {
+        let mut room = Room::new(small()).unwrap();
+        room.set_crah_supply(Celsius::new(21.0)).unwrap();
+        assert_eq!(room.air().supply_temperature(), Celsius::new(21.0));
+        assert!(room.set_crah_supply(Celsius::new(f64::NAN)).is_err());
+        let flow = room.air().tile_flow(0).unwrap();
+        room.set_tile_flow(0, AirFlow::new(flow.value() * 1.1))
+            .unwrap();
+        assert!(room.set_tile_flow(99, flow).is_err());
+        room.command_all(Rpm::new(2800.0));
     }
 }

@@ -2,12 +2,19 @@
 //! CRAH, equivalence of a degenerate room to the scalar fleet model,
 //! and bit-identity of room stepping across thread counts.
 
+use leakctl::control::ControlAction;
 use leakctl::fleet::Fleet;
 use leakctl::room::{Room, RoomConfig};
 use leakctl_platform::ServerConfig;
 use leakctl_thermal::ShardPlan;
 use leakctl_units::{Celsius, Rpm, SimDuration, Utilization};
 use proptest::prelude::*;
+
+/// Pins every fan in the room through the typed action path.
+fn pin_fans(room: &mut Room, rpm: f64) {
+    room.apply(&ControlAction::hold().with_fan_floor(Rpm::new(rpm)))
+        .unwrap();
+}
 
 /// At steady state the heat the CRAH extracts from the return stream
 /// must equal the total fleet dissipation — the room model neither
@@ -19,7 +26,7 @@ fn steady_state_crah_heat_out_equals_fleet_power() {
     config.crah_units = 1;
     config.recirculation_fraction = 0.25;
     let mut room = Room::new(config).unwrap();
-    room.command_all(Rpm::new(3000.0));
+    pin_fans(&mut room, 3000.0);
     let dt = SimDuration::from_secs(1);
     for _ in 0..3_600 {
         room.step(dt, Utilization::FULL).unwrap();
@@ -48,7 +55,7 @@ fn one_rack_room_reproduces_scalar_fleet_trajectory() {
     config.crah_supply = server.ambient;
     config.seed = seed;
     let mut room = Room::new(config).unwrap();
-    room.command_all(Rpm::new(2700.0));
+    pin_fans(&mut room, 2700.0);
 
     let mut fleet = Fleet::new(server, count, 0.0, seed).unwrap();
     fleet.command_all(Rpm::new(2700.0));
@@ -124,7 +131,7 @@ proptest! {
             config.crah_supply = Celsius::new(supply);
             config.seed = seed;
             let mut room = Room::with_plan(config, ShardPlan::new(threads)).unwrap();
-            room.command_all(Rpm::new(2700.0));
+            pin_fans(&mut room, 2700.0);
             let dt = SimDuration::from_secs(1);
             for step in 0..steps {
                 let act = if step % period < period / 2 {

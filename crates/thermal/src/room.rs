@@ -173,6 +173,9 @@ pub struct RoomAirModel {
     ret: NodeId,
     racks: Vec<RackNodes>,
     recirculation: f64,
+    /// Scratch state for [`RoomAirModel::preview_supply`] (kept so
+    /// repeated previews never allocate).
+    preview: ThermalState,
 }
 
 impl RoomAirModel {
@@ -246,6 +249,7 @@ impl RoomAirModel {
         let total: f64 = spec.tile_flows.iter().map(|q| q.value()).sum();
         net.set_flow(supply_channel, AirFlow::new((1.0 - beta) * total))?;
         let state = net.uniform_state(spec.supply);
+        let preview = state.clone();
         let solver = TransientSolver::new(&net);
         Ok(Self {
             net,
@@ -257,6 +261,7 @@ impl RoomAirModel {
             ret,
             racks,
             recirculation: beta,
+            preview,
         })
     }
 
@@ -441,6 +446,56 @@ impl RoomAirModel {
         Ok(())
     }
 
+    /// Previews the steady-state per-rack cold-aisle temperatures the
+    /// room would settle at under a candidate CRAH supply set-point,
+    /// **without disturbing the live trajectory** — the cheap what-if
+    /// hook receding-horizon set-point controllers iterate over.
+    ///
+    /// The candidate boundary is pinned, the steady system is solved
+    /// through the cached `G` factorization (boundary changes never
+    /// invalidate it — only flow changes do, so a controller sweeping
+    /// `N` candidates pays one factorization and `N`
+    /// back-substitutions), and the original set-point is restored
+    /// bit-exactly. `cold_aisles` is cleared and refilled with one
+    /// entry per rack; the returned value is the previewed mixed
+    /// return temperature at the CRAH intake.
+    ///
+    /// Current rack powers and tile flows are held as-is, so the
+    /// preview answers "where do the inlets end up if I only move the
+    /// set-point" — leakage feedback on rack power is the caller's
+    /// model to apply on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidRoom`] for a non-finite
+    /// candidate and propagates solver failures (never expected: every
+    /// volume sits on a flow path from the supply boundary).
+    pub fn preview_supply(
+        &mut self,
+        supply: Celsius,
+        cold_aisles: &mut Vec<Celsius>,
+    ) -> Result<Celsius, ThermalError> {
+        if !supply.degrees().is_finite() {
+            return Err(ThermalError::InvalidRoom {
+                what: "supply temperature must be finite",
+            });
+        }
+        let saved = self.supply_temperature();
+        self.net.set_boundary(self.supply_node, supply)?;
+        let solved = self.solver.steady_state_into(&self.net, &mut self.preview);
+        // Restore before error handling so a solver failure can never
+        // leave the candidate pinned on the live network.
+        self.net.set_boundary(self.supply_node, saved)?;
+        solved?;
+        cold_aisles.clear();
+        cold_aisles.extend(
+            self.racks
+                .iter()
+                .map(|nodes| self.net.temperature(&self.preview, nodes.cold)),
+        );
+        Ok(self.net.temperature(&self.preview, self.ret))
+    }
+
     fn rack_nodes(&self, rack: usize) -> Result<RackNodes, ThermalError> {
         self.racks
             .get(rack)
@@ -594,6 +649,62 @@ mod tests {
         }
         assert!(transient.plenum_temperature().degrees() < 18.0 + 1e-6);
         assert!(transient.return_temperature() > transient.plenum_temperature());
+    }
+
+    #[test]
+    fn preview_supply_matches_committed_steady_state() {
+        let mut room = powered(3, 0.2);
+        room.set_tile_flow(2, AirFlow::new(1.5)).unwrap();
+        // Step a while so the live trajectory is mid-transient.
+        for _ in 0..50 {
+            room.step(SimDuration::from_secs(1)).unwrap();
+        }
+        let live_before: Vec<u64> = (0..3)
+            .map(|r| room.cold_aisle_temperature(r).degrees().to_bits())
+            .collect();
+        let supply_before = room.supply_temperature();
+
+        let mut previewed = Vec::new();
+        let ret = room
+            .preview_supply(Celsius::new(24.0), &mut previewed)
+            .unwrap();
+        // The live state and set-point are untouched, bit-for-bit.
+        assert_eq!(room.supply_temperature(), supply_before);
+        let live_after: Vec<u64> = (0..3)
+            .map(|r| room.cold_aisle_temperature(r).degrees().to_bits())
+            .collect();
+        assert_eq!(live_after, live_before);
+
+        // Committing the candidate and solving steady lands exactly
+        // where the preview said.
+        room.set_supply(Celsius::new(24.0)).unwrap();
+        room.solve_steady().unwrap();
+        for (r, want) in previewed.iter().enumerate() {
+            let got = room.cold_aisle_temperature(r).degrees();
+            let want = want.degrees();
+            assert!((got - want).abs() < 1e-9, "rack {r}: {got} vs {want}");
+        }
+        assert!((ret.degrees() - room.return_temperature().degrees()).abs() < 1e-9);
+        // Rejects nonsense candidates without touching anything.
+        assert!(room
+            .preview_supply(Celsius::new(f64::NAN), &mut previewed)
+            .is_err());
+    }
+
+    #[test]
+    fn preview_supply_lift_passes_through() {
+        // At steady state a supply lift passes 1:1 into every cold
+        // aisle regardless of recirculation — the linear-response fact
+        // set-point controllers lean on.
+        let mut room = powered(2, 0.3);
+        room.solve_steady().unwrap();
+        let mut previewed = Vec::new();
+        room.preview_supply(Celsius::new(25.0), &mut previewed)
+            .unwrap();
+        for (r, p) in previewed.iter().enumerate() {
+            let lift = p.degrees() - room.cold_aisle_temperature(r).degrees();
+            assert!((lift - 7.0).abs() < 1e-9, "rack {r} lift {lift}");
+        }
     }
 
     #[test]
