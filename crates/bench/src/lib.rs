@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod setpoint;
 
 use leakctl::prelude::*;

@@ -39,7 +39,7 @@
 use leakctl_power::EmpiricalLeakage;
 use leakctl_units::{AirFlow, Celsius, Rpm, SimDuration, Utilization, Watts};
 
-use crate::error::CoreError;
+use crate::error::{ControlError, CoreError};
 use crate::room::CopModel;
 
 /// A read-only room snapshot handed to [`RoomController::observe`] —
@@ -139,13 +139,15 @@ impl RoomObservation {
     }
 
     /// The rack with the hottest die — the hot spot a tile-flow or
-    /// set-point policy acts on (0 for an unfilled snapshot).
+    /// set-point policy acts on (0 for an unfilled snapshot). Total
+    /// order, so a non-finite die temperature under an injected fault
+    /// still picks a rack instead of panicking mid-decision.
     #[must_use]
     pub fn hottest_rack(&self) -> usize {
         self.rack_die_max
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("die temps are finite"))
+            .max_by(|(_, a), (_, b)| a.degrees().total_cmp(&b.degrees()))
             .map_or(0, |(r, _)| r)
     }
 
@@ -384,6 +386,20 @@ pub trait RoomController {
 
     /// Resets internal state for a fresh run (default: nothing).
     fn reset(&mut self) {}
+
+    /// Serializes the controller's mutable state as an opaque flat
+    /// vector for scenario checkpointing (default: stateless). The
+    /// encoding must round-trip exactly: restoring it and continuing
+    /// must decide bit-identically to never having been interrupted.
+    fn checkpoint_state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restores state produced by
+    /// [`checkpoint_state`](RoomController::checkpoint_state) (default:
+    /// no-op). Unrecognized or truncated input falls back to the
+    /// freshly-reset state rather than panicking.
+    fn restore_state(&mut self, _state: &[f64]) {}
 }
 
 /// The non-adaptive baseline: pins one supply set-point (and
@@ -452,6 +468,14 @@ impl RoomController for FixedSupplyController {
 
     fn reset(&mut self) {
         self.pending = true;
+    }
+
+    fn checkpoint_state(&self) -> Vec<f64> {
+        vec![f64::from(u8::from(self.pending))]
+    }
+
+    fn restore_state(&mut self, state: &[f64]) {
+        self.pending = state.first().is_none_or(|&v| v != 0.0);
     }
 }
 
@@ -553,6 +577,10 @@ pub struct LutSetPointController {
     fan_floor: Option<Rpm>,
     period: SimDuration,
     supply_range: (Celsius, Celsius),
+    safe_fan_floor: Option<Rpm>,
+    in_safe_mode: bool,
+    safe_mode_entries: u64,
+    scratch: Vec<Celsius>,
 }
 
 impl LutSetPointController {
@@ -561,23 +589,47 @@ impl LutSetPointController {
     ///
     /// # Panics
     ///
-    /// Panics on an empty table.
+    /// Panics on an invalid table (see
+    /// [`LutSetPointController::try_new`]).
     #[must_use]
-    pub fn new(mut entries: Vec<LutEntry>) -> Self {
-        assert!(!entries.is_empty(), "LUT needs at least one entry");
+    pub fn new(entries: Vec<LutEntry>) -> Self {
+        Self::try_new(entries).expect("valid LUT table")
+    }
+
+    /// As [`LutSetPointController::new`], with invalid tables coming
+    /// back as typed errors instead of panics — the constructor to use
+    /// for tables assembled at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::EmptyLut`] for an empty table and
+    /// [`ControlError::NonFiniteLutLoad`] for a non-finite load bound.
+    pub fn try_new(mut entries: Vec<LutEntry>) -> Result<Self, ControlError> {
+        if entries.is_empty() {
+            return Err(ControlError::EmptyLut);
+        }
+        if entries
+            .iter()
+            .any(|e| !e.max_load.as_fraction().is_finite())
+        {
+            return Err(ControlError::NonFiniteLutLoad);
+        }
         entries.sort_by(|a, b| {
             a.max_load
                 .as_fraction()
-                .partial_cmp(&b.max_load.as_fraction())
-                .expect("loads are finite")
+                .total_cmp(&b.max_load.as_fraction())
         });
-        Self {
+        Ok(Self {
             entries,
             balancer: None,
             fan_floor: None,
             period: SimDuration::from_secs(60),
             supply_range: (Celsius::new(12.0), Celsius::new(32.0)),
-        }
+            safe_fan_floor: Some(Rpm::new(4200.0)),
+            in_safe_mode: false,
+            safe_mode_entries: 0,
+            scratch: Vec::new(),
+        })
     }
 
     /// The default three-regime table used by the `repro-setpoint`
@@ -631,6 +683,23 @@ impl LutSetPointController {
         self
     }
 
+    /// Sets the fan floor commanded while in max-cooling safe mode
+    /// (default 4200 RPM, the paper server's fan ceiling); `None`
+    /// leaves fans alone even in safe mode.
+    #[must_use]
+    pub fn with_safe_fan_floor(mut self, rpm: Option<Rpm>) -> Self {
+        self.safe_fan_floor = rpm;
+        self
+    }
+
+    /// How many times the controller has entered max-cooling safe mode
+    /// (the supply preview became unevaluable — e.g. a CRAH outage with
+    /// no steady state).
+    #[must_use]
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe_mode_entries
+    }
+
     /// The cold-aisle target for a load regime (table lookup).
     #[must_use]
     pub fn target_for(&self, load: Utilization) -> Celsius {
@@ -651,16 +720,33 @@ impl RoomController for LutSetPointController {
         self.period
     }
 
-    fn observe(
-        &mut self,
-        obs: &RoomObservation,
-        _preview: &mut dyn SupplyPreview,
-    ) -> ControlAction {
+    fn observe(&mut self, obs: &RoomObservation, preview: &mut dyn SupplyPreview) -> ControlAction {
         let target = self.target_for(obs.activity);
         // Back out the supply that puts the *worst* cold aisle at the
         // target under the currently observed lift.
         let supply = (target.degrees() - obs.max_inlet_lift())
             .clamp(self.supply_range.0.degrees(), self.supply_range.1.degrees());
+        // Probe the oracle once: a preview that cannot be evaluated
+        // means the plant has no steady state under the current fault
+        // (e.g. a CRAH outage) — back-computed set-points would chase
+        // garbage, so fall back to max cooling until it recovers.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let evaluable = preview
+            .preview_supply(Celsius::new(supply), &mut scratch)
+            .is_ok();
+        self.scratch = scratch;
+        if !evaluable {
+            if !self.in_safe_mode {
+                self.in_safe_mode = true;
+                self.safe_mode_entries += 1;
+            }
+            let mut action = ControlAction::hold().with_supply(self.supply_range.0);
+            if let Some(rpm) = self.safe_fan_floor.or(self.fan_floor) {
+                action = action.with_fan_floor(rpm);
+            }
+            return action;
+        }
+        self.in_safe_mode = false;
         let mut action = ControlAction::hold().with_supply(Celsius::new(supply));
         if let Some(balancer) = &self.balancer {
             if let Some(flows) = balancer.balance(obs) {
@@ -671,6 +757,23 @@ impl RoomController for LutSetPointController {
             action = action.with_fan_floor(rpm);
         }
         action
+    }
+
+    fn reset(&mut self) {
+        self.in_safe_mode = false;
+        self.safe_mode_entries = 0;
+    }
+
+    fn checkpoint_state(&self) -> Vec<f64> {
+        vec![
+            f64::from(u8::from(self.in_safe_mode)),
+            self.safe_mode_entries as f64,
+        ]
+    }
+
+    fn restore_state(&mut self, state: &[f64]) {
+        self.in_safe_mode = state.first().is_some_and(|&v| v != 0.0);
+        self.safe_mode_entries = state.get(1).map_or(0, |&v| v as u64);
     }
 }
 
@@ -756,6 +859,9 @@ pub struct MpcSetPointController {
     /// term; cleared by [`RoomController::reset`].
     history: Option<(SimDuration, Vec<Celsius>)>,
     trend: Vec<f64>,
+    safe_fan_floor: Option<Rpm>,
+    in_safe_mode: bool,
+    safe_mode_entries: u64,
 }
 
 impl MpcSetPointController {
@@ -763,18 +869,35 @@ impl MpcSetPointController {
     ///
     /// # Panics
     ///
-    /// Panics on an empty candidate list.
+    /// Panics on an empty candidate list (see
+    /// [`MpcSetPointController::try_new`]).
     #[must_use]
     pub fn new(cfg: MpcConfig) -> Self {
-        assert!(!cfg.candidates.is_empty(), "MPC needs candidates");
-        Self {
+        Self::try_new(cfg).expect("valid MPC config")
+    }
+
+    /// As [`MpcSetPointController::new`], with invalid configurations
+    /// coming back as typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::NoCandidates`] for an empty candidate
+    /// list.
+    pub fn try_new(cfg: MpcConfig) -> Result<Self, ControlError> {
+        if cfg.candidates.is_empty() {
+            return Err(ControlError::NoCandidates);
+        }
+        Ok(Self {
             cfg,
             balancer: None,
             fan_floor: None,
             scratch: Vec::new(),
             history: None,
             trend: Vec::new(),
-        }
+            safe_fan_floor: Some(Rpm::new(4200.0)),
+            in_safe_mode: false,
+            safe_mode_entries: 0,
+        })
     }
 
     /// The default `repro-setpoint` configuration
@@ -796,6 +919,23 @@ impl MpcSetPointController {
     pub fn with_fan_floor(mut self, rpm: Rpm) -> Self {
         self.fan_floor = Some(rpm);
         self
+    }
+
+    /// Sets the fan floor commanded while in max-cooling safe mode
+    /// (default 4200 RPM, the paper server's fan ceiling); `None`
+    /// leaves fans alone even in safe mode.
+    #[must_use]
+    pub fn with_safe_fan_floor(mut self, rpm: Option<Rpm>) -> Self {
+        self.safe_fan_floor = rpm;
+        self
+    }
+
+    /// How many times the optimizer has entered max-cooling safe mode
+    /// (every candidate preview failed — the plant has no steady state
+    /// under the current fault).
+    #[must_use]
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe_mode_entries
     }
 
     /// Predicted room power rate (IT + cooling) and hottest die for a
@@ -898,11 +1038,32 @@ impl RoomController for MpcSetPointController {
             }
             None => self.history = Some((obs.time, obs.rack_die_max.clone())),
         }
-        let supply = best.map(|(_, s)| s).or(coldest);
-        let mut action = match supply {
-            Some(s) => ControlAction::hold().with_supply(s),
-            None => ControlAction::hold(),
+        // Every candidate unevaluable: the preview oracle is dead (a
+        // CRAH outage leaves the room with no steady state to solve
+        // for). Holding would ride the excursion up — commit maximum
+        // cooling instead and keep re-asserting it until the plant
+        // recovers.
+        let Some(coldest) = coldest else {
+            if !self.in_safe_mode {
+                self.in_safe_mode = true;
+                self.safe_mode_entries += 1;
+            }
+            let floor = self
+                .cfg
+                .candidates
+                .iter()
+                .copied()
+                .min_by(|a, b| a.degrees().total_cmp(&b.degrees()))
+                .expect("candidate list is non-empty");
+            let mut action = ControlAction::hold().with_supply(floor);
+            if let Some(rpm) = self.safe_fan_floor.or(self.fan_floor) {
+                action = action.with_fan_floor(rpm);
+            }
+            return action;
         };
+        self.in_safe_mode = false;
+        let supply = best.map_or(coldest, |(_, s)| s);
+        let mut action = ControlAction::hold().with_supply(supply);
         if let Some(balancer) = &self.balancer {
             if let Some(flows) = balancer.balance(obs) {
                 action = action.with_tile_flows(flows);
@@ -916,6 +1077,39 @@ impl RoomController for MpcSetPointController {
 
     fn reset(&mut self) {
         self.history = None;
+        self.trend.clear();
+        self.in_safe_mode = false;
+        self.safe_mode_entries = 0;
+    }
+
+    fn checkpoint_state(&self) -> Vec<f64> {
+        // Times are encoded as whole milliseconds ([`SimDuration`]'s
+        // exact representation), die temperatures as their `f64`
+        // degrees: every field round-trips bit-exactly.
+        let mut out = vec![
+            f64::from(u8::from(self.in_safe_mode)),
+            self.safe_mode_entries as f64,
+        ];
+        if let Some((t, dies)) = &self.history {
+            out.push(1.0);
+            out.push(t.as_millis() as f64);
+            out.extend(dies.iter().map(|d| d.degrees()));
+        } else {
+            out.push(0.0);
+        }
+        out
+    }
+
+    fn restore_state(&mut self, state: &[f64]) {
+        self.in_safe_mode = state.first().is_some_and(|&v| v != 0.0);
+        self.safe_mode_entries = state.get(1).map_or(0, |&v| v as u64);
+        self.history = match (state.get(2), state.get(3)) {
+            (Some(&flag), Some(&millis)) if flag != 0.0 => Some((
+                SimDuration::from_millis(millis as u64),
+                state[4..].iter().map(|&d| Celsius::new(d)).collect(),
+            )),
+            _ => None,
+        };
         self.trend.clear();
     }
 }
@@ -1074,6 +1268,115 @@ mod tests {
         let mut preview = AnalyticPreview::from_observation(&obs);
         let panic_cold = ctl.observe(&obs, &mut preview).supply.unwrap();
         assert_eq!(panic_cold, Celsius::new(14.0));
+        // All-infeasible is not safe mode: the oracle still answered.
+        assert_eq!(ctl.safe_mode_entries(), 0);
         assert_eq!(ctl.name(), "MPC");
+    }
+
+    /// A preview oracle with no steady state to report — what the live
+    /// room's oracle degrades into during a full CRAH outage.
+    struct DeadPreview;
+
+    impl SupplyPreview for DeadPreview {
+        fn preview_supply(
+            &mut self,
+            _supply: Celsius,
+            _cold_aisles: &mut Vec<Celsius>,
+        ) -> Result<Celsius, CoreError> {
+            Err(CoreError::Invalid {
+                what: "no steady state".to_owned(),
+            })
+        }
+    }
+
+    #[test]
+    fn typed_constructor_errors() {
+        assert_eq!(
+            LutSetPointController::try_new(Vec::new()).unwrap_err(),
+            ControlError::EmptyLut
+        );
+        let mut cfg = MpcConfig::paper_default();
+        cfg.candidates.clear();
+        assert_eq!(
+            MpcSetPointController::try_new(cfg).unwrap_err(),
+            ControlError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn dead_preview_drives_controllers_into_safe_mode() {
+        let obs = snapshot();
+
+        let mut lut = LutSetPointController::paper_default();
+        let action = lut.observe(&obs, &mut DeadPreview);
+        assert_eq!(action.supply, Some(Celsius::new(12.0)));
+        assert_eq!(action.fan_floor, Some(Rpm::new(4200.0)));
+        // Re-entering while already in safe mode is not a new entry…
+        lut.observe(&obs, &mut DeadPreview);
+        assert_eq!(lut.safe_mode_entries(), 1);
+        // …and a recovered oracle resumes normal decisions.
+        let mut preview = AnalyticPreview::from_observation(&obs);
+        let recovered = lut.observe(&obs, &mut preview);
+        assert_eq!(recovered.supply, Some(Celsius::new(17.0)));
+        assert_eq!(recovered.fan_floor, None);
+        assert_eq!(lut.safe_mode_entries(), 1);
+        lut.reset();
+        assert_eq!(lut.safe_mode_entries(), 0);
+
+        let mut mpc = MpcSetPointController::paper_default();
+        let action = mpc.observe(&obs, &mut DeadPreview);
+        assert_eq!(action.supply, Some(Celsius::new(14.0)));
+        assert_eq!(action.fan_floor, Some(Rpm::new(4200.0)));
+        mpc.observe(&obs, &mut DeadPreview);
+        assert_eq!(mpc.safe_mode_entries(), 1);
+        let mut preview = AnalyticPreview::from_observation(&obs);
+        let recovered = mpc.observe(&obs, &mut preview);
+        assert!(recovered.supply.unwrap().degrees() > 14.0);
+        assert_eq!(mpc.safe_mode_entries(), 1);
+
+        // Safe mode with the fan override disabled leaves fans alone.
+        let mut quiet = MpcSetPointController::paper_default().with_safe_fan_floor(None);
+        let action = quiet.observe(&obs, &mut DeadPreview);
+        assert_eq!(action.supply, Some(Celsius::new(14.0)));
+        assert_eq!(action.fan_floor, None);
+    }
+
+    #[test]
+    fn controller_state_round_trips_exactly() {
+        let mut obs = snapshot();
+        let mut preview = AnalyticPreview::from_observation(&obs);
+
+        // MPC: two observations build trend history; a restored twin
+        // must make the identical next decision.
+        let mut mpc = MpcSetPointController::paper_default();
+        obs.time = SimDuration::from_secs(60);
+        mpc.observe(&obs, &mut preview);
+        obs.time = SimDuration::from_secs(120);
+        obs.rack_die_max = vec![Celsius::new(68.0), Celsius::new(76.0)];
+        mpc.observe(&obs, &mut preview);
+        let state = mpc.checkpoint_state();
+        let mut twin = MpcSetPointController::paper_default();
+        twin.restore_state(&state);
+        obs.time = SimDuration::from_secs(180);
+        obs.rack_die_max = vec![Celsius::new(70.0), Celsius::new(79.0)];
+        let a = mpc.observe(&obs, &mut preview);
+        let b = twin.observe(&obs, &mut preview);
+        assert_eq!(a, b);
+        assert_eq!(twin.checkpoint_state(), mpc.checkpoint_state());
+
+        // Fixed: the fired/pending latch survives the round trip.
+        let mut fixed = FixedSupplyController::new(Celsius::new(17.0));
+        fixed.observe(&obs, &mut preview);
+        let mut twin = FixedSupplyController::new(Celsius::new(17.0));
+        twin.restore_state(&fixed.checkpoint_state());
+        assert!(twin.observe(&obs, &mut preview).is_hold());
+
+        // Junk input falls back to freshly-reset state, not a panic.
+        let mut lut = LutSetPointController::paper_default();
+        lut.restore_state(&[]);
+        assert_eq!(lut.safe_mode_entries(), 0);
+        let mut mpc = MpcSetPointController::paper_default();
+        mpc.restore_state(&[1.0]);
+        assert_eq!(mpc.safe_mode_entries(), 0);
     }
 }

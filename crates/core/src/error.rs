@@ -5,6 +5,7 @@ use core::fmt;
 use leakctl_control::LutBuildError;
 use leakctl_platform::PlatformError;
 use leakctl_power::fit::FitError;
+use leakctl_thermal::ThermalError;
 use leakctl_workload::ProfileError;
 
 /// Errors produced by the characterization / fitting / evaluation
@@ -24,6 +25,115 @@ pub enum CoreError {
         /// Description of the problem.
         what: String,
     },
+    /// A room-scale operation failed.
+    Room(RoomError),
+    /// A controller could not be built or driven.
+    Control(ControlError),
+}
+
+/// Errors raised by room-scale operations: fault injection,
+/// checkpoint/restore, and observation under degraded conditions.
+///
+/// These paths used to panic via `unwrap`/`expect`; fault injection makes
+/// them reachable at runtime, so they now degrade into typed errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoomError {
+    /// A rack index was out of range for this room.
+    RackOutOfRange {
+        /// The offending index.
+        rack: usize,
+        /// Number of racks in the room.
+        racks: usize,
+    },
+    /// A server index was out of range within a rack.
+    ServerOutOfRange {
+        /// The offending index.
+        server: usize,
+        /// Servers per rack.
+        servers: usize,
+    },
+    /// A fault parameter was rejected (non-finite or out of `[0, 1]`).
+    InvalidFault {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// The air-side thermal network rejected an operation.
+    Air(ThermalError),
+    /// A checkpoint does not match the room it is being restored into.
+    CheckpointMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for RoomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RackOutOfRange { rack, racks } => {
+                write!(f, "rack index {rack} out of range for {racks} racks")
+            }
+            Self::ServerOutOfRange { server, servers } => {
+                write!(
+                    f,
+                    "server index {server} out of range for {servers} servers per rack"
+                )
+            }
+            Self::InvalidFault { what } => write!(f, "invalid fault parameter: {what}"),
+            Self::Air(e) => write!(f, "room air model: {e}"),
+            Self::CheckpointMismatch { what } => write!(f, "checkpoint mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RoomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Air(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for RoomError {
+    fn from(e: ThermalError) -> Self {
+        Self::Air(e)
+    }
+}
+
+impl From<RoomError> for CoreError {
+    fn from(e: RoomError) -> Self {
+        Self::Room(e)
+    }
+}
+
+/// Errors raised when constructing or driving a room controller with
+/// invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// A set-point LUT had no entries.
+    EmptyLut,
+    /// A set-point LUT entry had a non-finite load bound.
+    NonFiniteLutLoad,
+    /// An MPC controller was configured with no supply candidates.
+    NoCandidates,
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyLut => write!(f, "set-point LUT has no entries"),
+            Self::NonFiniteLutLoad => write!(f, "set-point LUT entry has a non-finite load bound"),
+            Self::NoCandidates => write!(f, "MPC controller has no supply candidates"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<ControlError> for CoreError {
+    fn from(e: ControlError) -> Self {
+        Self::Control(e)
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +144,8 @@ impl fmt::Display for CoreError {
             Self::LutBuild(e) => write!(f, "LUT build: {e}"),
             Self::Profile(e) => write!(f, "profile: {e}"),
             Self::Invalid { what } => write!(f, "invalid pipeline input: {what}"),
+            Self::Room(e) => write!(f, "room: {e}"),
+            Self::Control(e) => write!(f, "control: {e}"),
         }
     }
 }
@@ -46,6 +158,8 @@ impl std::error::Error for CoreError {
             Self::LutBuild(e) => Some(e),
             Self::Profile(e) => Some(e),
             Self::Invalid { .. } => None,
+            Self::Room(e) => Some(e),
+            Self::Control(e) => Some(e),
         }
     }
 }

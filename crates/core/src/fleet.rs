@@ -41,7 +41,7 @@
 use std::ops::Range;
 use std::thread;
 
-use leakctl_platform::{PlatformError, Server, ServerConfig};
+use leakctl_platform::{FanFault, PlatformError, Server, ServerConfig};
 use leakctl_thermal::{
     group_by_structure_hash, BatchLane, Integrator, ShardPlan, ShardedBatchSolver, ShardedLanes,
     StepKernel, ThermalError, ThermalState,
@@ -359,6 +359,112 @@ impl Fleet {
         self.groups.iter().map(|g| g.solver.group_count()).sum()
     }
 
+    /// Injects (or clears, with [`FanFault::None`]) a fan-bank fault
+    /// on server `index`. Routed through [`Fleet::server_mut`], so the
+    /// owning group's packed residency is dropped; from the next step
+    /// the faulted server's chassis flow diverges from its neighbours,
+    /// its group transparently falls back to per-lane stepping, and
+    /// every cached factorization invalidates through the ordinary
+    /// flow-generation counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for an out-of-range server or a
+    /// [`FanFault::Degraded`] flow scale outside `[0, 1]`.
+    pub fn inject_fan_fault(&mut self, index: usize, fault: FanFault) -> Result<(), CoreError> {
+        if let FanFault::Degraded { flow_scale } = fault {
+            if !(flow_scale.is_finite() && (0.0..=1.0).contains(&flow_scale)) {
+                return Err(CoreError::Invalid {
+                    what: "degraded fan flow scale must be in [0, 1]".to_owned(),
+                });
+            }
+        }
+        self.server_mut(index)
+            .ok_or_else(|| CoreError::Invalid {
+                what: format!("server index {index} out of range"),
+            })?
+            .inject_fan_fault(fault);
+        Ok(())
+    }
+
+    /// Server `index`'s currently injected fan fault (`None` for an
+    /// out-of-range index). Reads non-thermal state, so no lane sync
+    /// or residency eviction.
+    #[must_use]
+    pub fn fan_fault(&self, index: usize) -> Option<FanFault> {
+        let &storage = self.index_map.get(index)?;
+        Some(self.servers[storage].fan_fault())
+    }
+
+    /// Snapshots the full fleet — every server's thermal state, fan
+    /// bank (faults included), service processor, clock, accounting
+    /// and sensor RNG streams — in original index order. Packed shard
+    /// blocks are synced into the servers first, so the snapshot is
+    /// exact regardless of residency or thread plan.
+    pub fn checkpoint(&mut self) -> FleetCheckpoint {
+        self.sync_states();
+        FleetCheckpoint {
+            servers: self
+                .index_map
+                .iter()
+                .map(|&storage| self.servers[storage].clone())
+                .collect(),
+        }
+    }
+
+    /// Restores a [`Fleet::checkpoint`] — into this fleet or any fleet
+    /// built from the same configs (any thread/shard plan). Packed
+    /// residency is dropped, so the next step re-packs the restored
+    /// states verbatim and re-derives factorizations from them: the
+    /// resumed trajectory is bit-identical to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] when the checkpoint's server
+    /// count or thermal topologies do not match this fleet.
+    pub fn restore(&mut self, checkpoint: &FleetCheckpoint) -> Result<(), CoreError> {
+        self.can_restore(checkpoint)?;
+        for (original, snap) in checkpoint.servers.iter().enumerate() {
+            self.servers[self.index_map[original]] = snap.clone();
+        }
+        for group in &mut self.groups {
+            group.lanes = None;
+        }
+        Ok(())
+    }
+
+    /// Checks that `checkpoint` could be restored into this fleet
+    /// without doing it — the validation half of [`Fleet::restore`],
+    /// exposed so multi-fleet owners (a [`Room`](crate::room::Room))
+    /// can validate every rack before mutating any of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] when the checkpoint's server
+    /// count or thermal topologies do not match this fleet.
+    pub fn can_restore(&self, checkpoint: &FleetCheckpoint) -> Result<(), CoreError> {
+        if checkpoint.servers.len() != self.servers.len() {
+            return Err(CoreError::Invalid {
+                what: format!(
+                    "checkpoint holds {} servers, fleet has {}",
+                    checkpoint.servers.len(),
+                    self.servers.len()
+                ),
+            });
+        }
+        for (original, snap) in checkpoint.servers.iter().enumerate() {
+            let storage = self.index_map[original];
+            if snap.thermal_network().structure_hash()
+                != self.servers[storage].thermal_network().structure_hash()
+            {
+                return Err(CoreError::Invalid {
+                    what: format!("checkpoint server {original} has a different thermal topology"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Advances every server by `dt` at the same activity level, then
     /// updates the shared inlet temperature from the fleet's total heat.
     ///
@@ -584,6 +690,29 @@ impl Fleet {
             }
         }
         self.servers[storage].max_die_temperature()
+    }
+}
+
+/// A full fleet snapshot, produced by [`Fleet::checkpoint`]: server
+/// clones (thermal state, fans, faults, accounting, RNG streams) in
+/// original index order, restorable into any fleet built from the same
+/// configs for a bit-identical resume under any thread plan.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    servers: Vec<Server>,
+}
+
+impl FleetCheckpoint {
+    /// Number of servers captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` when the checkpoint is empty (never, for a real fleet).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
     }
 }
 
@@ -1033,6 +1162,145 @@ mod tests {
                 .copied()
                 .fold(Celsius::new(f64::NEG_INFINITY), Celsius::max)
         );
+    }
+
+    #[test]
+    fn degraded_fan_fault_heats_the_faulted_server() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 3, 0.0, 23).unwrap();
+        fleet.command_all(Rpm::new(3000.0));
+        for _ in 0..300 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        fleet
+            .inject_fan_fault(1, FanFault::Degraded { flow_scale: 0.3 })
+            .unwrap();
+        assert_eq!(
+            fleet.fan_fault(1),
+            Some(FanFault::Degraded { flow_scale: 0.3 })
+        );
+        assert_eq!(fleet.fan_fault(0), Some(FanFault::None));
+        for _ in 0..900 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        let faulted = fleet.server(1).unwrap().max_die_temperature();
+        let healthy = fleet.server(0).unwrap().max_die_temperature();
+        assert!(
+            faulted.degrees() > healthy.degrees() + 5.0,
+            "30% airflow must run visibly hotter: {faulted} vs {healthy}"
+        );
+        // Clearing the fault lets the server cool back toward its
+        // neighbours. The excursion tripped the thermal failsafe
+        // (fans forced to max, commands dropped while engaged), so
+        // keep re-commanding the fleet speed as it cools.
+        fleet.inject_fan_fault(1, FanFault::None).unwrap();
+        for i in 0..1_500 {
+            if i % 100 == 0 {
+                fleet.command_all(Rpm::new(3000.0));
+            }
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::FULL)
+                .unwrap();
+        }
+        let recovered = fleet.server(1).unwrap().max_die_temperature();
+        let healthy = fleet.server(0).unwrap().max_die_temperature();
+        assert!(
+            (recovered.degrees() - healthy.degrees()).abs() < 1.0,
+            "cleared fault must converge back: {recovered} vs {healthy}"
+        );
+        // Validation.
+        assert!(fleet.inject_fan_fault(9, FanFault::Stuck).is_err());
+        assert!(fleet
+            .inject_fan_fault(0, FanFault::Degraded { flow_scale: 2.0 })
+            .is_err());
+        assert_eq!(fleet.fan_fault(9), None);
+    }
+
+    #[test]
+    fn stuck_fans_ignore_fleet_commands() {
+        let mut fleet = Fleet::new(ServerConfig::default(), 2, 0.0, 29).unwrap();
+        fleet.command_all(Rpm::new(1800.0));
+        for _ in 0..60 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::IDLE)
+                .unwrap();
+        }
+        fleet.inject_fan_fault(0, FanFault::Stuck).unwrap();
+        fleet.command_all(Rpm::new(4200.0));
+        for _ in 0..60 {
+            fleet
+                .step(SimDuration::from_secs(1), Utilization::IDLE)
+                .unwrap();
+        }
+        let stuck = fleet.server(0).unwrap().actual_rpm();
+        let healthy = fleet.server(1).unwrap().actual_rpm();
+        assert_eq!(stuck, Rpm::new(1800.0), "stuck bank holds speed");
+        assert_eq!(healthy, Rpm::new(4200.0));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let fingerprint = |fleet: &mut Fleet| {
+            let temps: Vec<u64> = (0..fleet.len())
+                .map(|i| {
+                    fleet
+                        .server(i)
+                        .unwrap()
+                        .max_die_temperature()
+                        .degrees()
+                        .to_bits()
+                })
+                .collect();
+            (fleet.total_energy().value().to_bits(), temps)
+        };
+        let schedule = |step: u64| {
+            if step % 60 < 30 {
+                Utilization::FULL
+            } else {
+                Utilization::saturating_from_fraction(0.3)
+            }
+        };
+        let dt = SimDuration::from_secs(1);
+        let configs = vec![ServerConfig::default(); 5];
+
+        // Uninterrupted reference.
+        let mut reference = Fleet::from_configs(&configs, 0.001, 37).unwrap();
+        reference.command_all(Rpm::new(2400.0));
+        for step in 0..200 {
+            reference.step(dt, schedule(step)).unwrap();
+        }
+        let want = fingerprint(&mut reference);
+
+        // Checkpoint mid-run (with a fan fault in flight), restore into
+        // a *fresh* fleet under a different thread plan, continue.
+        let mut live = Fleet::from_configs(&configs, 0.001, 37).unwrap();
+        live.command_all(Rpm::new(2400.0));
+        for step in 0..100 {
+            live.step(dt, schedule(step)).unwrap();
+        }
+        let snap = live.checkpoint();
+        assert_eq!(snap.len(), 5);
+        assert!(!snap.is_empty());
+        // Taking the checkpoint must not perturb the live run.
+        for step in 100..200 {
+            live.step(dt, schedule(step)).unwrap();
+        }
+        assert_eq!(fingerprint(&mut live), want, "checkpoint perturbed the run");
+
+        let plan = ShardPlan::new(4).with_min_lanes_per_shard(1);
+        let mut restored = Fleet::with_plan(&configs, 0.001, 99, plan).unwrap();
+        restored.restore(&snap).unwrap();
+        for step in 100..200 {
+            restored.step(dt, schedule(step)).unwrap();
+        }
+        assert_eq!(fingerprint(&mut restored), want, "restored run diverged");
+
+        // Mismatched fleets are rejected.
+        let mut small = Fleet::from_configs(&configs[..2], 0.001, 37).unwrap();
+        assert!(small.restore(&snap).is_err());
     }
 
     #[test]

@@ -56,12 +56,13 @@ pub mod paper;
 pub mod rack;
 pub mod report;
 pub mod room;
+pub mod scenario;
 mod table1;
 
 pub use characterize::{
     characterize, CharacterizationData, CharacterizationPoint, CharacterizeOptions,
 };
-pub use error::CoreError;
+pub use error::{ControlError, CoreError, RoomError};
 pub use experiment::{
     measure_idle_power, run_experiment, RunMetrics, RunOptions, RunOutcome, RunSample,
 };
@@ -84,13 +85,14 @@ pub mod prelude {
     };
     pub use crate::fitting::{fit_models, FittedModels};
     pub use crate::lut_pipeline::build_lut_from_characterization;
-    pub use crate::room::{ControlStats, CopModel, Room, RoomConfig};
+    pub use crate::room::{ControlStats, CopModel, Room, RoomCheckpoint, RoomConfig};
+    pub use crate::scenario::{Scenario, ScenarioEvent, ScenarioOutcome, ScenarioRunner};
     pub use crate::table1::{generate_table1, Table1, Table1Options};
     pub use leakctl_control::{
         BangBangController, FanController, FixedSpeedController, LookupTable, LutController,
         PidController,
     };
-    pub use leakctl_platform::{Server, ServerConfig};
+    pub use leakctl_platform::{FanFault, Server, ServerConfig};
     pub use leakctl_units::{
         Celsius, Joules, KilowattHours, Rpm, SimDuration, SimInstant, Utilization, Watts,
     };

@@ -27,13 +27,13 @@
 //! raising the supply set-point trades leakage against cooling energy —
 //! the room-scale version of the paper's Fig. 3 trade-off.
 
-use leakctl_platform::ServerConfig;
+use leakctl_platform::{FanFault, ServerConfig};
 use leakctl_thermal::{RoomAirModel, RoomAirSpec, ShardPlan};
 use leakctl_units::{AirFlow, Celsius, Joules, Rpm, SimDuration, Utilization, Watts};
 
 use crate::control::{ControlAction, RoomController, RoomObservation, SupplyPreview};
-use crate::error::CoreError;
-use crate::fleet::{run_sharded, Fleet};
+use crate::error::{CoreError, RoomError};
+use crate::fleet::{run_sharded, Fleet, FleetCheckpoint};
 
 /// Scenario builder for a [`Room`]: floor-grid geometry, CRAH
 /// placement, per-rack server fleets and the air-side couplings.
@@ -367,40 +367,193 @@ impl Room {
         &self.air
     }
 
-    /// Commands every fan in the room.
-    #[deprecated(note = "use `Room::apply` with `ControlAction::with_fan_floor`")]
-    pub fn command_all(&mut self, rpm: Rpm) {
-        self.command_fans(rpm);
-    }
-
-    /// Re-pins the CRAH supply set-point (takes effect from the next
-    /// step's air phase).
+    /// Derates the room's CRAH capacity: `1.0` is a healthy plant,
+    /// `0.0` a full outage (return air recirculates to the plenum
+    /// uncooled; see [`RoomAirModel::set_crah_capacity`]). This is the
+    /// room-scale fault-injection knob — the scenario harness drives it
+    /// to script CRAH failures and recoveries.
     ///
     /// # Errors
     ///
-    /// Propagates network errors (never expected for the built-in
-    /// supply boundary).
-    #[deprecated(note = "use `Room::apply` with `ControlAction::with_supply`")]
-    pub fn set_crah_supply(&mut self, supply: Celsius) -> Result<(), CoreError> {
-        self.apply(&ControlAction::hold().with_supply(supply))
+    /// Returns [`RoomError::InvalidFault`] for a capacity outside
+    /// `[0, 1]`.
+    pub fn set_crah_capacity(&mut self, capacity: f64) -> Result<(), RoomError> {
+        if !(capacity.is_finite() && (0.0..=1.0).contains(&capacity)) {
+            return Err(RoomError::InvalidFault {
+                what: "CRAH capacity must be in [0, 1]",
+            });
+        }
+        self.air.set_crah_capacity(capacity).map_err(RoomError::Air)
     }
 
-    /// Re-balances one rack's tile flow (see
-    /// [`RoomAirModel::set_tile_flow`]).
+    /// The current CRAH capacity factor (`1.0` healthy).
+    #[must_use]
+    pub fn crah_capacity(&self) -> f64 {
+        self.air.crah_capacity()
+    }
+
+    /// Blocks a fraction of rack `rack`'s perforated tile (`0.0` clear,
+    /// `1.0` fully obstructed). The commanded tile flow is remembered,
+    /// so clearing the blockage restores the exact pre-fault flow (see
+    /// [`RoomAirModel::set_tile_blockage`]).
     ///
     /// # Errors
     ///
-    /// Propagates air-model errors (out-of-range rack, bad flow).
-    #[deprecated(note = "use `Room::apply` with `ControlAction::with_tile_flows`")]
-    pub fn set_tile_flow(&mut self, rack: usize, flow: AirFlow) -> Result<(), CoreError> {
+    /// Returns [`RoomError::RackOutOfRange`] or
+    /// [`RoomError::InvalidFault`] for a blockage outside `[0, 1]`.
+    pub fn set_tile_blockage(&mut self, rack: usize, blockage: f64) -> Result<(), RoomError> {
         if rack >= self.fleets.len() {
-            return Err(CoreError::Invalid {
-                what: "rack index out of range".to_owned(),
+            return Err(RoomError::RackOutOfRange {
+                rack,
+                racks: self.fleets.len(),
+            });
+        }
+        if !(blockage.is_finite() && (0.0..=1.0).contains(&blockage)) {
+            return Err(RoomError::InvalidFault {
+                what: "tile blockage must be in [0, 1]",
             });
         }
         self.air
-            .set_tile_flow(rack, flow)
-            .map_err(leakctl_platform::PlatformError::from)?;
+            .set_tile_blockage(rack, blockage)
+            .map_err(RoomError::Air)
+    }
+
+    /// Rack `rack`'s current tile-blockage fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::RackOutOfRange`].
+    pub fn tile_blockage(&self, rack: usize) -> Result<f64, RoomError> {
+        self.air
+            .tile_blockage(rack)
+            .map_err(|_| RoomError::RackOutOfRange {
+                rack,
+                racks: self.fleets.len(),
+            })
+    }
+
+    /// Injects (or clears, with [`FanFault::None`]) a fan-bank fault on
+    /// server `server` of rack `rack` (see [`Fleet::inject_fan_fault`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::RackOutOfRange`] /
+    /// [`RoomError::ServerOutOfRange`] for bad indices and
+    /// [`RoomError::InvalidFault`] for a degraded flow scale outside
+    /// `[0, 1]`.
+    pub fn inject_fan_fault(
+        &mut self,
+        rack: usize,
+        server: usize,
+        fault: FanFault,
+    ) -> Result<(), RoomError> {
+        if rack >= self.fleets.len() {
+            return Err(RoomError::RackOutOfRange {
+                rack,
+                racks: self.fleets.len(),
+            });
+        }
+        if server >= self.servers_per_rack {
+            return Err(RoomError::ServerOutOfRange {
+                server,
+                servers: self.servers_per_rack,
+            });
+        }
+        if let FanFault::Degraded { flow_scale } = fault {
+            if !(flow_scale.is_finite() && (0.0..=1.0).contains(&flow_scale)) {
+                return Err(RoomError::InvalidFault {
+                    what: "degraded fan flow scale must be in [0, 1]",
+                });
+            }
+        }
+        self.fleets[rack]
+            .inject_fan_fault(server, fault)
+            .map_err(|_| RoomError::InvalidFault {
+                what: "fan fault rejected by the fleet",
+            })
+    }
+
+    /// The fan fault currently injected on server `server` of rack
+    /// `rack`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::RackOutOfRange`] /
+    /// [`RoomError::ServerOutOfRange`] for bad indices.
+    pub fn fan_fault(&self, rack: usize, server: usize) -> Result<FanFault, RoomError> {
+        if rack >= self.fleets.len() {
+            return Err(RoomError::RackOutOfRange {
+                rack,
+                racks: self.fleets.len(),
+            });
+        }
+        self.fleets[rack]
+            .fan_fault(server)
+            .ok_or(RoomError::ServerOutOfRange {
+                server,
+                servers: self.servers_per_rack,
+            })
+    }
+
+    /// Snapshots the full room — every rack's fleet (thermal state,
+    /// fan banks with injected faults, service processors, sensor RNG
+    /// streams), the air-side network with its boundary conditions and
+    /// fault state, and the energy/time accounting. Packed shard
+    /// blocks are synced first, so the snapshot is exact for any
+    /// residency or thread plan.
+    pub fn checkpoint(&mut self) -> RoomCheckpoint {
+        RoomCheckpoint {
+            fleets: self.fleets.iter_mut().map(Fleet::checkpoint).collect(),
+            air: self.air.clone(),
+            crah_energy: self.crah_energy,
+            accounted: self.accounted,
+            last_activity: self.last_activity,
+        }
+    }
+
+    /// Restores a [`Room::checkpoint`] — into this room or any room
+    /// built from the same config under any thread plan. The resumed
+    /// trajectory is bit-identical to the uninterrupted one. The whole
+    /// checkpoint is validated before anything is touched, so a
+    /// rejected restore never leaves the room half-restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::CheckpointMismatch`] when rack/server
+    /// counts or thermal topologies differ.
+    pub fn restore(&mut self, checkpoint: &RoomCheckpoint) -> Result<(), RoomError> {
+        if checkpoint.fleets.len() != self.fleets.len() {
+            return Err(RoomError::CheckpointMismatch {
+                what: format!(
+                    "checkpoint holds {} racks, room has {}",
+                    checkpoint.fleets.len(),
+                    self.fleets.len()
+                ),
+            });
+        }
+        if checkpoint.air.racks() != self.air.racks() {
+            return Err(RoomError::CheckpointMismatch {
+                what: "air-side rack count differs".to_owned(),
+            });
+        }
+        for (r, (fleet, snap)) in self.fleets.iter().zip(&checkpoint.fleets).enumerate() {
+            fleet
+                .can_restore(snap)
+                .map_err(|e| RoomError::CheckpointMismatch {
+                    what: format!("rack {r}: {e}"),
+                })?;
+        }
+        for (fleet, snap) in self.fleets.iter_mut().zip(&checkpoint.fleets) {
+            fleet
+                .restore(snap)
+                .map_err(|e| RoomError::CheckpointMismatch {
+                    what: e.to_string(),
+                })?;
+        }
+        self.air = checkpoint.air.clone();
+        self.crah_energy = checkpoint.crah_energy;
+        self.accounted = checkpoint.accounted;
+        self.last_activity = checkpoint.last_activity;
         Ok(())
     }
 
@@ -493,8 +646,10 @@ impl Room {
             .extend((0..racks).map(|r| self.air.hot_aisle_temperature(r)));
         self.rack_max_die_temperatures(&mut obs.rack_die_max);
         obs.tile_flows.clear();
+        // `r < racks` makes the lookup infallible; degrade to zero flow
+        // rather than aborting a telemetry poll if that ever changes.
         obs.tile_flows
-            .extend((0..racks).map(|r| self.air.tile_flow(r).expect("rack index in range")));
+            .extend((0..racks).map(|r| self.air.tile_flow(r).unwrap_or(AirFlow::ZERO)));
     }
 
     /// A freshly allocated room snapshot (see [`Room::observe_into`]
@@ -559,11 +714,7 @@ impl Room {
         for step in 0..steps {
             if since >= period {
                 since = SimDuration::ZERO;
-                self.observe_into(&mut obs);
-                let action = {
-                    let mut preview = RoomSupplyPreview { air: &mut self.air };
-                    controller.observe(&obs, &mut preview)
-                };
+                let action = self.decide(controller, &mut obs);
                 stats.decisions += 1;
                 if !action.is_hold() {
                     stats.applied += 1;
@@ -572,8 +723,25 @@ impl Room {
             }
             self.step(dt, schedule(step))?;
             since += dt;
+            stats.peak_die = stats.peak_die.max(self.max_die_temperature());
         }
         Ok(stats)
+    }
+
+    /// Observes the room into `obs` and consults `controller` with the
+    /// live air model as its what-if oracle, returning the (unapplied)
+    /// action — the building block [`Room::run_controlled`] is made of,
+    /// exposed so scenario runners can keep a decision cadence of their
+    /// own (e.g. across checkpoint/restore boundaries) while deciding
+    /// exactly like the built-in loop.
+    pub fn decide(
+        &mut self,
+        controller: &mut dyn RoomController,
+        obs: &mut RoomObservation,
+    ) -> ControlAction {
+        self.observe_into(obs);
+        let mut preview = RoomSupplyPreview { air: &mut self.air };
+        controller.observe(obs, &mut preview)
     }
 
     /// Advances the whole room by `dt` with every rack at the same
@@ -750,29 +918,85 @@ impl Room {
     }
 
     /// The rack whose hottest die is highest right now — the hot spot
-    /// a tile-flow or set-point controller would act on.
+    /// a tile-flow or set-point controller would act on. Total order,
+    /// so a non-finite die temperature (a diverged solve under an
+    /// injected fault) picks a rack instead of panicking.
     #[must_use]
     pub fn hottest_rack(&self) -> usize {
         (0..self.fleets.len())
             .max_by(|&a, &b| {
                 self.fleets[a]
                     .max_die_temperature()
-                    .partial_cmp(&self.fleets[b].max_die_temperature())
-                    .expect("die temps are finite")
+                    .degrees()
+                    .total_cmp(&self.fleets[b].max_die_temperature().degrees())
             })
             .unwrap_or(0)
     }
 }
 
+/// A full-state snapshot of a [`Room`] (see [`Room::checkpoint`]):
+/// every rack's fleet in original index order, the air-side network
+/// (boundary conditions and fault state included) and the energy/time
+/// accounting. Restoring resumes the trajectory bit-identically for
+/// any thread plan.
+#[derive(Debug, Clone)]
+pub struct RoomCheckpoint {
+    fleets: Vec<FleetCheckpoint>,
+    air: RoomAirModel,
+    crah_energy: Joules,
+    accounted: SimDuration,
+    last_activity: Utilization,
+}
+
+impl RoomCheckpoint {
+    /// Number of racks captured.
+    #[must_use]
+    pub fn racks(&self) -> usize {
+        self.fleets.len()
+    }
+
+    /// Simulated time accounted at the capture point.
+    #[must_use]
+    pub fn accounted_time(&self) -> SimDuration {
+        self.accounted
+    }
+}
+
 /// Counters from a [`Room::run_controlled`] run: how often the
-/// controller was consulted and how often it commanded a change (a
-/// well-settled loop holds most of the time).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// controller was consulted, how often it commanded a change (a
+/// well-settled loop holds most of the time), and — for scenario runs
+/// — how the loop rode out injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlStats {
     /// Controller consultations (one per decision period plus `t = 0`).
     pub decisions: u64,
     /// Decisions that produced a non-hold action.
     pub applied: u64,
+    /// Hottest die seen after any step of the run.
+    pub peak_die: Celsius,
+    /// Simulated time the room's hottest die spent above the thermal
+    /// cap. [`Room::run_controlled`] has no cap and leaves this zero;
+    /// scenario runners fill it in.
+    pub cap_violation_time: SimDuration,
+    /// Time from the last fault clearing until the hottest die came
+    /// back under the cap (`None`: no fault, or never recovered).
+    pub recovery_time: Option<SimDuration>,
+    /// Extra total energy relative to a fault-free reference run of
+    /// the same scenario (`None` outside scenario runs).
+    pub energy_overhead: Option<Joules>,
+}
+
+impl Default for ControlStats {
+    fn default() -> Self {
+        Self {
+            decisions: 0,
+            applied: 0,
+            peak_die: Celsius::new(f64::NEG_INFINITY),
+            cap_violation_time: SimDuration::ZERO,
+            recovery_time: None,
+            energy_overhead: None,
+        }
+    }
 }
 
 /// [`SupplyPreview`] over the live room air model — the what-if oracle
@@ -1103,16 +1327,138 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_route_through_apply() {
+    fn fault_injection_validated_and_reversible() {
         let mut room = Room::new(small()).unwrap();
-        room.set_crah_supply(Celsius::new(21.0)).unwrap();
-        assert_eq!(room.air().supply_temperature(), Celsius::new(21.0));
-        assert!(room.set_crah_supply(Celsius::new(f64::NAN)).is_err());
-        let flow = room.air().tile_flow(0).unwrap();
-        room.set_tile_flow(0, AirFlow::new(flow.value() * 1.1))
+        pin_fans(&mut room, 3000.0);
+
+        // Bad parameters and indices come back as typed errors.
+        assert!(matches!(
+            room.set_crah_capacity(1.5),
+            Err(RoomError::InvalidFault { .. })
+        ));
+        assert!(matches!(
+            room.set_tile_blockage(99, 0.5),
+            Err(RoomError::RackOutOfRange { rack: 99, .. })
+        ));
+        assert!(matches!(
+            room.set_tile_blockage(0, f64::NAN),
+            Err(RoomError::InvalidFault { .. })
+        ));
+        assert!(matches!(
+            room.inject_fan_fault(99, 0, FanFault::Stuck),
+            Err(RoomError::RackOutOfRange { .. })
+        ));
+        assert!(matches!(
+            room.inject_fan_fault(0, 99, FanFault::Stuck),
+            Err(RoomError::ServerOutOfRange { .. })
+        ));
+        assert!(matches!(
+            room.inject_fan_fault(0, 0, FanFault::Degraded { flow_scale: 2.0 }),
+            Err(RoomError::InvalidFault { .. })
+        ));
+
+        // Settle healthy, then derate the CRAH to half capacity: the
+        // room runs hotter, and restoring capacity cools it back.
+        let dt = SimDuration::from_secs(1);
+        for _ in 0..1_800 {
+            room.step(dt, Utilization::FULL).unwrap();
+        }
+        let healthy = room.max_die_temperature();
+        room.set_crah_capacity(0.5).unwrap();
+        assert_eq!(room.crah_capacity(), 0.5);
+        for _ in 0..1_800 {
+            room.step(dt, Utilization::FULL).unwrap();
+        }
+        let derated = room.max_die_temperature();
+        assert!(
+            derated.degrees() > healthy.degrees() + 1.0,
+            "healthy {healthy:?} vs derated {derated:?}"
+        );
+        room.set_crah_capacity(1.0).unwrap();
+        for _ in 0..3_600 {
+            room.step(dt, Utilization::FULL).unwrap();
+        }
+        assert!(room.max_die_temperature().degrees() < healthy.degrees() + 0.5);
+
+        // Tile blockage and fan faults round-trip through the room API.
+        let commanded = room.air().tile_flow(1).unwrap();
+        room.set_tile_blockage(1, 0.6).unwrap();
+        assert!((room.tile_blockage(1).unwrap() - 0.6).abs() < 1e-12);
+        assert!(room.air().tile_flow(1).unwrap().value() < commanded.value());
+        room.set_tile_blockage(1, 0.0).unwrap();
+        assert_eq!(room.air().tile_flow(1).unwrap(), commanded);
+
+        room.inject_fan_fault(1, 2, FanFault::Stuck).unwrap();
+        assert_eq!(room.fan_fault(1, 2).unwrap(), FanFault::Stuck);
+        room.inject_fan_fault(1, 2, FanFault::None).unwrap();
+        assert_eq!(room.fan_fault(1, 2).unwrap(), FanFault::None);
+    }
+
+    #[test]
+    fn checkpoint_restores_bit_identically_across_plans() {
+        let mut config = RoomConfig::new(2, 2, 2);
+        config.recirculation_fraction = 0.25;
+        let schedule = |step: u64| {
+            if step % 60 < 30 {
+                Utilization::FULL
+            } else {
+                Utilization::IDLE
+            }
+        };
+        let dt = SimDuration::from_secs(1);
+
+        // Reference: uninterrupted 240-step run with faults injected
+        // mid-way (so fault state is part of the snapshot).
+        let mut live = Room::with_plan(config.clone(), ShardPlan::new(1)).unwrap();
+        pin_fans(&mut live, 2700.0);
+        for step in 0..120 {
+            live.step(dt, schedule(step)).unwrap();
+        }
+        live.set_crah_capacity(0.7).unwrap();
+        live.set_tile_blockage(2, 0.3).unwrap();
+        live.inject_fan_fault(1, 0, FanFault::Degraded { flow_scale: 0.5 })
             .unwrap();
-        assert!(room.set_tile_flow(99, flow).is_err());
-        room.command_all(Rpm::new(2800.0));
+        let snap = live.checkpoint();
+        assert_eq!(snap.racks(), 4);
+        assert_eq!(snap.accounted_time(), SimDuration::from_secs(120));
+        for step in 120..240 {
+            live.step(dt, schedule(step)).unwrap();
+        }
+        let fingerprint = |room: &Room| {
+            let aisles: Vec<u64> = (0..room.racks())
+                .map(|r| room.cold_aisle_temperature(r).degrees().to_bits())
+                .collect();
+            (
+                room.total_energy().value().to_bits(),
+                room.max_die_temperature().degrees().to_bits(),
+                room.cooling_energy().value().to_bits(),
+                aisles,
+            )
+        };
+        let reference = fingerprint(&live);
+        // Checkpointing must not perturb the live run: `live` already
+        // continued past the capture point and is our reference.
+
+        // Restore into a fresh room under a different thread plan and
+        // replay the tail — bit-identical, fault state included.
+        let mut resumed = Room::with_plan(config.clone(), ShardPlan::new(4)).unwrap();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.crah_capacity(), 0.7);
+        assert!((resumed.tile_blockage(2).unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(
+            resumed.fan_fault(1, 0).unwrap(),
+            FanFault::Degraded { flow_scale: 0.5 }
+        );
+        for step in 120..240 {
+            resumed.step(dt, schedule(step)).unwrap();
+        }
+        assert_eq!(fingerprint(&resumed), reference);
+
+        // A mismatched room rejects the checkpoint without touching it.
+        let mut other = Room::new(RoomConfig::new(1, 2, 2)).unwrap();
+        assert!(matches!(
+            other.restore(&snap),
+            Err(RoomError::CheckpointMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,658 @@
+//! Fault-injection scenario harness: scripted fault/recovery/load
+//! timelines driven through the closed control loop, with
+//! checkpoint/restore across the whole run.
+//!
+//! A [`Scenario`] is a deterministic script — timed [`ScenarioEvent`]s
+//! (CRAH derating/outage, tile blockage, fan faults, load moves) over a
+//! fixed duration and step size, plus the thermal cap the run is judged
+//! against. A [`ScenarioRunner`] drives a [`Room`] and a
+//! [`RoomController`] through the script with exactly
+//! [`Room::run_controlled`]'s decision cadence, while sampling the
+//! hottest die every step to account cap violations and recovery (the
+//! fields [`ControlStats`] grew for this module).
+//!
+//! The runner is resumable: [`ScenarioRunner::checkpoint`] captures the
+//! room ([`Room::checkpoint`]), the controller
+//! ([`RoomController::checkpoint_state`]) and the runner's own cursor
+//! (event index, decision phase, accumulated stats), and
+//! [`ScenarioRunner::restore`] resumes the trajectory **bit-identically**
+//! to an uninterrupted run, for any thread plan — the property the
+//! `checkpoint_restore` integration proptest pins.
+//!
+//! # Example
+//!
+//! ```
+//! use leakctl::control::FixedSupplyController;
+//! use leakctl::room::{Room, RoomConfig};
+//! use leakctl::scenario::{Scenario, ScenarioEvent, ScenarioRunner};
+//! use leakctl_units::{Celsius, SimDuration};
+//!
+//! # fn main() -> Result<(), leakctl::CoreError> {
+//! let scenario = Scenario::new("derate", SimDuration::from_mins(10), SimDuration::from_secs(1))
+//!     .at(SimDuration::from_mins(2), ScenarioEvent::CrahCapacity(0.5))
+//!     .at(SimDuration::from_mins(6), ScenarioEvent::CrahCapacity(1.0));
+//! let mut room = Room::new(RoomConfig::new(1, 2, 2))?;
+//! let mut controller = FixedSupplyController::new(Celsius::new(18.0));
+//! let outcome = ScenarioRunner::new(scenario).run(&mut room, &mut controller)?;
+//! assert_eq!(outcome.events_applied, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use leakctl_platform::FanFault;
+use leakctl_units::{Celsius, Joules, SimDuration, Utilization};
+
+use crate::control::{RoomController, RoomObservation};
+use crate::error::{CoreError, RoomError};
+use crate::room::{ControlStats, Room, RoomCheckpoint};
+
+/// One timed move in a [`Scenario`] script.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioEvent {
+    /// Derates the CRAH plant to a capacity factor (`1.0` restores a
+    /// healthy plant, `0.0` is a full outage).
+    CrahCapacity(f64),
+    /// Blocks a fraction of one rack's perforated tile (`0.0` clears).
+    TileBlockage {
+        /// Rack whose tile is obstructed.
+        rack: usize,
+        /// Blocked fraction in `[0, 1]`.
+        blockage: f64,
+    },
+    /// Injects (or clears, with [`FanFault::None`]) a fan-bank fault.
+    FanFault {
+        /// Rack of the faulted server.
+        rack: usize,
+        /// Server index within the rack.
+        server: usize,
+        /// The fault to inject.
+        fault: FanFault,
+    },
+    /// Moves the room-wide activity level (load spikes and dips).
+    Load(Utilization),
+}
+
+impl ScenarioEvent {
+    /// `true` for events that change the plant's fault state (load
+    /// moves are workload, not faults) — the events recovery time is
+    /// measured from.
+    #[must_use]
+    fn is_fault_transition(&self) -> bool {
+        !matches!(self, Self::Load(_))
+    }
+}
+
+/// A deterministic fault/recovery/load script: timed events over a
+/// fixed duration and step size, judged against a thermal cap.
+///
+/// Events fire at the *start* of the step whose time they name (so an
+/// event at a decision instant is visible to that very decision), in
+/// time order; ties fire in insertion order.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    events: Vec<(SimDuration, ScenarioEvent)>,
+    duration: SimDuration,
+    dt: SimDuration,
+    die_cap: Celsius,
+    initial_load: Utilization,
+}
+
+impl Scenario {
+    /// A script of `duration` in steps of `dt` with no events yet, an
+    /// 85 °C cap and full initial load.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `dt`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, duration: SimDuration, dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "scenarios need a positive step");
+        Self {
+            name: name.into(),
+            events: Vec::new(),
+            duration,
+            dt,
+            die_cap: Celsius::new(85.0),
+            initial_load: Utilization::FULL,
+        }
+    }
+
+    /// Schedules `event` at simulated time `at` (from the start of the
+    /// run).
+    #[must_use]
+    pub fn at(mut self, at: SimDuration, event: ScenarioEvent) -> Self {
+        self.events.push((at, event));
+        // Stable sort: same-time events keep their insertion order.
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Overrides the thermal cap the run is judged against (default
+    /// 85 °C, the paper's red-line die temperature).
+    #[must_use]
+    pub fn with_die_cap(mut self, cap: Celsius) -> Self {
+        self.die_cap = cap;
+        self
+    }
+
+    /// Overrides the activity level the run starts at (default full).
+    #[must_use]
+    pub fn with_initial_load(mut self, load: Utilization) -> Self {
+        self.initial_load = load;
+        self
+    }
+
+    /// The script's name (used in sweep reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total steps the script runs for.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.duration.as_millis() / self.dt.as_millis()
+    }
+
+    /// The step size.
+    #[must_use]
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// The thermal cap the run is judged against.
+    #[must_use]
+    pub fn die_cap(&self) -> Celsius {
+        self.die_cap
+    }
+
+    /// The activity level the run starts at (until a
+    /// [`ScenarioEvent::Load`] moves it).
+    #[must_use]
+    pub fn initial_load(&self) -> Utilization {
+        self.initial_load
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// What a scenario run produced: the extended loop counters and the
+/// room's energy/thermal bottom line.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ScenarioOutcome {
+    /// The script's name.
+    pub name: String,
+    /// Loop counters, cap-violation time, recovery time (see
+    /// [`ControlStats`]).
+    pub stats: ControlStats,
+    /// Total room energy (IT + cooling) over the run.
+    pub total_energy: Joules,
+    /// IT (server + fan) energy over the run.
+    pub it_energy: Joules,
+    /// CRAH cooling energy over the run.
+    pub cooling_energy: Joules,
+    /// The hottest die at the end of the run.
+    pub final_max_die: Celsius,
+    /// Events that fired (equals the script's count after a full run).
+    pub events_applied: usize,
+}
+
+impl ScenarioOutcome {
+    /// `true` when the hottest die never exceeded the cap.
+    #[must_use]
+    pub fn stayed_under_cap(&self) -> bool {
+        self.stats.cap_violation_time.is_zero()
+    }
+
+    /// Fills [`ControlStats::energy_overhead`] relative to a reference
+    /// run of the same script (typically fault-free or under a
+    /// different controller).
+    pub fn set_energy_overhead_vs(&mut self, reference: &ScenarioOutcome) {
+        self.stats.energy_overhead = Some(self.total_energy - reference.total_energy);
+    }
+}
+
+/// Everything needed to resume a scenario mid-flight: the room
+/// snapshot, the controller's opaque state and the runner's cursor.
+#[derive(Debug, Clone)]
+pub struct ScenarioCheckpoint {
+    room: RoomCheckpoint,
+    controller: Vec<f64>,
+    cursor: Cursor,
+}
+
+impl ScenarioCheckpoint {
+    /// The step the run was captured at.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.cursor.step
+    }
+}
+
+/// The runner's progress state (everything outside the room and the
+/// controller), captured verbatim in a [`ScenarioCheckpoint`].
+#[derive(Debug, Clone)]
+struct Cursor {
+    step: u64,
+    next_event: usize,
+    since: SimDuration,
+    load: Utilization,
+    stats: ControlStats,
+    events_applied: usize,
+    last_fault_time: Option<SimDuration>,
+    violated_since_fault: bool,
+    recovered_at: Option<SimDuration>,
+}
+
+/// Drives a [`Room`] and a [`RoomController`] through a [`Scenario`],
+/// step by step, with checkpoint/restore at any step boundary.
+///
+/// Per step: due events are applied first, then (every decision
+/// period, and at `t = 0`) the controller decides against the
+/// post-event room — so a CRAH outage is visible to the very decision
+/// made at the instant it strikes — then the room advances and the
+/// hottest die is sampled against the cap.
+#[derive(Debug)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    cursor: Cursor,
+    obs: RoomObservation,
+}
+
+impl ScenarioRunner {
+    /// A runner positioned at the start of `scenario`.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        let load = scenario.initial_load;
+        Self {
+            scenario,
+            cursor: Cursor {
+                step: 0,
+                next_event: 0,
+                since: SimDuration::ZERO,
+                load,
+                stats: ControlStats::default(),
+                events_applied: 0,
+                last_fault_time: None,
+                violated_since_fault: false,
+                recovered_at: None,
+            },
+            obs: RoomObservation::new(),
+        }
+    }
+
+    /// The script being driven.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// `true` once every scripted step has run.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.cursor.step >= self.scenario.steps()
+    }
+
+    /// The current step index (steps completed so far).
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.cursor.step
+    }
+
+    /// Runs the remainder of the script and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates room/controller failures ([`CoreError`]); scripted
+    /// events with bad parameters surface as [`CoreError::Room`].
+    pub fn run(
+        &mut self,
+        room: &mut Room,
+        controller: &mut dyn RoomController,
+    ) -> Result<ScenarioOutcome, CoreError> {
+        let remaining = self.scenario.steps() - self.cursor.step;
+        self.run_steps(room, controller, remaining)?;
+        Ok(self.outcome(room))
+    }
+
+    /// Advances up to `steps` further steps (stopping at the script's
+    /// end), e.g. to reach a checkpoint boundary mid-scenario.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioRunner::run`].
+    pub fn run_steps(
+        &mut self,
+        room: &mut Room,
+        controller: &mut dyn RoomController,
+        steps: u64,
+    ) -> Result<(), CoreError> {
+        let dt = self.scenario.dt;
+        let period = controller.decision_period();
+        let end = (self.cursor.step + steps).min(self.scenario.steps());
+        while self.cursor.step < end {
+            let now = dt * self.cursor.step;
+            // ---- due events fire at the start of their step.
+            while let Some((at, event)) = self.scenario.events.get(self.cursor.next_event) {
+                if *at > now {
+                    break;
+                }
+                self.apply_event(room, event.clone(), now)?;
+                self.cursor.next_event += 1;
+                self.cursor.events_applied += 1;
+            }
+            // ---- decision cadence: exactly `Room::run_controlled`'s
+            // (decide at t = 0, then every period).
+            if self.cursor.step == 0 || self.cursor.since >= period {
+                self.cursor.since = SimDuration::ZERO;
+                let action = room.decide(controller, &mut self.obs);
+                self.cursor.stats.decisions += 1;
+                if !action.is_hold() {
+                    self.cursor.stats.applied += 1;
+                    room.apply(&action)?;
+                }
+            }
+            // ---- advance and judge against the cap.
+            room.step(dt, self.cursor.load)?;
+            self.cursor.step += 1;
+            self.cursor.since += dt;
+            let die = room.max_die_temperature();
+            self.cursor.stats.peak_die = self.cursor.stats.peak_die.max(die);
+            if die > self.scenario.die_cap {
+                self.cursor.stats.cap_violation_time += dt;
+                self.cursor.violated_since_fault = true;
+                self.cursor.recovered_at = None;
+            } else if self.cursor.violated_since_fault && self.cursor.recovered_at.is_none() {
+                self.cursor.recovered_at = Some(dt * self.cursor.step);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_event(
+        &mut self,
+        room: &mut Room,
+        event: ScenarioEvent,
+        now: SimDuration,
+    ) -> Result<(), CoreError> {
+        if event.is_fault_transition() {
+            self.cursor.last_fault_time = Some(now);
+            self.cursor.violated_since_fault = false;
+            self.cursor.recovered_at = None;
+        }
+        match event {
+            ScenarioEvent::CrahCapacity(capacity) => room.set_crah_capacity(capacity)?,
+            ScenarioEvent::TileBlockage { rack, blockage } => {
+                room.set_tile_blockage(rack, blockage)?;
+            }
+            ScenarioEvent::FanFault {
+                rack,
+                server,
+                fault,
+            } => room.inject_fan_fault(rack, server, fault)?,
+            ScenarioEvent::Load(load) => self.cursor.load = load,
+        }
+        Ok(())
+    }
+
+    /// The outcome so far (complete once [`ScenarioRunner::finished`]).
+    /// Recovery time is measured from the last fault-state event (load
+    /// moves excluded) to the end of the first cap excursion after it.
+    #[must_use]
+    pub fn outcome(&self, room: &Room) -> ScenarioOutcome {
+        let mut stats = self.cursor.stats;
+        stats.recovery_time = match (self.cursor.last_fault_time, self.cursor.recovered_at) {
+            (Some(fault), Some(recovered)) if recovered > fault => Some(recovered - fault),
+            _ => None,
+        };
+        ScenarioOutcome {
+            name: self.scenario.name.clone(),
+            stats,
+            total_energy: room.total_energy(),
+            it_energy: room.it_energy(),
+            cooling_energy: room.cooling_energy(),
+            final_max_die: room.max_die_temperature(),
+            events_applied: self.cursor.events_applied,
+        }
+    }
+
+    /// Captures the full run state — room, controller, cursor — at the
+    /// current step boundary.
+    #[must_use]
+    pub fn checkpoint(
+        &self,
+        room: &mut Room,
+        controller: &dyn RoomController,
+    ) -> ScenarioCheckpoint {
+        ScenarioCheckpoint {
+            room: room.checkpoint(),
+            controller: controller.checkpoint_state(),
+            cursor: self.cursor.clone(),
+        }
+    }
+
+    /// Restores a [`ScenarioRunner::checkpoint`] into `room`,
+    /// `controller` and this runner; the resumed run is bit-identical
+    /// to one that was never interrupted (any thread plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::CheckpointMismatch`] when the room does not
+    /// match the snapshot (the runner and controller are only touched
+    /// after the room restore succeeds).
+    pub fn restore(
+        &mut self,
+        room: &mut Room,
+        controller: &mut dyn RoomController,
+        checkpoint: &ScenarioCheckpoint,
+    ) -> Result<(), RoomError> {
+        room.restore(&checkpoint.room)?;
+        controller.reset();
+        controller.restore_state(&checkpoint.controller);
+        self.cursor = checkpoint.cursor.clone();
+        self.obs = RoomObservation::new();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{ControlAction, FixedSupplyController, LutSetPointController};
+    use crate::room::RoomConfig;
+    use leakctl_thermal::ShardPlan;
+    use leakctl_units::Rpm;
+
+    fn small_room(plan: usize) -> Room {
+        let mut config = RoomConfig::new(1, 2, 2);
+        config.recirculation_fraction = 0.2;
+        let mut room = Room::with_plan(config, ShardPlan::new(plan)).unwrap();
+        room.apply(&ControlAction::hold().with_fan_floor(Rpm::new(3000.0)))
+            .unwrap();
+        room
+    }
+
+    #[test]
+    fn events_fire_in_order_and_shape_the_run() {
+        let scenario = Scenario::new(
+            "derate-and-spike",
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(1),
+        )
+        .with_initial_load(Utilization::saturating_from_fraction(0.25))
+        .at(
+            SimDuration::from_secs(120),
+            ScenarioEvent::Load(Utilization::FULL),
+        )
+        .at(
+            SimDuration::from_secs(180),
+            ScenarioEvent::CrahCapacity(0.6),
+        )
+        .at(
+            SimDuration::from_secs(400),
+            ScenarioEvent::CrahCapacity(1.0),
+        );
+        assert_eq!(scenario.steps(), 600);
+        assert_eq!(scenario.events(), 3);
+
+        let mut room = small_room(1);
+        let mut ctl = FixedSupplyController::new(Celsius::new(18.0));
+        let mut runner = ScenarioRunner::new(scenario);
+        let outcome = runner.run(&mut room, &mut ctl).unwrap();
+        assert!(runner.finished());
+        assert_eq!(outcome.events_applied, 3);
+        // 60 s decision period over 600 s: t = 0 plus every minute.
+        assert_eq!(outcome.stats.decisions, 10);
+        assert_eq!(room.crah_capacity(), 1.0);
+        assert_eq!(room.accounted_time(), SimDuration::from_secs(600));
+        assert!(outcome.stats.peak_die >= outcome.final_max_die);
+        assert!(outcome.total_energy == outcome.it_energy + outcome.cooling_energy);
+    }
+
+    #[test]
+    fn cap_violations_and_recovery_are_accounted() {
+        // A low cap plus a full outage forces an excursion (the peak
+        // arrives after the plant is restored — thermal lag); the
+        // recovered plant pulls the room back under the cap before the
+        // script ends.
+        let scenario = Scenario::new(
+            "outage",
+            SimDuration::from_secs(2_000),
+            SimDuration::from_secs(1),
+        )
+        .with_die_cap(Celsius::new(60.0))
+        .at(
+            SimDuration::from_secs(300),
+            ScenarioEvent::CrahCapacity(0.0),
+        )
+        .at(
+            SimDuration::from_secs(540),
+            ScenarioEvent::CrahCapacity(1.0),
+        );
+
+        let mut room = small_room(1);
+        let mut ctl = FixedSupplyController::new(Celsius::new(18.0));
+        let outcome = ScenarioRunner::new(scenario)
+            .run(&mut room, &mut ctl)
+            .unwrap();
+        assert!(!outcome.stayed_under_cap());
+        assert!(outcome.stats.cap_violation_time >= SimDuration::from_secs(10));
+        let recovery = outcome.stats.recovery_time.expect("room recovers");
+        assert!(recovery > SimDuration::ZERO);
+        assert!(outcome.stats.peak_die > Celsius::new(60.0));
+        // The fixed baseline ends the run back under the cap here only
+        // because the fault itself was cleared.
+        assert!(outcome.final_max_die < Celsius::new(60.0));
+
+        // Energy overhead vs a fault-free reference of the same script.
+        let free = Scenario::new(
+            "fault-free",
+            SimDuration::from_secs(2_000),
+            SimDuration::from_secs(1),
+        );
+        let mut reference_room = small_room(1);
+        let mut reference_ctl = FixedSupplyController::new(Celsius::new(18.0));
+        let reference = ScenarioRunner::new(free)
+            .run(&mut reference_room, &mut reference_ctl)
+            .unwrap();
+        let mut judged = outcome;
+        judged.set_energy_overhead_vs(&reference);
+        assert!(judged.stats.energy_overhead.is_some());
+    }
+
+    #[test]
+    fn bad_event_parameters_surface_as_room_errors() {
+        let scenario = Scenario::new("bad", SimDuration::from_secs(10), SimDuration::from_secs(1))
+            .at(SimDuration::ZERO, ScenarioEvent::CrahCapacity(2.0));
+        let mut room = small_room(1);
+        let mut ctl = FixedSupplyController::new(Celsius::new(18.0));
+        let err = ScenarioRunner::new(scenario)
+            .run(&mut room, &mut ctl)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Room(RoomError::InvalidFault { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_scenario_checkpoint_resumes_bit_identically() {
+        let scenario = || {
+            Scenario::new(
+                "ckpt",
+                SimDuration::from_secs(900),
+                SimDuration::from_secs(1),
+            )
+            .at(
+                SimDuration::from_secs(200),
+                ScenarioEvent::CrahCapacity(0.5),
+            )
+            .at(
+                SimDuration::from_secs(300),
+                ScenarioEvent::FanFault {
+                    rack: 1,
+                    server: 0,
+                    fault: FanFault::Degraded { flow_scale: 0.6 },
+                },
+            )
+            .at(
+                SimDuration::from_secs(600),
+                ScenarioEvent::CrahCapacity(1.0),
+            )
+            .at(
+                SimDuration::from_secs(600),
+                ScenarioEvent::FanFault {
+                    rack: 1,
+                    server: 0,
+                    fault: FanFault::None,
+                },
+            )
+        };
+        let fingerprint = |room: &Room, outcome: &ScenarioOutcome| {
+            (
+                outcome.total_energy.value().to_bits(),
+                outcome.final_max_die.degrees().to_bits(),
+                outcome.stats.cap_violation_time,
+                outcome.stats.decisions,
+                (0..room.racks())
+                    .map(|r| room.cold_aisle_temperature(r).degrees().to_bits())
+                    .collect::<Vec<u64>>(),
+            )
+        };
+
+        // Uninterrupted reference (single-threaded).
+        let mut room = small_room(1);
+        let mut ctl = LutSetPointController::paper_default();
+        let mut runner = ScenarioRunner::new(scenario());
+        let reference = runner.run(&mut room, &mut ctl).unwrap();
+        let reference = fingerprint(&room, &reference);
+
+        // Interrupted mid-fault at step 450, restored into a *fresh*
+        // room under a different thread plan and a fresh controller.
+        let mut room = small_room(2);
+        let mut ctl = LutSetPointController::paper_default();
+        let mut runner = ScenarioRunner::new(scenario());
+        runner.run_steps(&mut room, &mut ctl, 450).unwrap();
+        let snap = runner.checkpoint(&mut room, &ctl);
+        assert_eq!(snap.step(), 450);
+
+        let mut resumed_room = small_room(4);
+        let mut resumed_ctl = LutSetPointController::paper_default();
+        let mut resumed_runner = ScenarioRunner::new(scenario());
+        resumed_runner
+            .restore(&mut resumed_room, &mut resumed_ctl, &snap)
+            .unwrap();
+        assert_eq!(resumed_runner.step(), 450);
+        let outcome = resumed_runner
+            .run(&mut resumed_room, &mut resumed_ctl)
+            .unwrap();
+        assert_eq!(fingerprint(&resumed_room, &outcome), reference);
+    }
+}

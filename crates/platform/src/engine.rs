@@ -33,7 +33,7 @@ use crate::config::ServerConfig;
 use crate::cpu::CpuSocket;
 use crate::dimm::DimmBank;
 use crate::error::PlatformError;
-use crate::fans::FanBank;
+use crate::fans::{FanBank, FanFault};
 use crate::service_processor::{ServiceProcessor, SpAction};
 
 /// Thermal-network handles for one socket.
@@ -471,6 +471,25 @@ impl ServerCore {
         }
         self.fans.command_all(self.clock.now(), rpm);
         true
+    }
+
+    /// Injects (or clears, with [`FanFault::None`]) a fan-bank fault.
+    /// The fault changes the delivered chassis flow, which the next
+    /// step's [`begin_step`](Self::begin_step) re-derives and feeds
+    /// into the thermal network — so cached factorizations invalidate
+    /// through the ordinary flow-generation counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`FanFault::Degraded`] flow scale outside `[0, 1]`.
+    pub fn inject_fan_fault(&mut self, fault: FanFault) {
+        self.fans.inject_fault(fault);
+    }
+
+    /// The fan bank's currently injected fault.
+    #[must_use]
+    pub fn fan_fault(&self) -> FanFault {
+        self.fans.fault()
     }
 
     /// Re-pins the ambient (inlet) temperature — used for ambient-

@@ -127,6 +127,30 @@ impl FanSupply {
     }
 }
 
+/// A fault injected into a chassis fan bank.
+///
+/// Faults act at the bank level — where a seized controller board or a
+/// clogged chassis filter acts on the real server — and propagate into
+/// the thermal network automatically because every step re-derives the
+/// chassis flow from [`FanBank::flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FanFault {
+    /// Fans healthy.
+    #[default]
+    None,
+    /// Seized fan controller: the bank ignores every new speed command
+    /// (including the service processor's emergency max-cooling) and
+    /// holds whatever the supplies last applied.
+    Stuck,
+    /// Worn bearings / clogged filters: the fans spin and draw power as
+    /// commanded but deliver only `flow_scale ∈ [0, 1]` of the healthy
+    /// airflow.
+    Degraded {
+        /// Fraction of the healthy airflow still delivered.
+        flow_scale: f64,
+    },
+}
+
 /// The chassis fan bank: three supplies, each driving a pair of fans,
 /// as in the paper's "6 fans, distributed in 3 rows of 2".
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +161,7 @@ pub struct FanBank {
     min_rpm: Rpm,
     max_rpm: Rpm,
     speed_changes: u64,
+    fault: FanFault,
 }
 
 impl FanBank {
@@ -175,13 +200,39 @@ impl FanBank {
             min_rpm,
             max_rpm,
             speed_changes: 0,
+            fault: FanFault::None,
         }
+    }
+
+    /// Injects (or clears, with [`FanFault::None`]) a bank-level fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`FanFault::Degraded`] flow scale outside `[0, 1]`.
+    pub fn inject_fault(&mut self, fault: FanFault) {
+        if let FanFault::Degraded { flow_scale } = fault {
+            assert!(
+                flow_scale.is_finite() && (0.0..=1.0).contains(&flow_scale),
+                "degraded fan flow scale must be in [0, 1]"
+            );
+        }
+        self.fault = fault;
+    }
+
+    /// The currently injected fault ([`FanFault::None`] when healthy).
+    #[must_use]
+    pub fn fault(&self) -> FanFault {
+        self.fault
     }
 
     /// Commands every pair to `rpm` (clamped to the supported range).
     /// Counts as one speed change when the clamped value differs from
-    /// the last applied command of any supply.
+    /// the last applied command of any supply. A [`FanFault::Stuck`]
+    /// bank silently drops the command.
     pub fn command_all(&mut self, now: SimInstant, rpm: Rpm) {
+        if self.fault == FanFault::Stuck {
+            return;
+        }
         let rpm = rpm.clamp(self.min_rpm, self.max_rpm);
         let changed = self.supplies.iter().any(|s| s.target() != rpm);
         for supply in &mut self.supplies {
@@ -201,6 +252,9 @@ impl FanBank {
     /// Panics for a pair index ≥ [`FanBank::PAIRS`].
     pub fn command_pair(&mut self, now: SimInstant, pair: usize, rpm: Rpm) {
         assert!(pair < Self::PAIRS, "pair index out of range");
+        if self.fault == FanFault::Stuck {
+            return;
+        }
         let rpm = rpm.clamp(self.min_rpm, self.max_rpm);
         if self.supplies[pair].target() != rpm {
             self.speed_changes += 1;
@@ -235,13 +289,21 @@ impl FanBank {
             .sum()
     }
 
-    /// Total air flow delivered right now.
+    /// Total air flow delivered right now ([`FanFault::Degraded`]
+    /// scales it; power draw is unaffected — worn fans spin at full
+    /// speed and full wattage for less air).
     #[must_use]
     pub fn flow(&self) -> AirFlow {
-        self.fans
+        let scale = match self.fault {
+            FanFault::Degraded { flow_scale } => flow_scale,
+            FanFault::None | FanFault::Stuck => 1.0,
+        };
+        let healthy: AirFlow = self
+            .fans
             .iter()
             .map(|f| self.model.flow(f.actual()) / f64::from(self.model.count()))
-            .sum()
+            .sum();
+        AirFlow::new(healthy.value() * scale)
     }
 
     /// Mean actual speed across the six fans.
@@ -413,5 +475,49 @@ mod tests {
     fn bad_pair_rejected() {
         let mut b = bank();
         b.command_pair(at(0), 3, Rpm::new(2000.0));
+    }
+
+    #[test]
+    fn stuck_bank_ignores_commands_until_cleared() {
+        let mut b = bank();
+        b.inject_fault(FanFault::Stuck);
+        assert_eq!(b.fault(), FanFault::Stuck);
+        b.command_all(at(0), Rpm::new(4200.0));
+        b.command_pair(at(0), 1, Rpm::new(4200.0));
+        for step in 1..=30 {
+            b.advance(at(step * 100), SimDuration::from_millis(100));
+        }
+        assert_eq!(b.mean_rpm(), Rpm::new(3300.0), "stuck fans hold speed");
+        assert_eq!(b.speed_changes(), 0);
+        // Clearing the fault restores command authority.
+        b.inject_fault(FanFault::None);
+        b.command_all(at(4_000), Rpm::new(4200.0));
+        for step in 41..=80 {
+            b.advance(at(step * 100), SimDuration::from_millis(100));
+        }
+        assert_eq!(b.mean_rpm(), Rpm::new(4200.0));
+        assert_eq!(b.speed_changes(), 1);
+    }
+
+    #[test]
+    fn degraded_bank_moves_less_air_at_full_power() {
+        let mut b = bank();
+        let healthy_flow = b.flow();
+        let healthy_power = b.power();
+        b.inject_fault(FanFault::Degraded { flow_scale: 0.4 });
+        assert!((b.flow().value() - healthy_flow.value() * 0.4).abs() < 1e-12);
+        assert_eq!(b.power(), healthy_power, "worn fans still draw full power");
+        // Degraded fans still take commands.
+        b.command_all(at(0), Rpm::new(4200.0));
+        assert_eq!(b.speed_changes(), 1);
+        b.inject_fault(FanFault::None);
+        assert_eq!(b.flow(), healthy_flow);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow scale")]
+    fn bad_flow_scale_rejected() {
+        let mut b = bank();
+        b.inject_fault(FanFault::Degraded { flow_scale: 1.5 });
     }
 }

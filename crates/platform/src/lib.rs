@@ -51,6 +51,6 @@ pub use cpu::CpuSocket;
 pub use dimm::DimmBank;
 pub use engine::{ServerCore, SpTransition};
 pub use error::PlatformError;
-pub use fans::{FanBank, FanSupply, FanUnit};
+pub use fans::{FanBank, FanFault, FanSupply, FanUnit};
 pub use server::Server;
 pub use service_processor::{ServiceProcessor, SpAction};

@@ -8,6 +8,7 @@ use leakctl_units::{Celsius, Joules, Rpm, SimDuration, SimInstant, Utilization, 
 use crate::config::ServerConfig;
 use crate::engine::{ServerCore, SpTransition};
 use crate::error::PlatformError;
+use crate::fans::FanFault;
 
 /// Telemetry channel handles.
 #[derive(Debug, Clone)]
@@ -396,6 +397,32 @@ impl Server {
                 format!("fan command {rpm:.0} ignored: failsafe engaged"),
             );
         }
+    }
+
+    /// Injects (or clears, with [`FanFault::None`]) a fan-bank fault:
+    /// a stuck fan controller or degraded (reduced-airflow) fans. The
+    /// fault takes effect from the next step, when the chassis flow is
+    /// re-derived from the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`FanFault::Degraded`] flow scale outside `[0, 1]`.
+    pub fn inject_fan_fault(&mut self, fault: FanFault) {
+        let label = match fault {
+            FanFault::None => "fan fault cleared".to_owned(),
+            FanFault::Stuck => "fan controller stuck".to_owned(),
+            FanFault::Degraded { flow_scale } => {
+                format!("fans degraded to {:.0}% flow", flow_scale * 100.0)
+            }
+        };
+        self.core.inject_fan_fault(fault);
+        self.trace.record(self.core.now(), "server", label);
+    }
+
+    /// The fan bank's currently injected fault.
+    #[must_use]
+    pub fn fan_fault(&self) -> FanFault {
+        self.core.fan_fault()
     }
 
     /// Re-pins the ambient (inlet) temperature — used for ambient-

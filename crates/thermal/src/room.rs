@@ -169,10 +169,22 @@ pub struct RoomAirModel {
     solver: TransientSolver,
     supply_node: NodeId,
     supply_channel: FlowChannelId,
+    /// Return → plenum bypass carrying the share of the return stream
+    /// the CRAH can no longer condition (zero flow at full capacity).
+    outage_channel: FlowChannelId,
     plenum: NodeId,
     ret: NodeId,
     racks: Vec<RackNodes>,
     recirculation: f64,
+    /// CRAH capacity fraction `c ∈ [0, 1]`: the share of the return
+    /// stream that passes through the (boundary-pinned) supply; the
+    /// rest bypasses uncooled through `outage_channel`.
+    crah_capacity: f64,
+    /// Per-rack *commanded* tile flows; the live channel carries
+    /// `commanded · (1 − blockage)`.
+    commanded_flows: Vec<AirFlow>,
+    /// Per-rack tile blockage fraction `b ∈ [0, 1]`.
+    blockage: Vec<f64>,
     /// Scratch state for [`RoomAirModel::preview_supply`] (kept so
     /// repeated previews never allocate).
     preview: ThermalState,
@@ -191,6 +203,7 @@ impl RoomAirModel {
         let mut b = ThermalNetworkBuilder::new();
         let supply_node = b.add_boundary("crah_supply", spec.supply);
         let supply_channel = b.add_flow_channel("crah_supply");
+        let outage_channel = b.add_flow_channel("crah_bypass");
         let plenum = b.add_node("plenum", spec.plenum_capacitance);
         b.connect_directed(
             supply_node,
@@ -201,6 +214,18 @@ impl RoomAirModel {
             },
         )?;
         let ret = b.add_node("return", spec.return_capacitance);
+        // Built with zero flow: it only carries air when the CRAH is
+        // derated, so nominal rooms assemble the exact same system as
+        // before the fault surface existed (zero-flow edges are
+        // skipped).
+        b.connect_directed(
+            ret,
+            plenum,
+            Coupling::Advective {
+                channel: outage_channel,
+                fraction: 1.0,
+            },
+        )?;
         let mut racks = Vec::with_capacity(spec.racks);
         for r in 0..spec.racks {
             let cold = b.add_node(&format!("cold{r}"), spec.aisle_capacitance);
@@ -251,16 +276,22 @@ impl RoomAirModel {
         let state = net.uniform_state(spec.supply);
         let preview = state.clone();
         let solver = TransientSolver::new(&net);
+        let commanded_flows = spec.tile_flows.clone();
+        let blockage = vec![0.0; spec.racks];
         Ok(Self {
             net,
             state,
             solver,
             supply_node,
             supply_channel,
+            outage_channel,
             plenum,
             ret,
             racks,
             recirculation: beta,
+            crah_capacity: 1.0,
+            commanded_flows,
+            blockage,
             preview,
         })
     }
@@ -334,15 +365,102 @@ impl RoomAirModel {
             });
         }
         let channel = self.rack_nodes(rack)?.channel;
-        self.net.set_flow(channel, flow)?;
+        self.commanded_flows[rack] = flow;
+        let effective = AirFlow::new(flow.value() * (1.0 - self.blockage[rack]));
+        self.net.set_flow(channel, effective)?;
+        self.refresh_crah_flows()
+    }
+
+    /// Derates the CRAH to capacity fraction `c ∈ [0, 1]`: only a
+    /// `c`-share of the return stream passes through the conditioned
+    /// supply; the rest bypasses uncooled into the plenum, so the
+    /// plenum's mass balance (and hence the steady-state energy
+    /// balance) is preserved at every capacity. `c = 0` is a full
+    /// outage: the supply boundary detaches from the airflow graph and
+    /// the room has no steady state (see [`Self::solve_steady`]) while
+    /// transient stepping keeps integrating the heat-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidRoom`] for a capacity outside
+    /// `[0, 1]`.
+    pub fn set_crah_capacity(&mut self, capacity: f64) -> Result<(), ThermalError> {
+        if !(capacity.is_finite() && (0.0..=1.0).contains(&capacity)) {
+            return Err(ThermalError::InvalidRoom {
+                what: "CRAH capacity must be in [0, 1]",
+            });
+        }
+        self.crah_capacity = capacity;
+        self.refresh_crah_flows()
+    }
+
+    /// The current CRAH capacity fraction (1.0 when healthy).
+    #[must_use]
+    pub fn crah_capacity(&self) -> f64 {
+        self.crah_capacity
+    }
+
+    /// Blocks fraction `b ∈ [0, 1]` of rack `rack`'s perforated tile:
+    /// the live through-flow becomes `commanded · (1 − b)` while the
+    /// commanded value is retained, so clearing the blockage restores
+    /// the exact pre-fault flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidRoom`] for an out-of-range rack
+    /// or a blockage outside `[0, 1]`.
+    pub fn set_tile_blockage(&mut self, rack: usize, blockage: f64) -> Result<(), ThermalError> {
+        if !(blockage.is_finite() && (0.0..=1.0).contains(&blockage)) {
+            return Err(ThermalError::InvalidRoom {
+                what: "tile blockage must be in [0, 1]",
+            });
+        }
+        let channel = self.rack_nodes(rack)?.channel;
+        self.blockage[rack] = blockage;
+        let effective = AirFlow::new(self.commanded_flows[rack].value() * (1.0 - blockage));
+        self.net.set_flow(channel, effective)?;
+        self.refresh_crah_flows()
+    }
+
+    /// Rack `rack`'s tile blockage fraction (0.0 when clear).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidRoom`] for an out-of-range rack.
+    pub fn tile_blockage(&self, rack: usize) -> Result<f64, ThermalError> {
+        self.rack_nodes(rack)?;
+        Ok(self.blockage[rack])
+    }
+
+    /// Rack `rack`'s *commanded* tile flow (what the controller asked
+    /// for; the live flow is this times `1 − blockage`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidRoom`] for an out-of-range rack.
+    pub fn commanded_tile_flow(&self, rack: usize) -> Result<AirFlow, ThermalError> {
+        self.rack_nodes(rack)?;
+        Ok(self.commanded_flows[rack])
+    }
+
+    /// Recomputes the supply and bypass channel flows from the
+    /// effective tile flows and the CRAH capacity. Generation counters
+    /// bump only on real value changes, so nominal rooms never pay for
+    /// the fault surface.
+    fn refresh_crah_flows(&mut self) -> Result<(), ThermalError> {
         let total: f64 = self
             .racks
             .iter()
             .map(|n| self.net.flow(n.channel).value())
             .sum();
+        let returned = (1.0 - self.recirculation) * total;
         self.net.set_flow(
             self.supply_channel,
-            AirFlow::new((1.0 - self.recirculation) * total),
+            AirFlow::new(self.crah_capacity * returned),
+        )?;
+        self.net.set_flow(
+            self.outage_channel,
+            AirFlow::new((1.0 - self.crah_capacity) * returned),
         )
     }
 
@@ -406,13 +524,17 @@ impl RoomAirModel {
     }
 
     /// Heat the CRAH currently extracts from the return stream:
-    /// `(1−β)·Σq·ρ·c_p·(T_return − T_supply)`. Equals the total
-    /// injected rack power exactly at steady state.
+    /// `c·(1−β)·Σq·ρ·c_p·(T_return − T_supply)` where `c` is the CRAH
+    /// capacity fraction (only the conditioned share of the return air
+    /// is cooled). Equals the total injected rack power exactly at
+    /// steady state for any capacity `c > 0` — a derated CRAH still
+    /// removes everything, it just needs a hotter return to do it.
     #[must_use]
     pub fn crah_heat_removed(&self) -> Watts {
-        let q_return = (1.0 - self.recirculation) * self.total_tile_flow().value();
+        let q_cooled =
+            self.crah_capacity * (1.0 - self.recirculation) * self.total_tile_flow().value();
         let dt = self.return_temperature().degrees() - self.supply_temperature().degrees();
-        Watts::new(q_return * AIR_DENSITY * AIR_SPECIFIC_HEAT * dt)
+        Watts::new(q_cooled * AIR_DENSITY * AIR_SPECIFIC_HEAT * dt)
     }
 
     /// Total power currently injected across all hot aisles.
@@ -439,9 +561,18 @@ impl RoomAirModel {
     /// # Errors
     ///
     /// Returns [`ThermalError::SingularSystem`] when the system cannot
-    /// be solved (never expected: every volume sits on a flow path from
-    /// the supply boundary).
+    /// be solved. With a healthy (or merely derated) CRAH that never
+    /// happens — every volume sits on a flow path from the supply
+    /// boundary — but a full outage
+    /// ([`set_crah_capacity(0.0)`](Self::set_crah_capacity)) detaches
+    /// the boundary, the room becomes a closed loop with net heat
+    /// injection and *has no steady state*; the error is returned
+    /// eagerly (and deterministically for every backend) rather than
+    /// from a numerically singular factorization.
     pub fn solve_steady(&mut self) -> Result<(), ThermalError> {
+        if self.crah_capacity == 0.0 {
+            return Err(ThermalError::SingularSystem);
+        }
         self.state = self.net.steady_state()?;
         Ok(())
     }
@@ -468,8 +599,11 @@ impl RoomAirModel {
     /// # Errors
     ///
     /// Returns [`ThermalError::InvalidRoom`] for a non-finite
-    /// candidate and propagates solver failures (never expected: every
-    /// volume sits on a flow path from the supply boundary).
+    /// candidate and propagates solver failures — in particular
+    /// [`ThermalError::SingularSystem`] during a full CRAH outage,
+    /// when no steady state exists under *any* candidate supply (the
+    /// signal set-point controllers use to drop into their max-cooling
+    /// safe mode).
     pub fn preview_supply(
         &mut self,
         supply: Celsius,
@@ -479,6 +613,9 @@ impl RoomAirModel {
             return Err(ThermalError::InvalidRoom {
                 what: "supply temperature must be finite",
             });
+        }
+        if self.crah_capacity == 0.0 {
+            return Err(ThermalError::SingularSystem);
         }
         let saved = self.supply_temperature();
         self.net.set_boundary(self.supply_node, supply)?;
@@ -705,6 +842,95 @@ mod tests {
             let lift = p.degrees() - room.cold_aisle_temperature(r).degrees();
             assert!((lift - 7.0).abs() < 1e-9, "rack {r} lift {lift}");
         }
+    }
+
+    #[test]
+    fn derated_crah_runs_hotter_but_still_conserves_energy() {
+        let mut healthy = powered(3, 0.2);
+        let mut derated = powered(3, 0.2);
+        derated.set_crah_capacity(0.5).unwrap();
+        assert!((derated.crah_capacity() - 0.5).abs() < 1e-15);
+        healthy.solve_steady().unwrap();
+        derated.solve_steady().unwrap();
+        // A derated CRAH still removes every injected watt at steady
+        // state — it just needs a hotter return to do it.
+        let total = derated.total_rack_power().value();
+        let removed = derated.crah_heat_removed().value();
+        assert!(
+            ((removed - total) / total).abs() < 1e-9,
+            "derated CRAH {removed} W vs racks {total} W"
+        );
+        assert!(
+            derated.return_temperature().degrees() > healthy.return_temperature().degrees() + 1.0,
+            "half capacity must show as a hotter return"
+        );
+        assert!(derated.cold_aisle_temperature(0) > healthy.cold_aisle_temperature(0));
+        // Out-of-range capacities are rejected.
+        assert!(derated.set_crah_capacity(1.5).is_err());
+        assert!(derated.set_crah_capacity(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn full_outage_has_no_steady_state_but_keeps_stepping() {
+        let mut room = powered(2, 0.1);
+        room.solve_steady().unwrap();
+        let before = room.return_temperature();
+        room.set_crah_capacity(0.0).unwrap();
+        assert!(matches!(
+            room.solve_steady(),
+            Err(ThermalError::SingularSystem)
+        ));
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            room.preview_supply(Celsius::new(14.0), &mut scratch),
+            Err(ThermalError::SingularSystem)
+        ));
+        // Transient integration survives the detached boundary: the
+        // room is a closed loop heating up.
+        for _ in 0..120 {
+            room.step(SimDuration::from_secs(1)).unwrap();
+        }
+        assert!(room.state().is_finite());
+        assert!(
+            room.return_temperature().degrees() > before.degrees() + 1.0,
+            "an uncooled room must heat up"
+        );
+        // Recovery restores the exact pre-fault flow values.
+        room.set_crah_capacity(1.0).unwrap();
+        room.solve_steady().unwrap();
+        let total = room.total_rack_power().value();
+        let removed = room.crah_heat_removed().value();
+        assert!(((removed - total) / total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tile_blockage_scales_the_live_flow_and_clears_exactly() {
+        let mut room = powered(3, 0.1);
+        let commanded = room.tile_flow(1).unwrap();
+        let flows_before: Vec<u64> = (0..3)
+            .map(|r| room.tile_flow(r).unwrap().value().to_bits())
+            .collect();
+        room.set_tile_blockage(1, 0.5).unwrap();
+        assert!((room.tile_blockage(1).unwrap() - 0.5).abs() < 1e-15);
+        assert!((room.tile_flow(1).unwrap().value() - commanded.value() * 0.5).abs() < 1e-12);
+        assert_eq!(room.commanded_tile_flow(1).unwrap(), commanded);
+        // Re-commanding under blockage keeps the derate applied.
+        room.set_tile_flow(1, AirFlow::new(4.0)).unwrap();
+        assert!((room.tile_flow(1).unwrap().value() - 2.0).abs() < 1e-12);
+        room.set_tile_flow(1, commanded).unwrap();
+        // A starved rack runs hotter than its neighbours.
+        room.solve_steady().unwrap();
+        assert!(room.hot_aisle_temperature(1) > room.hot_aisle_temperature(0));
+        // Clearing the blockage restores the exact pre-fault flows.
+        room.set_tile_blockage(1, 0.0).unwrap();
+        let flows_after: Vec<u64> = (0..3)
+            .map(|r| room.tile_flow(r).unwrap().value().to_bits())
+            .collect();
+        assert_eq!(flows_after, flows_before);
+        assert!(room.set_tile_blockage(9, 0.1).is_err());
+        assert!(room.set_tile_blockage(0, 1.5).is_err());
+        assert!(room.tile_blockage(9).is_err());
+        assert!(room.commanded_tile_flow(9).is_err());
     }
 
     #[test]
