@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod building;
 pub mod faults;
 pub mod setpoint;
 

@@ -46,7 +46,7 @@ impl CharacterizeOptions {
             config: ServerConfig::default(),
             utilizations: [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0]
                 .iter()
-                .map(|&p| Utilization::from_percent(p).expect("static levels valid"))
+                .filter_map(|&p| Utilization::from_percent(p).ok())
                 .collect(),
             fan_speeds: [1800.0, 2400.0, 3000.0, 3600.0, 4200.0]
                 .map(Rpm::new)
@@ -67,7 +67,7 @@ impl CharacterizeOptions {
         Self {
             utilizations: [25.0, 50.0, 75.0, 100.0]
                 .iter()
-                .map(|&p| Utilization::from_percent(p).expect("static levels valid"))
+                .filter_map(|&p| Utilization::from_percent(p).ok())
                 .collect(),
             fan_speeds: [1800.0, 2400.0, 3000.0, 4200.0].map(Rpm::new).to_vec(),
             warmup: SimDuration::from_mins(3),
@@ -123,7 +123,7 @@ impl CharacterizationData {
                 seen.push(p.utilization);
             }
         }
-        seen.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+        seen.sort_by(|a, b| a.as_fraction().total_cmp(&b.as_fraction()));
         seen
     }
 
@@ -136,7 +136,7 @@ impl CharacterizationData {
                 seen.push(p.rpm);
             }
         }
-        seen.sort_by(|a, b| a.partial_cmp(b).expect("finite speeds"));
+        seen.sort_by(|a, b| a.value().total_cmp(&b.value()));
         seen
     }
 
@@ -156,7 +156,7 @@ impl CharacterizationData {
             .iter()
             .filter(|p| p.utilization == utilization)
             .collect();
-        pts.sort_by(|a, b| a.rpm.partial_cmp(&b.rpm).expect("finite speeds"));
+        pts.sort_by(|a, b| a.rpm.value().total_cmp(&b.rpm.value()));
         pts
     }
 

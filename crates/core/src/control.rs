@@ -593,7 +593,10 @@ impl LutSetPointController {
     /// [`LutSetPointController::try_new`]).
     #[must_use]
     pub fn new(entries: Vec<LutEntry>) -> Self {
-        Self::try_new(entries).expect("valid LUT table")
+        match Self::try_new(entries) {
+            Ok(controller) => controller,
+            Err(e) => panic!("invalid LUT table: {e}"),
+        }
     }
 
     /// As [`LutSetPointController::new`], with invalid tables coming
@@ -706,8 +709,8 @@ impl LutSetPointController {
         self.entries
             .iter()
             .find(|e| load.as_fraction() <= e.max_load.as_fraction())
-            .unwrap_or(self.entries.last().expect("table is non-empty"))
-            .cold_aisle_target
+            .or_else(|| self.entries.last())
+            .map_or(Celsius::new(f64::NAN), |e| e.cold_aisle_target)
     }
 }
 
@@ -873,7 +876,10 @@ impl MpcSetPointController {
     /// [`MpcSetPointController::try_new`]).
     #[must_use]
     pub fn new(cfg: MpcConfig) -> Self {
-        Self::try_new(cfg).expect("valid MPC config")
+        match Self::try_new(cfg) {
+            Ok(controller) => controller,
+            Err(e) => panic!("invalid MPC config: {e}"),
+        }
     }
 
     /// As [`MpcSetPointController::new`], with invalid configurations
@@ -1054,7 +1060,7 @@ impl RoomController for MpcSetPointController {
                 .iter()
                 .copied()
                 .min_by(|a, b| a.degrees().total_cmp(&b.degrees()))
-                .expect("candidate list is non-empty");
+                .unwrap_or(obs.supply);
             let mut action = ControlAction::hold().with_supply(floor);
             if let Some(rpm) = self.safe_fan_floor.or(self.fan_floor) {
                 action = action.with_fan_floor(rpm);
@@ -1103,11 +1109,21 @@ impl RoomController for MpcSetPointController {
     fn restore_state(&mut self, state: &[f64]) {
         self.in_safe_mode = state.first().is_some_and(|&v| v != 0.0);
         self.safe_mode_entries = state.get(1).map_or(0, |&v| v as u64);
+        // A genuine checkpoint carries only finite fields; anything
+        // non-finite is foreign state and degrades to "no history"
+        // rather than poisoning the predictor.
         self.history = match (state.get(2), state.get(3)) {
-            (Some(&flag), Some(&millis)) if flag != 0.0 => Some((
-                SimDuration::from_millis(millis as u64),
-                state[4..].iter().map(|&d| Celsius::new(d)).collect(),
-            )),
+            (Some(&flag), Some(&millis))
+                if flag != 0.0
+                    && millis.is_finite()
+                    && millis >= 0.0
+                    && state[4..].iter().all(|d| d.is_finite()) =>
+            {
+                Some((
+                    SimDuration::from_millis(millis as u64),
+                    state[4..].iter().map(|&d| Celsius::new(d)).collect(),
+                ))
+            }
             _ => None,
         };
         self.trend.clear();

@@ -27,8 +27,74 @@ pub enum CoreError {
     },
     /// A room-scale operation failed.
     Room(RoomError),
+    /// A building-scale operation failed.
+    Building(BuildingError),
     /// A controller could not be built or driven.
     Control(ControlError),
+}
+
+/// Errors raised by building-scale operations: plant fault injection,
+/// per-room dispatch, and building-wide checkpoint/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildingError {
+    /// A room index was out of range for this building.
+    RoomOutOfRange {
+        /// The offending index.
+        room: usize,
+        /// Number of rooms in the building.
+        rooms: usize,
+    },
+    /// A building-level fault or supervision parameter was rejected.
+    InvalidFault {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// An operation on one of the rooms failed.
+    Room {
+        /// Index of the room that failed.
+        room: usize,
+        /// The underlying room error.
+        source: RoomError,
+    },
+    /// The chilled-water plant rejected an operation.
+    Plant(ThermalError),
+    /// A checkpoint does not match the building it is being restored into.
+    CheckpointMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for BuildingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RoomOutOfRange { room, rooms } => {
+                write!(f, "room index {room} out of range for {rooms} rooms")
+            }
+            Self::InvalidFault { what } => write!(f, "invalid building fault: {what}"),
+            Self::Room { room, source } => write!(f, "room {room}: {source}"),
+            Self::Plant(e) => write!(f, "chilled-water plant: {e}"),
+            Self::CheckpointMismatch { what } => {
+                write!(f, "building checkpoint mismatch: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Room { source, .. } => Some(source),
+            Self::Plant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildingError> for CoreError {
+    fn from(e: BuildingError) -> Self {
+        Self::Building(e)
+    }
 }
 
 /// Errors raised by room-scale operations: fault injection,
@@ -145,6 +211,7 @@ impl fmt::Display for CoreError {
             Self::Profile(e) => write!(f, "profile: {e}"),
             Self::Invalid { what } => write!(f, "invalid pipeline input: {what}"),
             Self::Room(e) => write!(f, "room: {e}"),
+            Self::Building(e) => write!(f, "building: {e}"),
             Self::Control(e) => write!(f, "control: {e}"),
         }
     }
@@ -159,6 +226,7 @@ impl std::error::Error for CoreError {
             Self::Profile(e) => Some(e),
             Self::Invalid { .. } => None,
             Self::Room(e) => Some(e),
+            Self::Building(e) => Some(e),
             Self::Control(e) => Some(e),
         }
     }

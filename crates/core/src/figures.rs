@@ -112,11 +112,10 @@ impl Fig2Data {
     #[must_use]
     pub fn optimum_of(&self, group: &str) -> Option<Fig2Point> {
         let (_, points) = self.groups.iter().find(|(l, _)| l == group)?;
-        points.iter().copied().min_by(|a, b| {
-            a.fan_plus_leak()
-                .partial_cmp(&b.fan_plus_leak())
-                .expect("finite costs")
-        })
+        points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.fan_plus_leak().total_cmp(&b.fan_plus_leak()))
     }
 }
 
@@ -226,7 +225,7 @@ fn fig2_points(
             }
         })
         .collect();
-    points.sort_by(|a, b| a.temp_c.partial_cmp(&b.temp_c).expect("finite temps"));
+    points.sort_by(|a, b| a.temp_c.total_cmp(&b.temp_c));
     points
 }
 

@@ -3,7 +3,6 @@
 
 use leakctl_power::fit::{self, Goodness, LmOptions};
 use leakctl_power::{ActivePowerModel, EmpiricalLeakage};
-use leakctl_units::Rpm;
 
 use crate::characterize::CharacterizationData;
 use crate::error::CoreError;
@@ -79,7 +78,11 @@ pub fn fit_models(data: &CharacterizationData) -> Result<FittedModels, CoreError
 
     // Stage 1: k1 seed at the fastest fan speed.
     let rpm_axis = data.rpm_axis();
-    let fastest: Rpm = *rpm_axis.last().expect("non-empty axis");
+    let Some(&fastest) = rpm_axis.last() else {
+        return Err(CoreError::Invalid {
+            what: "characterization data has no fan-speed axis".to_owned(),
+        });
+    };
     let (us, ps): (Vec<f64>, Vec<f64>) = data
         .points
         .iter()
@@ -140,7 +143,7 @@ pub fn fit_models(data: &CharacterizationData) -> Result<FittedModels, CoreError
 mod tests {
     use super::*;
     use crate::characterize::CharacterizationPoint;
-    use leakctl_units::{Celsius, Utilization, Watts};
+    use leakctl_units::{Celsius, Rpm, Utilization, Watts};
 
     /// Builds a synthetic dataset from known constants, with the twin's
     /// realistic ranges.

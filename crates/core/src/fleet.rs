@@ -220,10 +220,15 @@ impl Fleet {
             index_map[original] = storage;
         }
         let mut by_storage: Vec<Option<Server>> = built.into_iter().map(Some).collect();
-        let servers: Vec<Server> = order
-            .iter()
-            .map(|&original| by_storage[original].take().expect("each server moved once"))
-            .collect();
+        let mut servers: Vec<Server> = Vec::with_capacity(order.len());
+        for &original in &order {
+            let Some(server) = by_storage[original].take() else {
+                return Err(CoreError::Invalid {
+                    what: "internal: server storage permutation is not a bijection".to_owned(),
+                });
+            };
+            servers.push(server);
+        }
         let groups = groups
             .into_iter()
             .map(|(range, template_original)| {
@@ -548,7 +553,9 @@ impl Fleet {
                         servers.iter().map(|s| s.thermal_state().clone()).collect();
                     group.lanes = Some(ShardedLanes::pack(&states, &plan));
                 }
-                let lanes = group.lanes.as_mut().expect("packed above");
+                let Some(lanes) = group.lanes.as_mut() else {
+                    unreachable!("lanes packed above");
+                };
                 // ---- phase C: refresh + blocked solve + die-slot
                 // sync + finish, one worker per shard.
                 let die_slots = &group.die_slots;
@@ -571,7 +578,7 @@ impl Fleet {
                             }
                             handles
                                 .into_iter()
-                                .map(|h| h.join().expect("shard worker must not panic"))
+                                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                                 .collect::<Vec<_>>()
                         });
                     for result in results {
@@ -748,7 +755,7 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker must not panic"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect::<Vec<_>>()
     });
     results.into_iter().collect()

@@ -42,7 +42,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod building;
 mod characterize;
 pub mod control;
 pub mod derating;
@@ -57,12 +59,13 @@ pub mod rack;
 pub mod report;
 pub mod room;
 pub mod scenario;
+pub mod supervise;
 mod table1;
 
 pub use characterize::{
     characterize, CharacterizationData, CharacterizationPoint, CharacterizeOptions,
 };
-pub use error::{ControlError, CoreError, RoomError};
+pub use error::{BuildingError, ControlError, CoreError, RoomError};
 pub use experiment::{
     measure_idle_power, run_experiment, RunMetrics, RunOptions, RunOutcome, RunSample,
 };
@@ -75,6 +78,7 @@ pub use table1::{generate_table1, Table1, Table1Options, Table1Row};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
+    pub use crate::building::{Building, BuildingCheckpoint, BuildingConfig};
     pub use crate::characterize::{characterize, CharacterizationData, CharacterizeOptions};
     pub use crate::control::{
         ControlAction, FixedSupplyController, LutSetPointController, MpcSetPointController,
@@ -86,7 +90,11 @@ pub mod prelude {
     pub use crate::fitting::{fit_models, FittedModels};
     pub use crate::lut_pipeline::build_lut_from_characterization;
     pub use crate::room::{ControlStats, CopModel, Room, RoomCheckpoint, RoomConfig};
-    pub use crate::scenario::{Scenario, ScenarioEvent, ScenarioOutcome, ScenarioRunner};
+    pub use crate::scenario::{
+        BuildingEvent, BuildingOutcome, BuildingScenario, BuildingScenarioRunner, Scenario,
+        ScenarioEvent, ScenarioOutcome, ScenarioRunner,
+    };
+    pub use crate::supervise::{MonitorTrip, Supervisor, SupervisorConfig, TripCounts};
     pub use crate::table1::{generate_table1, Table1, Table1Options};
     pub use leakctl_control::{
         BangBangController, FanController, FixedSpeedController, LookupTable, LutController,

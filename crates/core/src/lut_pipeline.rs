@@ -21,7 +21,7 @@ use crate::fitting::FittedModels;
 pub fn default_utilization_bins() -> Vec<Utilization> {
     [10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0]
         .iter()
-        .map(|&p| Utilization::from_percent(p).expect("static levels valid"))
+        .filter_map(|&p| Utilization::from_percent(p).ok())
         .collect()
 }
 

@@ -522,6 +522,31 @@ impl Room {
     /// Returns [`RoomError::CheckpointMismatch`] when rack/server
     /// counts or thermal topologies differ.
     pub fn restore(&mut self, checkpoint: &RoomCheckpoint) -> Result<(), RoomError> {
+        self.can_restore(checkpoint)?;
+        for (fleet, snap) in self.fleets.iter_mut().zip(&checkpoint.fleets) {
+            fleet
+                .restore(snap)
+                .map_err(|e| RoomError::CheckpointMismatch {
+                    what: e.to_string(),
+                })?;
+        }
+        self.air = checkpoint.air.clone();
+        self.crah_energy = checkpoint.crah_energy;
+        self.accounted = checkpoint.accounted;
+        self.last_activity = checkpoint.last_activity;
+        Ok(())
+    }
+
+    /// Checks that `checkpoint` could be restored into this room without
+    /// committing anything — the validation half of [`Room::restore`],
+    /// exposed so a building can vet every room's checkpoint before
+    /// touching any of them (all-or-nothing building restores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoomError::CheckpointMismatch`] when rack/server
+    /// counts or thermal topologies differ.
+    pub fn can_restore(&self, checkpoint: &RoomCheckpoint) -> Result<(), RoomError> {
         if checkpoint.fleets.len() != self.fleets.len() {
             return Err(RoomError::CheckpointMismatch {
                 what: format!(
@@ -543,17 +568,6 @@ impl Room {
                     what: format!("rack {r}: {e}"),
                 })?;
         }
-        for (fleet, snap) in self.fleets.iter_mut().zip(&checkpoint.fleets) {
-            fleet
-                .restore(snap)
-                .map_err(|e| RoomError::CheckpointMismatch {
-                    what: e.to_string(),
-                })?;
-        }
-        self.air = checkpoint.air.clone();
-        self.crah_energy = checkpoint.crah_energy;
-        self.accounted = checkpoint.accounted;
-        self.last_activity = checkpoint.last_activity;
         Ok(())
     }
 

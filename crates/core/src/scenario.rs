@@ -42,9 +42,11 @@
 use leakctl_platform::FanFault;
 use leakctl_units::{Celsius, Joules, SimDuration, Utilization};
 
+use crate::building::{Building, BuildingCheckpoint};
 use crate::control::{RoomController, RoomObservation};
-use crate::error::{CoreError, RoomError};
+use crate::error::{BuildingError, CoreError, RoomError};
 use crate::room::{ControlStats, Room, RoomCheckpoint};
+use crate::supervise::{Supervisor, TripCounts};
 
 /// One timed move in a [`Scenario`] script.
 #[derive(Debug, Clone, PartialEq)]
@@ -456,6 +458,530 @@ impl ScenarioRunner {
         room.restore(&checkpoint.room)?;
         controller.reset();
         controller.restore_state(&checkpoint.controller);
+        self.cursor = checkpoint.cursor.clone();
+        self.obs = RoomObservation::new();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Building-scale scenarios
+// ---------------------------------------------------------------------------
+
+/// One timed move in a [`BuildingScenario`] script — the building-scale
+/// fault injectors, plus room-scoped [`ScenarioEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildingEvent {
+    /// Derates the mechanical chiller to an availability factor
+    /// (`1.0` restores a healthy chiller, `0.0` is a full outage).
+    Chiller(f64),
+    /// Raises the chilled-water supply temperature by this many °C
+    /// above design (`0.0` clears the excursion).
+    ChwExcursion(f64),
+    /// Moves the outdoor temperature (heat waves; also drives
+    /// economizer lockout and COP/capacity derates).
+    Outdoor(Celsius),
+    /// Moves one room's activity level.
+    RoomLoad {
+        /// Target room.
+        room: usize,
+        /// New activity level.
+        load: Utilization,
+    },
+    /// Moves *every* room's activity level at once — the correlated
+    /// multi-room surge.
+    LoadSurge(Utilization),
+    /// A room-scoped event from the room-scale script vocabulary.
+    /// [`ScenarioEvent::CrahCapacity`] maps to the room's *local* CRAH
+    /// health (the plant's derate composes on top);
+    /// [`ScenarioEvent::Load`] moves that room's activity.
+    Room {
+        /// Target room.
+        room: usize,
+        /// The room-scale event.
+        event: ScenarioEvent,
+    },
+}
+
+impl BuildingEvent {
+    /// `true` for events that change fault state (load moves are
+    /// workload, not faults) — the events recovery time is measured
+    /// from.
+    fn is_fault_transition(&self) -> bool {
+        match self {
+            Self::RoomLoad { .. } | Self::LoadSurge(_) => false,
+            Self::Room { event, .. } => event.is_fault_transition(),
+            _ => true,
+        }
+    }
+}
+
+/// A deterministic building-scale fault/recovery/load script — the
+/// [`Scenario`] shape one level up, sharing its timing contract: events
+/// fire at the *start* of the step whose time they name, in time order;
+/// ties fire in insertion order.
+#[derive(Debug, Clone)]
+pub struct BuildingScenario {
+    name: String,
+    events: Vec<(SimDuration, BuildingEvent)>,
+    duration: SimDuration,
+    dt: SimDuration,
+    die_cap: Celsius,
+    initial_load: Utilization,
+}
+
+impl BuildingScenario {
+    /// A script of `duration` in steps of `dt` with no events yet, an
+    /// 85 °C cap and full initial load in every room.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `dt`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, duration: SimDuration, dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "scenarios need a positive step");
+        Self {
+            name: name.into(),
+            events: Vec::new(),
+            duration,
+            dt,
+            die_cap: Celsius::new(85.0),
+            initial_load: Utilization::FULL,
+        }
+    }
+
+    /// Schedules `event` at simulated time `at`.
+    #[must_use]
+    pub fn at(mut self, at: SimDuration, event: BuildingEvent) -> Self {
+        self.events.push((at, event));
+        // Stable sort: same-time events keep their insertion order.
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Overrides the thermal cap the run is judged against.
+    #[must_use]
+    pub fn with_die_cap(mut self, cap: Celsius) -> Self {
+        self.die_cap = cap;
+        self
+    }
+
+    /// Overrides the activity level every room starts at.
+    #[must_use]
+    pub fn with_initial_load(mut self, load: Utilization) -> Self {
+        self.initial_load = load;
+        self
+    }
+
+    /// The script's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total steps the script runs for.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.duration.as_millis() / self.dt.as_millis()
+    }
+
+    /// The step size.
+    #[must_use]
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// The thermal cap the run is judged against.
+    #[must_use]
+    pub fn die_cap(&self) -> Celsius {
+        self.die_cap
+    }
+
+    /// The activity level rooms start at.
+    #[must_use]
+    pub fn initial_load(&self) -> Utilization {
+        self.initial_load
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// What a building scenario run produced: aggregated loop counters, the
+/// building's energy bottom line, and the supervision record.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct BuildingOutcome {
+    /// The script's name.
+    pub name: String,
+    /// Aggregated loop counters and cap accounting (violation time
+    /// counts steps where *any* room's hottest die is over the cap).
+    pub stats: ControlStats,
+    /// IT energy plus plant electricity over the run.
+    pub total_energy: Joules,
+    /// IT (server + fan) energy over the run.
+    pub it_energy: Joules,
+    /// Plant electricity over the run.
+    pub plant_energy: Joules,
+    /// The hottest die across all rooms at the end of the run.
+    pub final_max_die: Celsius,
+    /// Events that fired.
+    pub events_applied: usize,
+    /// Invariant-monitor trip counters from the supervisor.
+    pub trips: TripCounts,
+    /// Times the watchdog entered a load shed.
+    pub sheds: u64,
+    /// Rooms escalated into safe mode.
+    pub escalations: u64,
+    /// Total simulated time spent shedding.
+    pub shed_time: SimDuration,
+}
+
+impl BuildingOutcome {
+    /// `true` when no room's hottest die ever exceeded the cap.
+    #[must_use]
+    pub fn stayed_under_cap(&self) -> bool {
+        self.stats.cap_violation_time.is_zero()
+    }
+
+    /// Fills [`ControlStats::energy_overhead`] relative to a reference
+    /// run of the same script.
+    pub fn set_energy_overhead_vs(&mut self, reference: &BuildingOutcome) {
+        self.stats.energy_overhead = Some(self.total_energy - reference.total_energy);
+    }
+}
+
+/// Everything needed to resume a building scenario mid-flight: the
+/// building snapshot, every controller's opaque state, the supervisor's
+/// state, and the runner's cursor.
+#[derive(Debug, Clone)]
+pub struct BuildingScenarioCheckpoint {
+    building: BuildingCheckpoint,
+    controllers: Vec<Vec<f64>>,
+    supervisor: Vec<f64>,
+    cursor: BuildingCursor,
+}
+
+impl BuildingScenarioCheckpoint {
+    /// The step the run was captured at.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.cursor.step
+    }
+}
+
+/// The building runner's progress state, captured verbatim in a
+/// [`BuildingScenarioCheckpoint`].
+#[derive(Debug, Clone)]
+struct BuildingCursor {
+    step: u64,
+    next_event: usize,
+    /// Per-room decision phase.
+    since: Vec<SimDuration>,
+    since_supervise: SimDuration,
+    /// Per-room activity level.
+    loads: Vec<Utilization>,
+    stats: ControlStats,
+    events_applied: usize,
+    last_fault_time: Option<SimDuration>,
+    violated_since_fault: bool,
+    recovered_at: Option<SimDuration>,
+}
+
+/// Drives a [`Building`], one [`RoomController`] per room, and a
+/// [`Supervisor`] through a [`BuildingScenario`].
+///
+/// Per step: due events fire first; then each room's controller decides
+/// at its own cadence (from `t = 0`) against the post-event building;
+/// then the supervisor runs at its cadence — *after* the controllers,
+/// so watchdog actions override controller actions; then the building
+/// advances and the hottest die across all rooms is judged against the
+/// cap. All of it happens in room index order within the serial
+/// section, so supervised runs are bit-identical for any thread plan.
+#[derive(Debug)]
+pub struct BuildingScenarioRunner {
+    scenario: BuildingScenario,
+    cursor: BuildingCursor,
+    obs: RoomObservation,
+}
+
+impl BuildingScenarioRunner {
+    /// A runner positioned at the start of `scenario`, for a building
+    /// of `rooms` rooms.
+    #[must_use]
+    pub fn new(scenario: BuildingScenario, rooms: usize) -> Self {
+        let load = scenario.initial_load;
+        Self {
+            scenario,
+            cursor: BuildingCursor {
+                step: 0,
+                next_event: 0,
+                since: vec![SimDuration::ZERO; rooms],
+                since_supervise: SimDuration::ZERO,
+                loads: vec![load; rooms],
+                stats: ControlStats::default(),
+                events_applied: 0,
+                last_fault_time: None,
+                violated_since_fault: false,
+                recovered_at: None,
+            },
+            obs: RoomObservation::new(),
+        }
+    }
+
+    /// The script being driven.
+    #[must_use]
+    pub fn scenario(&self) -> &BuildingScenario {
+        &self.scenario
+    }
+
+    /// `true` once every scripted step has run.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.cursor.step >= self.scenario.steps()
+    }
+
+    /// The current step index.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.cursor.step
+    }
+
+    fn check_shape(
+        &self,
+        building: &Building,
+        controllers: &[Box<dyn RoomController>],
+    ) -> Result<(), BuildingError> {
+        if building.rooms() != self.cursor.since.len()
+            || controllers.len() != self.cursor.since.len()
+        {
+            return Err(BuildingError::InvalidFault {
+                what:
+                    "one controller per room required (runner/building/controller count mismatch)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the remainder of the script and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates building/controller/supervisor failures; scripted
+    /// events with bad parameters surface as [`CoreError::Building`].
+    pub fn run(
+        &mut self,
+        building: &mut Building,
+        controllers: &mut [Box<dyn RoomController>],
+        supervisor: &mut Supervisor,
+    ) -> Result<BuildingOutcome, CoreError> {
+        let remaining = self.scenario.steps() - self.cursor.step;
+        self.run_steps(building, controllers, supervisor, remaining)?;
+        Ok(self.outcome(building, supervisor))
+    }
+
+    /// Advances up to `steps` further steps (stopping at the script's
+    /// end).
+    ///
+    /// # Errors
+    ///
+    /// As [`BuildingScenarioRunner::run`].
+    pub fn run_steps(
+        &mut self,
+        building: &mut Building,
+        controllers: &mut [Box<dyn RoomController>],
+        supervisor: &mut Supervisor,
+        steps: u64,
+    ) -> Result<(), CoreError> {
+        self.check_shape(building, controllers)?;
+        let dt = self.scenario.dt;
+        let end = (self.cursor.step + steps).min(self.scenario.steps());
+        while self.cursor.step < end {
+            let now = dt * self.cursor.step;
+            // ---- due events fire at the start of their step.
+            while let Some((at, event)) = self.scenario.events.get(self.cursor.next_event) {
+                if *at > now {
+                    break;
+                }
+                let event = event.clone();
+                self.apply_event(building, event, now)?;
+                self.cursor.next_event += 1;
+                self.cursor.events_applied += 1;
+            }
+            // ---- per-room decision cadence (room index order).
+            for (r, controller) in controllers.iter_mut().enumerate() {
+                if self.cursor.step == 0 || self.cursor.since[r] >= controller.decision_period() {
+                    self.cursor.since[r] = SimDuration::ZERO;
+                    let action = building.decide(r, controller.as_mut(), &mut self.obs)?;
+                    self.cursor.stats.decisions += 1;
+                    if !action.is_hold() {
+                        self.cursor.stats.applied += 1;
+                        building.apply(r, &action)?;
+                    }
+                }
+            }
+            // ---- supervision, after the controllers so watchdog
+            // actions win.
+            if self.cursor.step == 0 || self.cursor.since_supervise >= supervisor.period() {
+                self.cursor.since_supervise = SimDuration::ZERO;
+                supervisor.supervise(building)?;
+            }
+            // ---- advance and judge against the cap.
+            building.step(dt, &self.cursor.loads)?;
+            self.cursor.step += 1;
+            for since in &mut self.cursor.since {
+                *since += dt;
+            }
+            self.cursor.since_supervise += dt;
+            let die = building.max_die_temperature();
+            self.cursor.stats.peak_die = self.cursor.stats.peak_die.max(die);
+            if die > self.scenario.die_cap {
+                self.cursor.stats.cap_violation_time += dt;
+                self.cursor.violated_since_fault = true;
+                self.cursor.recovered_at = None;
+            } else if self.cursor.violated_since_fault && self.cursor.recovered_at.is_none() {
+                self.cursor.recovered_at = Some(dt * self.cursor.step);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_event(
+        &mut self,
+        building: &mut Building,
+        event: BuildingEvent,
+        now: SimDuration,
+    ) -> Result<(), CoreError> {
+        if event.is_fault_transition() {
+            self.cursor.last_fault_time = Some(now);
+            self.cursor.violated_since_fault = false;
+            self.cursor.recovered_at = None;
+        }
+        match event {
+            BuildingEvent::Chiller(fraction) => building.set_chiller_availability(fraction)?,
+            BuildingEvent::ChwExcursion(excursion) => building.set_chw_excursion(excursion)?,
+            BuildingEvent::Outdoor(outdoor) => building.set_outdoor(outdoor)?,
+            BuildingEvent::RoomLoad { room, load } => {
+                if room >= self.cursor.loads.len() {
+                    return Err(BuildingError::RoomOutOfRange {
+                        room,
+                        rooms: self.cursor.loads.len(),
+                    }
+                    .into());
+                }
+                self.cursor.loads[room] = load;
+            }
+            BuildingEvent::LoadSurge(load) => {
+                self.cursor.loads.fill(load);
+            }
+            BuildingEvent::Room { room, event } => match event {
+                ScenarioEvent::CrahCapacity(health) => {
+                    building.set_room_crah_health(room, health)?;
+                }
+                ScenarioEvent::TileBlockage { rack, blockage } => building
+                    .room_mut(room)?
+                    .set_tile_blockage(rack, blockage)
+                    .map_err(|source| BuildingError::Room { room, source })?,
+                ScenarioEvent::FanFault {
+                    rack,
+                    server,
+                    fault,
+                } => building
+                    .room_mut(room)?
+                    .inject_fan_fault(rack, server, fault)
+                    .map_err(|source| BuildingError::Room { room, source })?,
+                ScenarioEvent::Load(load) => {
+                    if room >= self.cursor.loads.len() {
+                        return Err(BuildingError::RoomOutOfRange {
+                            room,
+                            rooms: self.cursor.loads.len(),
+                        }
+                        .into());
+                    }
+                    self.cursor.loads[room] = load;
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// The outcome so far (complete once
+    /// [`BuildingScenarioRunner::finished`]).
+    #[must_use]
+    pub fn outcome(&self, building: &Building, supervisor: &Supervisor) -> BuildingOutcome {
+        let mut stats = self.cursor.stats;
+        stats.recovery_time = match (self.cursor.last_fault_time, self.cursor.recovered_at) {
+            (Some(fault), Some(recovered)) if recovered > fault => Some(recovered - fault),
+            _ => None,
+        };
+        BuildingOutcome {
+            name: self.scenario.name.clone(),
+            stats,
+            total_energy: building.total_energy(),
+            it_energy: building.it_energy(),
+            plant_energy: building.plant_energy(),
+            final_max_die: building.max_die_temperature(),
+            events_applied: self.cursor.events_applied,
+            trips: supervisor.counts(),
+            sheds: supervisor.sheds(),
+            escalations: supervisor.escalations(),
+            shed_time: supervisor.shed_time(),
+        }
+    }
+
+    /// Captures the full run state — building, controllers, supervisor,
+    /// cursor — at the current step boundary.
+    #[must_use]
+    pub fn checkpoint(
+        &self,
+        building: &mut Building,
+        controllers: &[Box<dyn RoomController>],
+        supervisor: &Supervisor,
+    ) -> BuildingScenarioCheckpoint {
+        BuildingScenarioCheckpoint {
+            building: building.checkpoint(),
+            controllers: controllers.iter().map(|c| c.checkpoint_state()).collect(),
+            supervisor: supervisor.checkpoint_state(),
+            cursor: self.cursor.clone(),
+        }
+    }
+
+    /// Restores a [`BuildingScenarioRunner::checkpoint`]; the resumed
+    /// run is bit-identical to one that was never interrupted, for any
+    /// thread plan. The building restore is all-or-nothing and happens
+    /// before controllers or supervisor are touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildingError::CheckpointMismatch`] when the building
+    /// or the controller count does not match the snapshot.
+    pub fn restore(
+        &mut self,
+        building: &mut Building,
+        controllers: &mut [Box<dyn RoomController>],
+        supervisor: &mut Supervisor,
+        checkpoint: &BuildingScenarioCheckpoint,
+    ) -> Result<(), BuildingError> {
+        if controllers.len() != checkpoint.controllers.len() {
+            return Err(BuildingError::CheckpointMismatch {
+                what: format!(
+                    "checkpoint holds {} controllers, run has {}",
+                    checkpoint.controllers.len(),
+                    controllers.len()
+                ),
+            });
+        }
+        building.restore(&checkpoint.building)?;
+        for (controller, state) in controllers.iter_mut().zip(&checkpoint.controllers) {
+            controller.reset();
+            controller.restore_state(state);
+        }
+        supervisor.reset();
+        supervisor.restore_state(&checkpoint.supervisor);
         self.cursor = checkpoint.cursor.clone();
         self.obs = RoomObservation::new();
         Ok(())

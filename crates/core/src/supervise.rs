@@ -1,0 +1,525 @@
+//! Runtime supervision for a [`Building`]: invariant monitors and a
+//! load-shedding watchdog.
+//!
+//! The simulation layers below this one are *models*; the supervisor is
+//! the piece that treats them the way a facility DCIM treats real
+//! telemetry — it never trusts an observation. Three invariant monitors
+//! sample every room's [`RoomObservation`] at a fixed cadence:
+//!
+//! - **NaN monitor** — any non-finite temperature, power or COP in a
+//!   room snapshot trips immediately (a poisoned state would otherwise
+//!   propagate silently through every downstream controller decision).
+//! - **Energy-conservation monitor** — the building's IT, plant and
+//!   total energies must stay finite, monotone non-decreasing, and
+//!   satisfy `total = IT + plant` to a relative tolerance.
+//! - **Thermal-runaway monitor** — a room whose hottest die sits above
+//!   the cap *and keeps rising* for a configured number of consecutive
+//!   samples (or jumps past a hard margin above the cap) trips; this is
+//!   the signature of a cooling loop that has lost authority, which a
+//!   set-point controller alone cannot distinguish from a transient.
+//!
+//! The **watchdog** acts on what the monitors and the plant report:
+//! when the chilled-water plant is oversubscribed it sheds load by
+//! capping every room's activity ([`Building::set_power_cap`]), with
+//! hysteresis on release so a marginal plant does not flap; rooms that
+//! trip the runaway monitor are escalated into safe mode — coldest
+//! feasible supply plus a safe fan floor, applied through the
+//! building's validated write path — until their dies drop back below
+//! the cap with margin.
+//!
+//! Everything the supervisor does is a pure function of the sampled
+//! observations, so supervised trajectories stay bit-identical for any
+//! thread plan, and its state round-trips through the same flat-`f64`
+//! checkpoint encoding the controllers use (junk-tolerant on restore).
+
+use leakctl_units::{Celsius, Rpm, SimDuration};
+
+use crate::building::Building;
+use crate::control::{ControlAction, RoomObservation};
+use crate::error::CoreError;
+
+/// One invariant-monitor trip: which detector fired, where, and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorTrip {
+    /// Detector name: `"nan"`, `"energy-conservation"` or
+    /// `"thermal-runaway"`.
+    pub monitor: &'static str,
+    /// Room that tripped, or `None` for building-level detectors.
+    pub room: Option<usize>,
+    /// Simulated time of the trip.
+    pub time: SimDuration,
+    /// Human-readable description of the violated invariant.
+    pub what: String,
+}
+
+/// Tuning for a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Sampling/supervision cadence.
+    pub period: SimDuration,
+    /// Die-temperature cap the runaway monitor anchors to.
+    pub die_cap: Celsius,
+    /// °C above the cap that trips the runaway monitor immediately.
+    pub runaway_margin: f64,
+    /// Consecutive rising over-cap samples before a runaway trip.
+    pub runaway_streak: u32,
+    /// °C below the cap a room must cool to before an escalation
+    /// releases.
+    pub release_margin: f64,
+    /// Activity fraction rooms are capped to while shedding.
+    pub shed_cap: f64,
+    /// Plant utilization (demand / available) above which the watchdog
+    /// sheds load.
+    pub overload_threshold: f64,
+    /// A shed releases when the *remembered* peak demand (see
+    /// [`demand_decay`](Self::demand_decay)) fits within this fraction
+    /// of the available capacity — so release waits for the plant to
+    /// recover enough for the pre-shed load, not merely for the capped
+    /// load the shed itself produced.
+    pub release_threshold: f64,
+    /// Per-tick decay of the peak-demand memory (1 = never forget);
+    /// lets the release follow a genuine load drop after a while.
+    pub demand_decay: f64,
+    /// Relative tolerance of the energy-conservation check.
+    pub conservation_tolerance: f64,
+    /// Safe fan floor commanded on escalation.
+    pub safe_fan_floor: Rpm,
+}
+
+impl SupervisorConfig {
+    /// Defaults anchored to a die cap.
+    #[must_use]
+    pub fn for_cap(die_cap: Celsius) -> Self {
+        Self {
+            period: SimDuration::from_secs(15),
+            die_cap,
+            runaway_margin: 10.0,
+            runaway_streak: 4,
+            release_margin: 2.0,
+            shed_cap: 0.5,
+            overload_threshold: 1.0,
+            release_threshold: 0.9,
+            demand_decay: 0.98,
+            conservation_tolerance: 1e-9,
+            safe_fan_floor: Rpm::new(4200.0),
+        }
+    }
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self::for_cap(Celsius::new(85.0))
+    }
+}
+
+/// Per-monitor trip counters (the CI gates key off these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TripCounts {
+    /// NaN-monitor trips.
+    pub nan: u64,
+    /// Energy-conservation trips.
+    pub conservation: u64,
+    /// Thermal-runaway trips.
+    pub runaway: u64,
+}
+
+impl TripCounts {
+    /// Trips that indicate a *broken simulation* rather than a thermal
+    /// emergency: NaN and conservation. A clean fault ride-through must
+    /// keep these at zero (runaway trips are the watchdog doing its
+    /// job).
+    #[must_use]
+    pub fn invariant(&self) -> u64 {
+        self.nan + self.conservation
+    }
+}
+
+/// How many individual [`MonitorTrip`] records are retained (counters
+/// keep counting past this; the record list is for diagnostics).
+const MAX_RECORDED_TRIPS: usize = 256;
+
+/// The building watchdog — see the module docs.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    /// Building-wide shed state.
+    shedding: bool,
+    /// Per-room: escalated into safe mode.
+    escalated: Vec<bool>,
+    /// Per-room: runaway monitor currently latched.
+    runaway_active: Vec<bool>,
+    /// Per-room: consecutive rising over-cap samples.
+    streaks: Vec<u32>,
+    /// Per-room: hottest die at the previous sample.
+    prev_die: Vec<f64>,
+    /// Peak-hold (decaying) demand memory in watts, for shed release.
+    demand_peak: f64,
+    /// Previous (it, plant, total) energy sample for monotonicity.
+    prev_energy: Option<[f64; 3]>,
+    /// Simulated time of the previous supervise() call.
+    last_time: SimDuration,
+    counts: TripCounts,
+    trips: Vec<MonitorTrip>,
+    sheds: u64,
+    escalations: u64,
+    shed_time: SimDuration,
+    obs: RoomObservation,
+}
+
+impl Supervisor {
+    /// A supervisor for a building of `rooms` rooms.
+    #[must_use]
+    pub fn new(rooms: usize, cfg: SupervisorConfig) -> Self {
+        Self {
+            cfg,
+            shedding: false,
+            escalated: vec![false; rooms],
+            runaway_active: vec![false; rooms],
+            streaks: vec![0; rooms],
+            prev_die: vec![f64::NEG_INFINITY; rooms],
+            demand_peak: 0.0,
+            prev_energy: None,
+            last_time: SimDuration::ZERO,
+            counts: TripCounts::default(),
+            trips: Vec::new(),
+            sheds: 0,
+            escalations: 0,
+            shed_time: SimDuration::ZERO,
+            obs: RoomObservation::new(),
+        }
+    }
+
+    /// The supervision cadence callers should honor.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.cfg.period
+    }
+
+    /// The configuration this supervisor runs with.
+    #[must_use]
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    fn trip(
+        &mut self,
+        monitor: &'static str,
+        room: Option<usize>,
+        time: SimDuration,
+        what: String,
+    ) {
+        match monitor {
+            "nan" => self.counts.nan += 1,
+            "energy-conservation" => self.counts.conservation += 1,
+            _ => self.counts.runaway += 1,
+        }
+        if self.trips.len() < MAX_RECORDED_TRIPS {
+            self.trips.push(MonitorTrip {
+                monitor,
+                room,
+                time,
+                what,
+            });
+        }
+    }
+
+    /// One supervision tick: sample every room through the invariant
+    /// monitors, then let the watchdog shed load / escalate rooms.
+    /// Call at [`period`](Self::period) cadence from the loop that
+    /// steps the building.
+    ///
+    /// # Errors
+    ///
+    /// Propagates building write-path failures (the monitors themselves
+    /// never fail — a bad observation is a trip, not an error).
+    pub fn supervise(&mut self, building: &mut Building) -> Result<(), CoreError> {
+        let rooms = building.rooms();
+        let now = building.accounted_time();
+        let elapsed = now.saturating_sub(self.last_time);
+        self.last_time = now;
+        if self.shedding {
+            self.shed_time += elapsed;
+        }
+
+        // ---- invariant monitors ----------------------------------------
+        let mut any_die_over_cap = false;
+        for r in 0..rooms {
+            // Sample the observation scalars inside a scope so the
+            // borrow of the scratch snapshot ends before trips record.
+            let (finite, die) = {
+                building.observe_room_into(r, &mut self.obs)?;
+                let obs = &self.obs;
+                let finite = obs.supply.is_finite()
+                    && obs.return_temp.is_finite()
+                    && obs.it_power.value().is_finite()
+                    && obs.cooling_power.value().is_finite()
+                    && obs.cop.is_finite()
+                    && obs.rack_die_max.iter().all(|t| t.is_finite())
+                    && obs.cold_aisles.iter().all(|t| t.is_finite());
+                (finite, obs.max_die_temperature().degrees())
+            };
+
+            // NaN monitor.
+            if !finite {
+                self.trip(
+                    "nan",
+                    Some(r),
+                    now,
+                    "non-finite temperature, power or COP in room snapshot".to_owned(),
+                );
+            }
+
+            // Thermal-runaway monitor.
+            let cap = self.cfg.die_cap.degrees();
+            if die > cap {
+                any_die_over_cap = true;
+            }
+            if die > cap + self.cfg.runaway_margin {
+                self.trip(
+                    "thermal-runaway",
+                    Some(r),
+                    now,
+                    format!("die {die:.2} °C past hard margin above the {cap:.0} °C cap"),
+                );
+                self.runaway_active[r] = true;
+                self.streaks[r] = 0;
+            } else if die > cap && die > self.prev_die[r] {
+                self.streaks[r] += 1;
+                if self.streaks[r] >= self.cfg.runaway_streak {
+                    self.trip(
+                        "thermal-runaway",
+                        Some(r),
+                        now,
+                        format!(
+                            "die {die:.2} °C over the {cap:.0} °C cap and rising for {} samples",
+                            self.streaks[r]
+                        ),
+                    );
+                    self.runaway_active[r] = true;
+                    self.streaks[r] = 0;
+                }
+            } else {
+                self.streaks[r] = 0;
+            }
+            if self.runaway_active[r] && die < cap - self.cfg.release_margin {
+                self.runaway_active[r] = false;
+            }
+            self.prev_die[r] = die;
+        }
+
+        // Energy-conservation monitor (building level).
+        let it = building.it_energy().value();
+        let plant = building.plant_energy().value();
+        let total = building.total_energy().value();
+        if !(it.is_finite() && plant.is_finite() && total.is_finite()) {
+            self.trip(
+                "energy-conservation",
+                None,
+                now,
+                "non-finite energy accumulator".to_owned(),
+            );
+        } else {
+            let scale = total.abs().max(1.0);
+            if (total - (it + plant)).abs() > self.cfg.conservation_tolerance * scale {
+                self.trip(
+                    "energy-conservation",
+                    None,
+                    now,
+                    format!("total {total:.3} J != IT {it:.3} J + plant {plant:.3} J"),
+                );
+            }
+            if let Some([p_it, p_plant, p_total]) = self.prev_energy {
+                if it < p_it || plant < p_plant || total < p_total {
+                    self.trip(
+                        "energy-conservation",
+                        None,
+                        now,
+                        "energy accumulator moved backwards".to_owned(),
+                    );
+                }
+            }
+            self.prev_energy = Some([it, plant, total]);
+        }
+
+        // ---- watchdog --------------------------------------------------
+        let utilization = building.plant().utilization();
+        let demand = building.plant().demand().value();
+        let available = building.plant().available_capacity().value();
+        self.demand_peak = demand.max(self.demand_peak * self.cfg.demand_decay);
+        if !self.shedding && utilization > self.cfg.overload_threshold {
+            self.shedding = true;
+            self.sheds += 1;
+            for r in 0..rooms {
+                building.set_power_cap(r, self.cfg.shed_cap)?;
+            }
+        } else if self.shedding
+            && self.demand_peak <= self.cfg.release_threshold * available
+            && !any_die_over_cap
+        {
+            self.shedding = false;
+            for r in 0..rooms {
+                if !self.escalated[r] {
+                    building.set_power_cap(r, 1.0)?;
+                }
+            }
+        }
+
+        for r in 0..rooms {
+            if self.runaway_active[r] && !self.escalated[r] {
+                self.escalated[r] = true;
+                self.escalations += 1;
+                // Safe mode: coldest feasible supply, safe fan floor,
+                // and the room's activity capped like a shed.
+                let action = ControlAction::hold()
+                    .with_supply(building.supply_floor())
+                    .with_fan_floor(self.cfg.safe_fan_floor);
+                building.apply(r, &action)?;
+                building.set_power_cap(r, self.cfg.shed_cap.min(building.power_cap(r)?))?;
+            } else if self.escalated[r] && !self.runaway_active[r] {
+                self.escalated[r] = false;
+                let cap = if self.shedding {
+                    self.cfg.shed_cap
+                } else {
+                    1.0
+                };
+                building.set_power_cap(r, cap)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// Per-monitor trip counters.
+    #[must_use]
+    pub fn counts(&self) -> TripCounts {
+        self.counts
+    }
+
+    /// Recorded trips (capped at an internal limit; the
+    /// [`counts`](Self::counts) keep counting past it).
+    #[must_use]
+    pub fn trips(&self) -> &[MonitorTrip] {
+        &self.trips
+    }
+
+    /// Whether the watchdog is currently shedding load.
+    #[must_use]
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Times the watchdog entered a shed.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Rooms escalated into safe mode (cumulative).
+    #[must_use]
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Whether room `room` is currently escalated.
+    #[must_use]
+    pub fn escalated(&self, room: usize) -> bool {
+        self.escalated.get(room).copied().unwrap_or(false)
+    }
+
+    /// Total simulated time spent shedding.
+    #[must_use]
+    pub fn shed_time(&self) -> SimDuration {
+        self.shed_time
+    }
+
+    // ---- checkpoint ------------------------------------------------------
+
+    /// Flat-`f64` snapshot of the supervisor's decision state (same
+    /// shape the controllers use), sufficient for a bit-identical
+    /// resume. Individual trip *records* are not carried — the counters
+    /// are.
+    #[must_use]
+    pub fn checkpoint_state(&self) -> Vec<f64> {
+        let mut state = vec![
+            f64::from(u8::from(self.shedding)),
+            self.sheds as f64,
+            self.escalations as f64,
+            self.counts.nan as f64,
+            self.counts.conservation as f64,
+            self.counts.runaway as f64,
+            self.shed_time.as_millis() as f64,
+            self.last_time.as_millis() as f64,
+            self.demand_peak,
+            f64::from(u8::from(self.prev_energy.is_some())),
+        ];
+        let [it, plant, total] = self.prev_energy.unwrap_or([0.0; 3]);
+        state.extend([it, plant, total]);
+        for r in 0..self.escalated.len() {
+            state.push(f64::from(u8::from(self.escalated[r])));
+            state.push(f64::from(u8::from(self.runaway_active[r])));
+            state.push(f64::from(self.streaks[r]));
+            state.push(self.prev_die[r]);
+        }
+        state
+    }
+
+    /// Restores [`checkpoint_state`](Self::checkpoint_state). Tolerant
+    /// of truncated or foreign state: missing fields fall back to the
+    /// fresh-supervisor defaults, so a garbage restore degrades to a
+    /// conservative restart rather than a panic.
+    pub fn restore_state(&mut self, state: &[f64]) {
+        let flag = |i: usize| state.get(i).copied().unwrap_or(0.0) == 1.0;
+        let count = |i: usize| {
+            let v = state.get(i).copied().unwrap_or(0.0);
+            if v.is_finite() && v >= 0.0 {
+                v as u64
+            } else {
+                0
+            }
+        };
+        self.shedding = flag(0);
+        self.sheds = count(1);
+        self.escalations = count(2);
+        self.counts = TripCounts {
+            nan: count(3),
+            conservation: count(4),
+            runaway: count(5),
+        };
+        self.shed_time = SimDuration::from_millis(count(6));
+        self.last_time = SimDuration::from_millis(count(7));
+        self.demand_peak = {
+            let v = state.get(8).copied().unwrap_or(0.0);
+            if v.is_finite() && v >= 0.0 {
+                v
+            } else {
+                0.0
+            }
+        };
+        self.prev_energy = if flag(9) {
+            Some([
+                state.get(10).copied().unwrap_or(0.0),
+                state.get(11).copied().unwrap_or(0.0),
+                state.get(12).copied().unwrap_or(0.0),
+            ])
+        } else {
+            None
+        };
+        for r in 0..self.escalated.len() {
+            let base = 13 + 4 * r;
+            self.escalated[r] = flag(base);
+            self.runaway_active[r] = flag(base + 1);
+            self.streaks[r] = u32::try_from(count(base + 2)).unwrap_or(u32::MAX);
+            self.prev_die[r] = state.get(base + 3).copied().unwrap_or(f64::NEG_INFINITY);
+        }
+        self.trips.clear();
+    }
+
+    /// Clears trip records, counters and watchdog state (keeps the
+    /// config) — for reuse after a warmup phase.
+    pub fn reset(&mut self) {
+        let rooms = self.escalated.len();
+        let cfg = self.cfg;
+        *self = Self::new(rooms, cfg);
+    }
+}

@@ -155,9 +155,9 @@ impl SolverBackend for DenseBackend {
     }
 
     fn mul_g_into(&self, x: &[f64], y: &mut [f64]) {
-        self.g
-            .mul_vec_into(x, y)
-            .expect("assembly produces consistent dimensions");
+        if let Err(e) = self.g.mul_vec_into(x, y) {
+            unreachable!("assembly produces consistent dimensions: {e}");
+        }
     }
 
     fn g_diag(&self, i: usize) -> f64 {

@@ -46,6 +46,12 @@ pub enum ThermalError {
         /// Description of the problem.
         what: &'static str,
     },
+    /// A chilled-water plant spec or fault knob was invalid
+    /// (non-finite temperature, availability outside `[0, 1]`, …).
+    InvalidPlant {
+        /// Description of the problem.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -70,6 +76,7 @@ impl fmt::Display for ThermalError {
                 "packed batch step requires all lanes to share one flow signature"
             ),
             Self::InvalidRoom { what } => write!(f, "invalid room spec: {what}"),
+            Self::InvalidPlant { what } => write!(f, "invalid chilled-water plant: {what}"),
         }
     }
 }

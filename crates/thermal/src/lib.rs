@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
 mod batch;
@@ -55,6 +56,7 @@ mod convection;
 mod error;
 pub mod linalg;
 mod network;
+mod plant;
 mod room;
 mod shard;
 mod solver;
@@ -68,6 +70,7 @@ pub use error::ThermalError;
 pub use network::{
     Coupling, FlowChannelId, NodeId, ThermalNetwork, ThermalNetworkBuilder, ThermalState,
 };
+pub use plant::{ChilledWaterLoop, ChilledWaterSpec};
 pub use room::{RoomAirModel, RoomAirSpec};
 pub use shard::{
     group_by_structure_hash, HeteroBatch, ShardPlan, ShardedBatchSolver, ShardedLanes, StepKernel,

@@ -1,0 +1,460 @@
+//! Building-scale chilled-water plant: finite chiller capacity, an
+//! outdoor-temperature-dependent COP, and a waterside-economizer
+//! (free-cooling) mode.
+//!
+//! The plant sits above the per-room CRAH units: every room rejects its
+//! heat into one shared chilled-water loop, and the loop's state decides
+//! (a) how much cooling capacity each room actually receives — the
+//! *delivered fraction* derates every CRAH uniformly when the plant is
+//! oversubscribed — and (b) the coldest air the CRAHs can supply, as the
+//! chilled-water temperature plus an air-side approach.
+//!
+//! The model is deliberately algebraic (no plant-side thermal mass):
+//! [`ChilledWaterLoop::update`] is called once per simulation step from
+//! the building's *serial* phase, so trajectories stay bit-identical for
+//! any room-sharding thread plan.
+//!
+//! Faults are explicit knobs rather than hidden state: chiller
+//! availability (derate/outage), a chilled-water supply-temperature
+//! excursion, and the outdoor temperature itself (heat wave), which both
+//! derates the mechanical chiller and locks out the economizer.
+
+use crate::error::ThermalError;
+use leakctl_units::{Celsius, Joules, SimDuration, Watts};
+
+/// Design parameters for a [`ChilledWaterLoop`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChilledWaterSpec {
+    /// Rated heat-rejection capacity of the mechanical chiller, in watts.
+    pub capacity: Watts,
+    /// Design chilled-water supply temperature (typ. ~7 °C).
+    pub supply_setpoint: Celsius,
+    /// Outdoor temperature at which `design_cop` is quoted.
+    pub design_outdoor: Celsius,
+    /// Chiller COP at `design_outdoor` (heat removed per unit electricity).
+    pub design_cop: f64,
+    /// Fractional COP loss per °C of outdoor temperature above
+    /// `design_outdoor` (condenser lift penalty). Outdoor temperatures
+    /// *below* design improve the COP by the same slope.
+    pub cop_outdoor_slope: f64,
+    /// Fractional capacity loss per °C of outdoor temperature above
+    /// `design_outdoor` (hot condensers also shrink capacity).
+    pub capacity_outdoor_slope: f64,
+    /// Outdoor temperature at or below which the waterside economizer
+    /// carries the load instead of the mechanical chiller.
+    pub economizer_threshold: Celsius,
+    /// Effective COP in economizer mode (pumps and dry-cooler fans only;
+    /// much higher than any mechanical COP).
+    pub economizer_cop: f64,
+}
+
+impl Default for ChilledWaterSpec {
+    fn default() -> Self {
+        Self {
+            capacity: Watts::new(250e3),
+            supply_setpoint: Celsius::new(7.0),
+            design_outdoor: Celsius::new(20.0),
+            design_cop: 4.5,
+            cop_outdoor_slope: 0.02,
+            capacity_outdoor_slope: 0.008,
+            economizer_threshold: Celsius::new(10.0),
+            economizer_cop: 12.0,
+        }
+    }
+}
+
+impl ChilledWaterSpec {
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        let bad = |what| Err(ThermalError::InvalidPlant { what });
+        if !(self.capacity.value().is_finite() && self.capacity.value() > 0.0) {
+            return bad("capacity must be finite and positive");
+        }
+        if !self.supply_setpoint.is_finite() {
+            return bad("supply setpoint must be finite");
+        }
+        if !self.design_outdoor.is_finite() {
+            return bad("design outdoor temperature must be finite");
+        }
+        if !(self.design_cop.is_finite() && self.design_cop > 0.0) {
+            return bad("design COP must be finite and positive");
+        }
+        if !(self.cop_outdoor_slope.is_finite() && self.cop_outdoor_slope >= 0.0) {
+            return bad("COP outdoor slope must be finite and non-negative");
+        }
+        if !(self.capacity_outdoor_slope.is_finite() && self.capacity_outdoor_slope >= 0.0) {
+            return bad("capacity outdoor slope must be finite and non-negative");
+        }
+        if !self.economizer_threshold.is_finite() {
+            return bad("economizer threshold must be finite");
+        }
+        if !(self.economizer_cop.is_finite() && self.economizer_cop > 0.0) {
+            return bad("economizer COP must be finite and positive");
+        }
+        Ok(())
+    }
+}
+
+/// Minimum COP the mechanical chiller degrades to under extreme outdoor
+/// temperatures (keeps the electricity accounting finite).
+const MIN_MECHANICAL_COP: f64 = 0.5;
+
+/// Minimum capacity fraction the outdoor derate can impose; a heat wave
+/// shrinks the chiller, it does not switch it off.
+const MIN_OUTDOOR_CAPACITY_FACTOR: f64 = 0.2;
+
+/// A shared chilled-water plant feeding many rooms.
+///
+/// Call [`set_outdoor`](Self::set_outdoor) /
+/// [`set_chiller_availability`](Self::set_chiller_availability) /
+/// [`set_supply_excursion`](Self::set_supply_excursion) to script faults,
+/// then [`update`](Self::update) once per step with the building's heat
+/// load. The derived state — [`delivered_fraction`](Self::delivered_fraction),
+/// [`cop`](Self::cop), [`chw_supply`](Self::chw_supply),
+/// [`economizer_active`](Self::economizer_active) — is what the building
+/// propagates back into its rooms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChilledWaterLoop {
+    spec: ChilledWaterSpec,
+    outdoor: Celsius,
+    /// Fault knob: fraction of the mechanical chiller still available
+    /// (1 = healthy, 0 = outage).
+    chiller_availability: f64,
+    /// Fault knob: °C added to the delivered chilled-water temperature.
+    supply_excursion: f64,
+    // Derived per update().
+    demand: Watts,
+    available: Watts,
+    delivered_fraction: f64,
+    economizer_active: bool,
+    cop: f64,
+    energy: Joules,
+    peak_demand: Watts,
+    overload_time: SimDuration,
+    accounted: SimDuration,
+}
+
+impl ChilledWaterLoop {
+    /// Builds a plant from a validated spec, starting at the design
+    /// outdoor temperature with a healthy chiller.
+    pub fn new(spec: ChilledWaterSpec) -> Result<Self, ThermalError> {
+        spec.validate()?;
+        let mut plant = Self {
+            spec,
+            outdoor: spec.design_outdoor,
+            chiller_availability: 1.0,
+            supply_excursion: 0.0,
+            demand: Watts::ZERO,
+            available: spec.capacity,
+            delivered_fraction: 1.0,
+            economizer_active: false,
+            cop: spec.design_cop,
+            energy: Joules::ZERO,
+            peak_demand: Watts::ZERO,
+            overload_time: SimDuration::ZERO,
+            accounted: SimDuration::ZERO,
+        };
+        plant.refresh(Watts::ZERO);
+        Ok(plant)
+    }
+
+    /// The design parameters this plant was built from.
+    pub fn spec(&self) -> &ChilledWaterSpec {
+        &self.spec
+    }
+
+    /// Sets the outdoor (condenser / economizer inlet) temperature.
+    pub fn set_outdoor(&mut self, outdoor: Celsius) -> Result<(), ThermalError> {
+        if !outdoor.is_finite() {
+            return Err(ThermalError::InvalidPlant {
+                what: "outdoor temperature must be finite",
+            });
+        }
+        self.outdoor = outdoor;
+        self.refresh(self.demand);
+        Ok(())
+    }
+
+    /// Sets the fraction of the mechanical chiller that is available
+    /// (1 = healthy, 0 = outage). Values must lie in `[0, 1]`.
+    pub fn set_chiller_availability(&mut self, fraction: f64) -> Result<(), ThermalError> {
+        if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+            return Err(ThermalError::InvalidPlant {
+                what: "chiller availability must lie in [0, 1]",
+            });
+        }
+        self.chiller_availability = fraction;
+        self.refresh(self.demand);
+        Ok(())
+    }
+
+    /// Sets a chilled-water supply-temperature excursion in °C above the
+    /// design setpoint (0 = nominal). Must be finite and non-negative.
+    pub fn set_supply_excursion(&mut self, excursion: f64) -> Result<(), ThermalError> {
+        if !(excursion.is_finite() && excursion >= 0.0) {
+            return Err(ThermalError::InvalidPlant {
+                what: "supply excursion must be finite and non-negative",
+            });
+        }
+        self.supply_excursion = excursion;
+        Ok(())
+    }
+
+    /// Recomputes the derived operating point for `demand`.
+    fn refresh(&mut self, demand: Watts) {
+        self.demand = demand;
+        self.economizer_active = self.outdoor.degrees() <= self.spec.economizer_threshold.degrees();
+        let lift = (self.outdoor.degrees() - self.spec.design_outdoor.degrees()).max(0.0);
+        if self.economizer_active {
+            // Free cooling: the dry coolers are sized for the full rated
+            // load and do not depend on the chiller.
+            self.cop = self.spec.economizer_cop;
+            self.available = self.spec.capacity;
+        } else {
+            self.cop = (self.spec.design_cop * (1.0 - self.spec.cop_outdoor_slope * lift))
+                .max(MIN_MECHANICAL_COP);
+            let derate =
+                (1.0 - self.spec.capacity_outdoor_slope * lift).max(MIN_OUTDOOR_CAPACITY_FACTOR);
+            self.available =
+                Watts::new(self.spec.capacity.value() * self.chiller_availability * derate);
+        }
+        self.delivered_fraction = Self::fraction(demand, self.available);
+    }
+
+    fn fraction(demand: Watts, available: Watts) -> f64 {
+        if demand.value() <= available.value() || demand.value() <= 0.0 {
+            1.0
+        } else {
+            (available.value() / demand.value()).max(0.0)
+        }
+    }
+
+    /// Advances the plant one step: `demand` is the heat the building
+    /// needs rejected (its IT power), `removed` the heat the room CRAHs
+    /// actually extracted this step (what the loop must lift outdoors).
+    /// Electricity use accrues as `removed / cop`.
+    pub fn update(&mut self, demand: Watts, removed: Watts, dt: SimDuration) {
+        self.refresh(demand);
+        self.peak_demand = self.peak_demand.max(demand);
+        if self.delivered_fraction < 1.0 {
+            self.overload_time += dt;
+        }
+        let electricity = Watts::new((removed.value() / self.cop).max(0.0));
+        self.energy += electricity * dt;
+        self.accounted += dt;
+    }
+
+    /// Current outdoor temperature.
+    pub fn outdoor(&self) -> Celsius {
+        self.outdoor
+    }
+
+    /// Current chiller availability fraction.
+    pub fn chiller_availability(&self) -> f64 {
+        self.chiller_availability
+    }
+
+    /// Current chilled-water supply excursion in °C above design.
+    pub fn supply_excursion(&self) -> f64 {
+        self.supply_excursion
+    }
+
+    /// Delivered chilled-water supply temperature (design setpoint plus
+    /// any scripted excursion).
+    pub fn chw_supply(&self) -> Celsius {
+        Celsius::new(self.spec.supply_setpoint.degrees() + self.supply_excursion)
+    }
+
+    /// Heat load the building asked to reject at the last update.
+    pub fn demand(&self) -> Watts {
+        self.demand
+    }
+
+    /// Fraction of the demanded cooling the plant can deliver
+    /// (1 = fully served; < 1 = oversubscribed, every room's CRAH
+    /// capacity is derated by this factor).
+    pub fn delivered_fraction(&self) -> f64 {
+        self.delivered_fraction
+    }
+
+    /// Demand over available capacity at the last update (> 1 when the
+    /// plant is oversubscribed; 0 when idle).
+    pub fn oversubscription(&self) -> f64 {
+        if self.delivered_fraction > 0.0 {
+            1.0 / self.delivered_fraction
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Cooling capacity currently available (rated capacity after
+    /// chiller availability and outdoor derate; full rated capacity in
+    /// economizer mode).
+    pub fn available_capacity(&self) -> Watts {
+        self.available
+    }
+
+    /// Demand over available capacity, *not* saturated at 1 — shows
+    /// headroom (< 1) as well as oversubscription (> 1). Infinite when
+    /// there is demand against zero capacity, zero when idle.
+    pub fn utilization(&self) -> f64 {
+        if self.demand.value() <= 0.0 {
+            0.0
+        } else if self.available.value() > 0.0 {
+            self.demand.value() / self.available.value()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the waterside economizer is carrying the load.
+    pub fn economizer_active(&self) -> bool {
+        self.economizer_active
+    }
+
+    /// Current coefficient of performance (heat removed per unit
+    /// electricity) including outdoor derate or economizer mode.
+    pub fn cop(&self) -> f64 {
+        self.cop
+    }
+
+    /// Cumulative plant electricity since construction (or the last
+    /// [`reset_accounting`](Self::reset_accounting)).
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Highest demand seen by [`update`](Self::update).
+    pub fn peak_demand(&self) -> Watts {
+        self.peak_demand
+    }
+
+    /// Total time the plant spent oversubscribed.
+    pub fn overload_time(&self) -> SimDuration {
+        self.overload_time
+    }
+
+    /// Simulated time accounted by [`update`](Self::update).
+    pub fn accounted_time(&self) -> SimDuration {
+        self.accounted
+    }
+
+    /// Clears the energy / peak / overload accumulators (keeps the
+    /// operating point and fault knobs).
+    pub fn reset_accounting(&mut self) {
+        self.energy = Joules::ZERO;
+        self.peak_demand = Watts::ZERO;
+        self.overload_time = SimDuration::ZERO;
+        self.accounted = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plant() -> ChilledWaterLoop {
+        ChilledWaterLoop::new(ChilledWaterSpec::default()).expect("default spec is valid")
+    }
+
+    #[test]
+    fn healthy_plant_serves_full_demand() {
+        let mut p = plant();
+        p.update(
+            Watts::new(100e3),
+            Watts::new(100e3),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(p.delivered_fraction(), 1.0);
+        assert!(!p.economizer_active());
+        assert!((p.cop() - 4.5).abs() < 1e-12);
+        assert!(p.energy().value() > 0.0);
+    }
+
+    #[test]
+    fn chiller_outage_derates_delivery() {
+        let mut p = plant();
+        p.set_chiller_availability(0.25).expect("valid fraction");
+        p.update(
+            Watts::new(200e3),
+            Watts::new(200e3),
+            SimDuration::from_secs(1),
+        );
+        // Available: 250 kW * 0.25 = 62.5 kW against 200 kW demand.
+        assert!((p.delivered_fraction() - 0.3125).abs() < 1e-12);
+        assert!(p.oversubscription() > 3.0);
+        assert_eq!(p.overload_time(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn economizer_engages_below_threshold_and_ignores_chiller() {
+        let mut p = plant();
+        p.set_outdoor(Celsius::new(5.0)).expect("finite");
+        p.set_chiller_availability(0.0).expect("valid fraction");
+        p.update(
+            Watts::new(100e3),
+            Watts::new(100e3),
+            SimDuration::from_secs(1),
+        );
+        assert!(p.economizer_active());
+        assert_eq!(p.delivered_fraction(), 1.0);
+        assert!((p.cop() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_wave_locks_out_economizer_and_derates() {
+        let mut p = plant();
+        p.set_outdoor(Celsius::new(38.0)).expect("finite");
+        p.update(
+            Watts::new(240e3),
+            Watts::new(240e3),
+            SimDuration::from_secs(1),
+        );
+        assert!(!p.economizer_active());
+        // COP: 4.5 * (1 - 0.02*18) = 2.88; capacity: 250 kW * (1 - 0.008*18).
+        assert!((p.cop() - 2.88).abs() < 1e-12);
+        assert!(p.delivered_fraction() < 1.0);
+    }
+
+    #[test]
+    fn excursion_raises_chw_supply() {
+        let mut p = plant();
+        assert!((p.chw_supply().degrees() - 7.0).abs() < 1e-12);
+        p.set_supply_excursion(8.0).expect("valid excursion");
+        assert!((p.chw_supply().degrees() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_knobs_reject_junk() {
+        let mut p = plant();
+        assert!(p.set_chiller_availability(f64::NAN).is_err());
+        assert!(p.set_chiller_availability(1.5).is_err());
+        assert!(p.set_supply_excursion(-1.0).is_err());
+        assert!(p.set_outdoor(Celsius::new(f64::INFINITY)).is_err());
+        let bad = ChilledWaterSpec {
+            capacity: Watts::new(0.0),
+            ..ChilledWaterSpec::default()
+        };
+        assert!(ChilledWaterLoop::new(bad).is_err());
+    }
+
+    #[test]
+    fn checkpoint_clone_round_trips() {
+        let mut p = plant();
+        p.set_outdoor(Celsius::new(30.0)).expect("finite");
+        p.update(
+            Watts::new(150e3),
+            Watts::new(140e3),
+            SimDuration::from_secs(5),
+        );
+        let snap = p.clone();
+        p.update(
+            Watts::new(150e3),
+            Watts::new(140e3),
+            SimDuration::from_secs(5),
+        );
+        assert_ne!(p, snap);
+        p = snap.clone();
+        assert_eq!(p, snap);
+    }
+}

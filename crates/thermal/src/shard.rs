@@ -587,7 +587,9 @@ fn join_shard_results(
 ) -> Result<(), ThermalError> {
     let mut first_err = None;
     for handle in handles {
-        let result = handle.join().expect("shard worker must not panic");
+        let result = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         if first_err.is_none() {
             first_err = result.err();
         }

@@ -158,9 +158,9 @@ impl CsrMatrix {
     /// Panics when `(r, c)` is outside the fixed sparsity pattern.
     #[inline]
     pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
-        let p = self
-            .pos(r, c)
-            .expect("entry must lie inside the CSR pattern");
+        let Some(p) = self.pos(r, c) else {
+            panic!("entry ({r}, {c}) lies outside the fixed CSR pattern");
+        };
         self.vals[p] += v;
     }
 
