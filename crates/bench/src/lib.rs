@@ -7,6 +7,7 @@
 
 pub mod building;
 pub mod faults;
+pub mod sched;
 pub mod setpoint;
 
 use leakctl::prelude::*;

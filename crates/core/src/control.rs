@@ -99,6 +99,20 @@ pub struct RoomObservation {
     pub rack_die_max: Vec<Celsius>,
     /// Per-rack under-floor tile flows.
     pub tile_flows: Vec<AirFlow>,
+    /// Per-rack IT (server + fan) power right now — the scheduler-side
+    /// read path for budget headroom checks.
+    pub rack_it_power: Vec<Watts>,
+    /// Per-rack activity that actually ran over the most recent step
+    /// (power-budget throttling included); idle before the first step.
+    pub rack_activity: Vec<Utilization>,
+    /// Per-rack hottest-die margin below the room's thermal cap
+    /// ([`die_limit`](Self::die_limit) minus
+    /// [`rack_die_max`](Self::rack_die_max)) — the leakage headroom a
+    /// thermal-aware scheduler spends. Negative when a rack is over
+    /// the cap.
+    pub rack_die_margin: Vec<Celsius>,
+    /// The room's thermal cap the margins are measured against.
+    pub die_limit: Celsius,
 }
 
 impl RoomObservation {
@@ -120,6 +134,10 @@ impl RoomObservation {
             hot_aisles: Vec::new(),
             rack_die_max: Vec::new(),
             tile_flows: Vec::new(),
+            rack_it_power: Vec::new(),
+            rack_activity: Vec::new(),
+            rack_die_margin: Vec::new(),
+            die_limit: Celsius::new(f64::INFINITY),
         }
     }
 
@@ -161,6 +179,31 @@ impl RoomObservation {
             .iter()
             .map(|t| t.degrees() - self.supply.degrees())
             .fold(0.0, f64::max)
+    }
+
+    /// The rack with the coldest cold-aisle (inlet) temperature — the
+    /// first pick of an inlet-greedy placement policy (0 for an
+    /// unfilled snapshot). Total order, so a non-finite inlet under an
+    /// injected fault still picks a rack instead of panicking.
+    #[must_use]
+    pub fn coldest_rack(&self) -> usize {
+        self.cold_aisles
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.degrees().total_cmp(&b.degrees()))
+            .map_or(0, |(r, _)| r)
+    }
+
+    /// The smallest per-rack hottest-die margin below the cap — the
+    /// room-wide thermal headroom a scheduler can still spend
+    /// (infinite for an unfilled snapshot, negative once any rack is
+    /// over the cap).
+    #[must_use]
+    pub fn min_die_margin(&self) -> Celsius {
+        self.rack_die_margin
+            .iter()
+            .copied()
+            .fold(Celsius::new(f64::INFINITY), Celsius::min)
     }
 
     /// Total under-floor tile flow `Σq_r`.

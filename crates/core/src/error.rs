@@ -31,6 +31,77 @@ pub enum CoreError {
     Building(BuildingError),
     /// A controller could not be built or driven.
     Control(ControlError),
+    /// A workload placement was rejected before anything was committed.
+    Placement(PlacementError),
+}
+
+/// Errors raised when a [`PlacementAction`](crate::schedule::PlacementAction)
+/// fails validation — the action is rejected as a whole and the room is
+/// left untouched (all-or-nothing, like
+/// [`Room::apply`](crate::room::Room::apply)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The action's utilization list does not have one entry per rack.
+    RackCountMismatch {
+        /// Entries in the action.
+        got: usize,
+        /// Racks in the room.
+        racks: usize,
+    },
+    /// A per-rack utilization was non-finite or outside `[0, 1]`.
+    InvalidUtilization {
+        /// The offending rack index.
+        rack: usize,
+        /// The rejected fraction.
+        fraction: f64,
+    },
+    /// The budget list does not have one entry per rack.
+    BudgetCountMismatch {
+        /// Entries in the action.
+        got: usize,
+        /// Racks in the room.
+        racks: usize,
+    },
+    /// A per-rack power budget was non-finite or non-positive.
+    InvalidBudget {
+        /// The offending rack index.
+        rack: usize,
+        /// The rejected budget in watts.
+        watts: f64,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RackCountMismatch { got, racks } => {
+                write!(f, "placement holds {got} utilizations for {racks} racks")
+            }
+            Self::InvalidUtilization { rack, fraction } => {
+                write!(
+                    f,
+                    "rack {rack}: utilization {fraction} must be finite and in [0, 1]"
+                )
+            }
+            Self::BudgetCountMismatch { got, racks } => {
+                write!(f, "placement holds {got} power budgets for {racks} racks")
+            }
+            Self::InvalidBudget { rack, watts } => {
+                write!(
+                    f,
+                    "rack {rack}: power budget {watts} W must be finite and positive"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl From<PlacementError> for CoreError {
+    fn from(e: PlacementError) -> Self {
+        Self::Placement(e)
+    }
 }
 
 /// Errors raised by building-scale operations: plant fault injection,
@@ -213,6 +284,7 @@ impl fmt::Display for CoreError {
             Self::Room(e) => write!(f, "room: {e}"),
             Self::Building(e) => write!(f, "building: {e}"),
             Self::Control(e) => write!(f, "control: {e}"),
+            Self::Placement(e) => write!(f, "placement: {e}"),
         }
     }
 }
@@ -228,6 +300,7 @@ impl std::error::Error for CoreError {
             Self::Room(e) => Some(e),
             Self::Building(e) => Some(e),
             Self::Control(e) => Some(e),
+            Self::Placement(e) => Some(e),
         }
     }
 }

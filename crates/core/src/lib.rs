@@ -59,13 +59,14 @@ pub mod rack;
 pub mod report;
 pub mod room;
 pub mod scenario;
+pub mod schedule;
 pub mod supervise;
 mod table1;
 
 pub use characterize::{
     characterize, CharacterizationData, CharacterizationPoint, CharacterizeOptions,
 };
-pub use error::{BuildingError, ControlError, CoreError, RoomError};
+pub use error::{BuildingError, ControlError, CoreError, PlacementError, RoomError};
 pub use experiment::{
     measure_idle_power, run_experiment, RunMetrics, RunOptions, RunOutcome, RunSample,
 };
@@ -93,6 +94,11 @@ pub mod prelude {
     pub use crate::scenario::{
         BuildingEvent, BuildingOutcome, BuildingScenario, BuildingScenarioRunner, Scenario,
         ScenarioEvent, ScenarioOutcome, ScenarioRunner,
+    };
+    pub use crate::schedule::{
+        FairShareRack, Job, JobStream, JobStreamConfig, LocalSearchScheduler, PlacementAction,
+        RackLoads, RackScheduler, RoomScheduler, RoundRobinScheduler, ScheduleStats, ScheduledLoop,
+        ThermalGreedyConfig, ThermalGreedyScheduler,
     };
     pub use crate::supervise::{MonitorTrip, Supervisor, SupervisorConfig, TripCounts};
     pub use crate::table1::{generate_table1, Table1, Table1Options};

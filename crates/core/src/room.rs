@@ -32,8 +32,9 @@ use leakctl_thermal::{RoomAirModel, RoomAirSpec, ShardPlan};
 use leakctl_units::{AirFlow, Celsius, Joules, Rpm, SimDuration, Utilization, Watts};
 
 use crate::control::{ControlAction, RoomController, RoomObservation, SupplyPreview};
-use crate::error::{CoreError, RoomError};
+use crate::error::{CoreError, PlacementError, RoomError};
 use crate::fleet::{run_sharded, Fleet, FleetCheckpoint};
+use crate::schedule::PlacementAction;
 
 /// Scenario builder for a [`Room`]: floor-grid geometry, CRAH
 /// placement, per-rack server fleets and the air-side couplings.
@@ -67,6 +68,12 @@ pub struct RoomConfig {
     pub tile_decay: f64,
     /// CRAH efficiency curve used for the cooling-energy accounting.
     pub cop_model: CopModel,
+    /// Thermal cap the per-rack die *margins* in
+    /// [`RoomObservation`] are
+    /// measured against (the paper's 85 °C hot-spot limit by default).
+    /// Telemetry only — the room never enforces it; controllers and
+    /// schedulers spend the margin.
+    pub die_limit: Celsius,
     /// Base seed; server `i` of rack `r` derives its sensor streams
     /// from `seed + r·servers_per_rack + i`.
     pub seed: u64,
@@ -89,6 +96,7 @@ impl RoomConfig {
             recirculation_fraction: 0.1,
             tile_decay: 6.0,
             cop_model: CopModel::HpChilledWater,
+            die_limit: Celsius::new(85.0),
             seed: 42,
         }
     }
@@ -154,6 +162,9 @@ impl RoomConfig {
         }
         if !(self.tile_decay > 0.0 && self.tile_decay.is_finite()) {
             return Err(invalid("tile decay length must be positive"));
+        }
+        if !self.die_limit.degrees().is_finite() {
+            return Err(invalid("die limit must be finite"));
         }
         self.cop_model.validate()?;
         Ok(())
@@ -260,9 +271,22 @@ pub struct Room {
     accounted: SimDuration,
     servers_per_rack: usize,
     cop_model: CopModel,
-    /// Mean activity commanded over the most recent step (surfaced to
+    die_limit: Celsius,
+    /// Mean activity that ran over the most recent step (surfaced to
     /// controllers through [`RoomObservation::activity`]).
     last_activity: Utilization,
+    /// Resident per-rack commanded activity — the workload placement.
+    /// Every stepping entry point records its command here;
+    /// [`Room::step_placed`] re-runs it unchanged, so a scheduler's
+    /// [`PlacementAction`] keeps driving the floor between decisions.
+    placement: Vec<Utilization>,
+    /// Resident per-rack power budgets (`None`: unbudgeted). A
+    /// budgeted rack whose measured power exceeds its budget has its
+    /// commanded activity throttled proportionally for the next step.
+    budgets: Vec<Option<Watts>>,
+    /// Per-rack activity that actually ran over the most recent step
+    /// (budget throttling included) — the observation read path.
+    last_rack_activity: Vec<Utilization>,
     /// Per-step scratch: rack activities / inlets (no per-step allocs).
     activities: Vec<Utilization>,
     inlets: Vec<Celsius>,
@@ -321,7 +345,11 @@ impl Room {
             accounted: SimDuration::ZERO,
             servers_per_rack: spr,
             cop_model: config.cop_model,
+            die_limit: config.die_limit,
             last_activity: Utilization::IDLE,
+            placement: vec![Utilization::IDLE; racks],
+            budgets: vec![None; racks],
+            last_rack_activity: vec![Utilization::IDLE; racks],
             activities: Vec::with_capacity(racks),
             inlets: Vec::with_capacity(racks),
         })
@@ -508,6 +536,9 @@ impl Room {
             crah_energy: self.crah_energy,
             accounted: self.accounted,
             last_activity: self.last_activity,
+            placement: self.placement.clone(),
+            budgets: self.budgets.clone(),
+            last_rack_activity: self.last_rack_activity.clone(),
         }
     }
 
@@ -534,6 +565,10 @@ impl Room {
         self.crah_energy = checkpoint.crah_energy;
         self.accounted = checkpoint.accounted;
         self.last_activity = checkpoint.last_activity;
+        self.placement.clone_from(&checkpoint.placement);
+        self.budgets.clone_from(&checkpoint.budgets);
+        self.last_rack_activity
+            .clone_from(&checkpoint.last_rack_activity);
         Ok(())
     }
 
@@ -559,6 +594,14 @@ impl Room {
         if checkpoint.air.racks() != self.air.racks() {
             return Err(RoomError::CheckpointMismatch {
                 what: "air-side rack count differs".to_owned(),
+            });
+        }
+        if checkpoint.placement.len() != self.fleets.len()
+            || checkpoint.budgets.len() != self.fleets.len()
+            || checkpoint.last_rack_activity.len() != self.fleets.len()
+        {
+            return Err(RoomError::CheckpointMismatch {
+                what: "placement rack count differs".to_owned(),
             });
         }
         for (r, (fleet, snap)) in self.fleets.iter().zip(&checkpoint.fleets).enumerate() {
@@ -664,6 +707,19 @@ impl Room {
         // rather than aborting a telemetry poll if that ever changes.
         obs.tile_flows
             .extend((0..racks).map(|r| self.air.tile_flow(r).unwrap_or(AirFlow::ZERO)));
+        obs.rack_it_power.clear();
+        obs.rack_it_power
+            .extend(self.fleets.iter().map(Fleet::total_power));
+        obs.rack_activity.clear();
+        obs.rack_activity
+            .extend_from_slice(&self.last_rack_activity);
+        obs.die_limit = self.die_limit;
+        obs.rack_die_margin.clear();
+        obs.rack_die_margin.extend(
+            obs.rack_die_max
+                .iter()
+                .map(|&die| Celsius::new(self.die_limit.degrees() - die.degrees())),
+        );
     }
 
     /// A freshly allocated room snapshot (see [`Room::observe_into`]
@@ -758,41 +814,175 @@ impl Room {
         controller.observe(obs, &mut preview)
     }
 
+    /// Validates and atomically applies a typed workload placement —
+    /// the write path schedulers drive, the placement-side twin of
+    /// [`Room::apply`]. The whole action is validated before anything
+    /// is touched, so a rejected placement never leaves the room
+    /// half-placed: per-rack utilizations must be finite fractions in
+    /// `[0, 1]` with exactly one entry per rack, and any power budgets
+    /// must be finite, positive and one per rack.
+    ///
+    /// The committed placement is *resident*: it keeps driving the
+    /// racks on every [`Room::step_placed`] until the next placement
+    /// (or a uniform [`Room::step`]) replaces it, and it rides
+    /// [`Room::checkpoint`] so a restored room resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Placement`] describing the first violation;
+    /// nothing is committed on any error.
+    pub fn apply_placement(&mut self, action: &PlacementAction) -> Result<(), CoreError> {
+        let racks = self.fleets.len();
+        // ---- validate everything up front (atomicity).
+        if action.utilizations.len() != racks {
+            return Err(PlacementError::RackCountMismatch {
+                got: action.utilizations.len(),
+                racks,
+            }
+            .into());
+        }
+        for (rack, &fraction) in action.utilizations.iter().enumerate() {
+            if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+                return Err(PlacementError::InvalidUtilization { rack, fraction }.into());
+            }
+        }
+        if let Some(budgets) = &action.power_budgets {
+            if budgets.len() != racks {
+                return Err(PlacementError::BudgetCountMismatch {
+                    got: budgets.len(),
+                    racks,
+                }
+                .into());
+            }
+            for (rack, budget) in budgets.iter().enumerate() {
+                if let Some(watts) = budget {
+                    if !(watts.value().is_finite() && watts.value() > 0.0) {
+                        return Err(PlacementError::InvalidBudget {
+                            rack,
+                            watts: watts.value(),
+                        }
+                        .into());
+                    }
+                }
+            }
+        }
+        // ---- commit (infallible by construction).
+        for (slot, &fraction) in self.placement.iter_mut().zip(&action.utilizations) {
+            *slot = Utilization::saturating_from_fraction(fraction);
+        }
+        if let Some(budgets) = &action.power_budgets {
+            self.budgets.clone_from(budgets);
+        }
+        Ok(())
+    }
+
+    /// The resident per-rack placement the next [`Room::step_placed`]
+    /// will run (commanded values, before any budget throttling).
+    #[must_use]
+    pub fn placement(&self) -> &[Utilization] {
+        &self.placement
+    }
+
+    /// The resident per-rack power budgets (`None`: unbudgeted).
+    #[must_use]
+    pub fn power_budgets(&self) -> &[Option<Watts>] {
+        &self.budgets
+    }
+
+    /// The thermal cap per-rack die margins are measured against (see
+    /// [`RoomConfig::die_limit`]).
+    #[must_use]
+    pub fn die_limit(&self) -> Celsius {
+        self.die_limit
+    }
+
     /// Advances the whole room by `dt` with every rack at the same
-    /// activity level.
+    /// activity level. The uniform command replaces the resident
+    /// placement; resident power budgets still throttle.
     ///
     /// # Errors
     ///
     /// Propagates platform and solver failures.
     pub fn step(&mut self, dt: SimDuration, activity: Utilization) -> Result<(), CoreError> {
-        let racks = self.fleets.len();
-        self.activities.clear();
-        self.activities.resize(racks, activity);
-        let activities = std::mem::take(&mut self.activities);
+        self.placement.fill(activity);
+        self.step_placed(dt)
+    }
+
+    /// Advances the room by `dt` on the resident placement — the
+    /// stepping half of the [`Room::apply_placement`] →
+    /// [`Room::step_placed`] scheduler loop. Each budgeted rack whose
+    /// measured start-of-step power exceeds its budget runs its
+    /// commanded activity scaled by `budget / power` (a RAPL-style
+    /// proportional throttle); the commanded placement itself is left
+    /// untouched, so throttling lifts as the rack cools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and solver failures.
+    pub fn step_placed(&mut self, dt: SimDuration) -> Result<(), CoreError> {
+        self.step_placed_limited(dt, Utilization::FULL)
+    }
+
+    /// As [`Room::step_placed`] with every rack's activity additionally
+    /// clamped to `limit` — the hook a building-level power cap uses to
+    /// shed a whole room without disturbing its resident placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and solver failures.
+    pub fn step_placed_limited(
+        &mut self,
+        dt: SimDuration,
+        limit: Utilization,
+    ) -> Result<(), CoreError> {
+        let mut activities = std::mem::take(&mut self.activities);
+        activities.clear();
+        activities.extend(
+            self.placement
+                .iter()
+                .zip(&self.budgets)
+                .zip(&self.fleets)
+                .map(|((&commanded, budget), fleet)| {
+                    let commanded = commanded.min(limit);
+                    match budget {
+                        Some(budget) => {
+                            let power = fleet.total_power().value();
+                            if power > budget.value() && power > 0.0 {
+                                Utilization::saturating_from_fraction(
+                                    commanded.as_fraction() * budget.value() / power,
+                                )
+                            } else {
+                                commanded
+                            }
+                        }
+                        None => commanded,
+                    }
+                }),
+        );
         let result = self.advance(dt, &activities);
         self.activities = activities;
         result
     }
 
-    /// Advances the room by `dt` with per-rack activity levels — the
-    /// entry point thermal-aware job placement drives (hot corners get
-    /// the light work).
+    /// Advances the room by `dt` with per-rack activity levels.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Invalid`] when `activities` does not have
+    /// Returns [`CoreError::Placement`] when `activities` does not have
     /// one entry per rack, and propagates platform/solver failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a validated `PlacementAction` and drive \
+                `Room::apply_placement` + `Room::step_placed` instead"
+    )]
     pub fn step_racks(
         &mut self,
         dt: SimDuration,
         activities: &[Utilization],
     ) -> Result<(), CoreError> {
-        if activities.len() != self.fleets.len() {
-            return Err(CoreError::Invalid {
-                what: "one activity level per rack required".to_owned(),
-            });
-        }
-        self.advance(dt, activities)
+        let action = PlacementAction::from_utilizations(activities);
+        self.apply_placement(&action)?;
+        self.step_placed(dt)
     }
 
     /// One operator-split step: serial air phase, then the rack phase
@@ -841,6 +1031,8 @@ impl Room {
         let mean = activities.iter().map(|a| a.as_fraction()).sum::<f64>()
             / activities.len().max(1) as f64;
         self.last_activity = Utilization::saturating_from_fraction(mean);
+        self.last_rack_activity.clear();
+        self.last_rack_activity.extend_from_slice(activities);
         Ok(())
     }
 
@@ -960,6 +1152,9 @@ pub struct RoomCheckpoint {
     crah_energy: Joules,
     accounted: SimDuration,
     last_activity: Utilization,
+    placement: Vec<Utilization>,
+    budgets: Vec<Option<Watts>>,
+    last_rack_activity: Vec<Utilization>,
 }
 
 impl RoomCheckpoint {
@@ -1144,11 +1339,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn per_rack_activities_shape_the_room() {
         let mut room = Room::with_plan(small(), ShardPlan::new(2)).unwrap();
         assert!(matches!(
             room.step_racks(SimDuration::from_secs(1), &[Utilization::FULL]),
-            Err(CoreError::Invalid { .. })
+            Err(CoreError::Placement(PlacementError::RackCountMismatch {
+                got: 1,
+                racks: 2
+            }))
         ));
         for _ in 0..1_800 {
             room.step_racks(
